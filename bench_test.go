@@ -1,0 +1,144 @@
+package mtbase
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at laptop scale. One testing.B benchmark corresponds to one
+// paper artifact; the mtbench CLI runs the same specs with configurable
+// scale and prints the paper-style tables.
+//
+// Per-query micro benchmarks for the conversion-intensive queries the
+// paper focuses on (Q1, Q6, Q22) expose individual (query, level) timings
+// via sub-benchmarks.
+
+import (
+	"testing"
+
+	"mtbase/internal/bench"
+	"mtbase/internal/engine"
+	"mtbase/internal/mth"
+	"mtbase/internal/optimizer"
+)
+
+// benchSF keeps `go test -bench=.` tractable; mtbench -sf raises it.
+const benchSF = 0.002
+
+const benchTenants = 5
+
+func runTable(b *testing.B, number int) {
+	spec, err := bench.TableSpec(number, benchSF, benchTenants)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Repeats = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunOptLevels(spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 — optimization levels, PostgreSQL mode, C=1, D={1}.
+func BenchmarkTable3(b *testing.B) { runTable(b, 3) }
+
+// BenchmarkTable4 — optimization levels, PostgreSQL mode, C=1, D={2}.
+func BenchmarkTable4(b *testing.B) { runTable(b, 4) }
+
+// BenchmarkTable5 — optimization levels, PostgreSQL mode, C=1, D=all.
+func BenchmarkTable5(b *testing.B) { runTable(b, 5) }
+
+// BenchmarkTable7 — optimization levels, System C mode, C=1, D={1}.
+func BenchmarkTable7(b *testing.B) { runTable(b, 7) }
+
+// BenchmarkTable8 — optimization levels, System C mode, C=1, D={2}.
+func BenchmarkTable8(b *testing.B) { runTable(b, 8) }
+
+// BenchmarkTable9 — optimization levels, System C mode, C=1, D=all.
+func BenchmarkTable9(b *testing.B) { runTable(b, 9) }
+
+func runFigure(b *testing.B, number int) {
+	spec, err := bench.FigureSpec(number, benchSF, []int{1, 5, 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Repeats = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunScaling(spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 — tenant scaling of Q1/Q6/Q22, PostgreSQL mode.
+func BenchmarkFigure5(b *testing.B) { runFigure(b, 5) }
+
+// BenchmarkFigure6 — tenant scaling of Q1/Q6/Q22, System C mode.
+func BenchmarkFigure6(b *testing.B) { runFigure(b, 6) }
+
+// BenchmarkQuery measures the conversion-intensive queries per
+// optimization level on a shared instance (PostgreSQL mode, D = all).
+func BenchmarkQuery(b *testing.B) {
+	cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []int{1, 6, 22} {
+		q, err := mth.QueryByID(cfg.SF, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, level := range []optimizer.Level{
+			optimizer.Canonical, optimizer.O1, optimizer.O2,
+			optimizer.O3, optimizer.O4, optimizer.InlOnly,
+		} {
+			b.Run(q.Name+"/"+level.String(), func(b *testing.B) {
+				conn.SetOptLevel(level)
+				for i := 0; i < b.N; i++ {
+					if _, err := mth.RunOnMT(conn, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRewrite isolates the middleware's own cost: parse + canonical
+// rewrite + optimization of Q1 without execution (the paper argues this
+// overhead is negligible compared to execution).
+func BenchmarkRewrite(b *testing.B) {
+	cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := mth.QueryByID(cfg.SF, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, level := range []optimizer.Level{optimizer.Canonical, optimizer.O4} {
+		b.Run(level.String(), func(b *testing.B) {
+			conn.SetOptLevel(level)
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.RewriteSQL(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Command mtbench regenerates the paper's evaluation artifacts: Tables
+// 3–5 and 7–9 (response times of the 22 MT-H queries per optimization
+// level) and Figures 5–6 (tenant scaling of Q1/Q6/Q22), at a configurable
+// scale factor.
+//
+// Examples:
+//
+//	mtbench -table 3                 # one table at the default scale
+//	mtbench -table 3,4,5 -sf 0.05    # the PostgreSQL-mode tables, bigger
+//	mtbench -figure 5 -tenants 1,10,100,1000
+//	mtbench -all                     # everything (takes a while)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mtbase/internal/bench"
+	"mtbase/internal/mth"
+)
+
+func main() {
+	var (
+		tables   = flag.String("table", "", "comma-separated paper table numbers (3,4,5,7,8,9)")
+		figures  = flag.String("figure", "", "comma-separated paper figure numbers (5,6)")
+		all      = flag.Bool("all", false, "run every table and figure")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		tenants  = flag.Int("T", 10, "number of tenants for the tables")
+		tcounts  = flag.String("tenants", "1,10,100,1000", "tenant counts for the figures")
+		dist     = flag.String("dist", "", "override tenant share distribution (uniform|zipf)")
+		repeats  = flag.Int("repeats", 2, "measurement repetitions; the last is reported")
+		queries  = flag.String("queries", "", "restrict to comma-separated query ids")
+		progress = flag.Bool("progress", false, "print per-measurement progress")
+	)
+	flag.Parse()
+
+	tableNums, err := parseInts(*tables)
+	if err != nil {
+		fatal(err)
+	}
+	figureNums, err := parseInts(*figures)
+	if err != nil {
+		fatal(err)
+	}
+	if *all {
+		tableNums = []int{3, 4, 5, 7, 8, 9}
+		figureNums = []int{5, 6}
+	}
+	if len(tableNums) == 0 && len(figureNums) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	queryIDs, err := parseInts(*queries)
+	if err != nil {
+		fatal(err)
+	}
+	tenantCounts, err := parseInts(*tcounts)
+	if err != nil {
+		fatal(err)
+	}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+
+	for _, n := range tableNums {
+		spec, err := bench.TableSpec(n, *sf, *tenants)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Repeats = *repeats
+		spec.Queries = queryIDs
+		if *dist != "" {
+			spec.Dist = mth.Distribution(*dist)
+		}
+		res, err := bench.RunOptLevels(spec, progressW)
+		if err != nil {
+			fatal(err)
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+	for _, n := range figureNums {
+		spec, err := bench.FigureSpec(n, *sf, tenantCounts)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Repeats = *repeats
+		if len(queryIDs) > 0 {
+			spec.QueryIDs = queryIDs
+		}
+		if *dist != "" {
+			spec.Dist = mth.Distribution(*dist)
+		}
+		res, err := bench.RunScaling(spec, progressW)
+		if err != nil {
+			fatal(err)
+		}
+		res.WriteFigure(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtbench:", err)
+	os.Exit(1)
+}

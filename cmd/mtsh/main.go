@@ -1,0 +1,169 @@
+// Command mtsh is a minimal MTSQL shell against an in-process MTBase
+// instance loaded with the MT-H dataset. It demonstrates the full client
+// experience of the paper: connect as a tenant (C comes from the
+// connection), steer the dataset with SET SCOPE, and run plain SQL that
+// the middleware rewrites behind the scenes.
+//
+// Meta commands:
+//
+//	\c <ttid>        reconnect as another tenant
+//	\level <name>    set optimization level (canonical,o1,o2,o3,o4,inl-only)
+//	\explain <sql>   print the rewritten+optimized SQL without executing
+//	\q               quit
+//
+// Example session:
+//
+//	mtsh -sf 0.005 -tenants 5
+//	mtsql(C=1)> SET SCOPE = "IN ()";
+//	mtsql(C=1)> SELECT COUNT(*) FROM customer;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mth"
+	"mtbase/internal/optimizer"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.002, "TPC-H scale factor for the demo data")
+		tenants = flag.Int("tenants", 5, "number of tenants")
+		ttid    = flag.Int64("c", 1, "client tenant C")
+		mode    = flag.String("mode", "postgres", "engine mode (postgres|system-c)")
+	)
+	flag.Parse()
+
+	m := engine.ModePostgres
+	if *mode == "system-c" {
+		m = engine.ModeSystemC
+	}
+	fmt.Fprintf(os.Stderr, "loading MT-H sf=%g T=%d ...\n", *sf, *tenants)
+	inst, err := mth.BuildMT(mth.Config{SF: *sf, Tenants: *tenants, Dist: mth.Uniform, Seed: 42, Mode: m})
+	if err != nil {
+		fatal(err)
+	}
+	// Demo convenience: everyone may read everyone (the paper's healthcare
+	// scenario would use explicit GRANTs instead).
+	for t := int64(1); t <= int64(*tenants); t++ {
+		if err := inst.GrantReadTo(t); err != nil {
+			fatal(err)
+		}
+	}
+	conn, err := inst.Srv.Connect(*ttid)
+	if err != nil {
+		fatal(err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() { fmt.Printf("mtsql(C=%d)> ", conn.C()) }
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "\\") {
+			if done := metaCommand(inst.Srv, &conn, trimmed); done {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
+		pending.Reset()
+		if stmt != "" {
+			execute(conn, stmt)
+		}
+		prompt()
+	}
+}
+
+func metaCommand(srv *middleware.Server, conn **middleware.Conn, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q":
+		return true
+	case "\\c":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\c <ttid>")
+			return false
+		}
+		ttid, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad tenant id:", fields[1])
+			return false
+		}
+		next, err := srv.Connect(ttid)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		next.SetOptLevel((*conn).OptLevel())
+		*conn = next
+	case "\\level":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\level <canonical|o1|o2|o3|o4|inl-only>")
+			return false
+		}
+		level, err := optimizer.ParseLevel(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		(*conn).SetOptLevel(level)
+		fmt.Println("optimization level:", level)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		rewritten, err := (*conn).RewriteSQL(strings.TrimSuffix(sql, ";"))
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		fmt.Println(rewritten.String())
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return false
+}
+
+func execute(conn *middleware.Conn, sql string) {
+	res, err := conn.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Cols) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for i, row := range res.Rows {
+		if i >= 50 {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows))
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtsh:", err)
+	os.Exit(1)
+}

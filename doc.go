@@ -1,0 +1,19 @@
+// Package mtbase is a from-scratch Go reproduction of "MTBase: Optimizing
+// Cross-Tenant Database Queries" (Braun, Marroquín, Tsay, Kossmann —
+// EDBT 2018, arXiv:1703.04290).
+//
+// The system lives in internal/ packages:
+//
+//   - sqltypes, sqllex, sqlast, sqlparse — the SQL/MTSQL frontend
+//   - engine — the substrate in-memory DBMS (PostgreSQL / "System C" roles)
+//   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
+//   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
+//   - optimizer — the o1–o4 / inl-only optimization passes (§4)
+//   - middleware — MTBase proper: sessions, scopes, privileges (Figure 4)
+//   - mth — the MT-H benchmark: dbgen, 22 queries, validation (§5)
+//   - bench — the experiment driver for every table and figure (§6)
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table/figure at laptop scale.
+package mtbase

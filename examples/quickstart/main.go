@@ -1,0 +1,143 @@
+// The quickstart example walks through the paper's running example
+// (Figures 2–3, §1–2): two companies share one ST-layout database; they
+// store salaries in different currencies and use their own role catalogs.
+// It shows why plain SQL is ambiguous for cross-tenant queries and how
+// MTSQL resolves the ambiguity — tenant-aware joins, value conversion,
+// client presentation and scoped grants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mtsql"
+)
+
+func main() {
+	// 1. Stand up MTBase on an embedded DBMS. Tenant 99 is the data
+	//    modeller (the SaaS provider); tenants 0 and 1 are companies.
+	db := engine.Open(engine.ModePostgres)
+	srv := middleware.NewServer(db, middleware.WithDataModeller(99))
+	must(srv.Schema().Convs().Register(mtsql.ConvPair{
+		Name:     "currency",
+		ToFunc:   "currencyToUniversal",
+		FromFunc: "currencyFromUniversal",
+		Class:    mtsql.ClassLinear, // to(x) = c·x distributes over SUM/AVG
+	}))
+
+	admin, err := srv.Connect(99)
+	must(err)
+	for _, ddl := range []string{
+		// Conversion machinery (Listings 6 and 7 of the paper).
+		`CREATE TABLE Tenant (T_tenant_key INTEGER NOT NULL, T_currency_key INTEGER NOT NULL)`,
+		`CREATE TABLE CurrencyTransform (CT_currency_key INTEGER NOT NULL,
+			CT_to_universal DECIMAL(15,2) NOT NULL, CT_from_universal DECIMAL(15,2) NOT NULL)`,
+		`CREATE FUNCTION currencyToUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+			AS 'SELECT CT_to_universal * $1 FROM Tenant, CurrencyTransform
+			    WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+			LANGUAGE SQL IMMUTABLE`,
+		`CREATE FUNCTION currencyFromUniversal (DECIMAL(15,2), INTEGER) RETURNS DECIMAL(15,2)
+			AS 'SELECT CT_from_universal * $1 FROM Tenant, CurrencyTransform
+			    WHERE T_tenant_key = $2 AND T_currency_key = CT_currency_key'
+			LANGUAGE SQL IMMUTABLE`,
+		// The running example's schema (Listing 3): table generality and
+		// attribute comparability are MTSQL-specific DDL.
+		`CREATE TABLE Regions (Re_reg_id INTEGER NOT NULL, Re_name VARCHAR(25) NOT NULL)`,
+		`CREATE TABLE Roles SPECIFIC (
+			R_role_id INTEGER NOT NULL SPECIFIC,
+			R_name VARCHAR(25) NOT NULL COMPARABLE)`,
+		`CREATE TABLE Employees SPECIFIC (
+			E_emp_id INTEGER NOT NULL SPECIFIC,
+			E_name VARCHAR(25) NOT NULL COMPARABLE,
+			E_role_id INTEGER NOT NULL SPECIFIC,
+			E_reg_id INTEGER NOT NULL COMPARABLE,
+			E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+			E_age INTEGER NOT NULL COMPARABLE)`,
+	} {
+		_, err := admin.Exec(ddl)
+		must(err)
+	}
+	must(srv.CreateTenant(0)) // uses USD (the universal format)
+	must(srv.CreateTenant(1)) // uses EUR
+	_, err = db.ExecScript(`
+		INSERT INTO Tenant VALUES (0, 0), (1, 1);
+		INSERT INTO CurrencyTransform VALUES (0, 1.0, 1.0), (1, 1.1, 0.9090909090909091);
+		INSERT INTO Regions VALUES (0,'AFRICA'),(1,'ASIA'),(2,'AUSTRALIA'),(3,'EUROPE'),(4,'N-AMERICA'),(5,'S-AMERICA')`)
+	must(err)
+
+	// 2. Each company loads its own data through its own connection —
+	//    the middleware stamps rows with the owner's ttid.
+	alpha, err := srv.Connect(0)
+	must(err)
+	exec(alpha, `INSERT INTO Roles (R_role_id, R_name) VALUES (0, 'phD stud.'), (1, 'postdoc'), (2, 'professor')`)
+	exec(alpha, `INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) VALUES
+		(0, 'Patrick', 1, 3, 50000, 30), (1, 'John', 0, 3, 70000, 28), (2, 'Alice', 2, 3, 150000, 46)`)
+
+	beta, err := srv.Connect(1)
+	must(err)
+	exec(beta, `INSERT INTO Roles (R_role_id, R_name) VALUES (0, 'intern'), (1, 'researcher'), (2, 'executive')`)
+	exec(beta, `INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) VALUES
+		(0, 'Allan', 1, 2, 80000, 25), (1, 'Nancy', 2, 4, 200000, 72), (2, 'Ed', 0, 4, 1000000, 46)`)
+
+	// 3. By default every client sees only her own data (D = {C}).
+	fmt.Println("== Company 0, default scope (own data only):")
+	show(alpha, `SELECT E_name, E_salary FROM Employees ORDER BY E_salary DESC`)
+
+	// 4. Cross-tenant processing needs privileges and a scope.
+	exec(beta, `GRANT READ ON Employees TO 0`)
+	exec(beta, `GRANT READ ON Roles TO 0`)
+	exec(alpha, `SET SCOPE = "IN ()"`) // empty IN list = all tenants
+
+	// The role join stays inside each tenant: no "Ed the professor".
+	fmt.Println("== Cross-tenant role join (tenant-aware automatically):")
+	show(alpha, `SELECT E_name, R_name FROM Employees, Roles WHERE E_role_id = R_role_id ORDER BY E_name`)
+
+	// Comparable attributes join across tenants: Alice and Ed are both 46.
+	fmt.Println("== Same-age pairs across companies:")
+	show(alpha, `SELECT e1.E_name, e2.E_name FROM Employees e1, Employees e2
+		WHERE e1.E_age = e2.E_age AND e1.E_name < e2.E_name`)
+
+	// 5. Client presentation: the same query, different currencies.
+	fmt.Println("== Average salary in USD (asked by company 0):")
+	show(alpha, `SELECT AVG(E_salary) AS avg_salary FROM Employees`)
+	exec(beta, `SET SCOPE = "IN ()"`)
+	exec(alpha, `GRANT READ ON Employees TO 1`)
+	fmt.Println("== Average salary in EUR (asked by company 1):")
+	show(beta, `SELECT AVG(E_salary) AS avg_salary FROM Employees`)
+
+	// 6. Complex scopes select tenants by data: who pays anyone > 180K USD?
+	exec(alpha, `SET SCOPE = "FROM Employees WHERE E_salary > 180000"`)
+	fmt.Println("== Employees of tenants with any salary above 180K USD:")
+	show(alpha, `SELECT E_name, E_salary FROM Employees ORDER BY E_salary DESC`)
+}
+
+func exec(c *middleware.Conn, sql string) {
+	if _, err := c.Exec(sql); err != nil {
+		log.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+func show(c *middleware.Conn, sql string) {
+	res, err := c.Exec(sql)
+	if err != nil {
+		log.Fatalf("query %q: %v", sql, err)
+	}
+	for _, row := range res.Rows {
+		for j, v := range row {
+			if j > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

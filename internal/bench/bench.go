@@ -1,0 +1,363 @@
+// Package bench is the MT-H experiment driver: it regenerates every table
+// and figure of the paper's evaluation (§6 and Appendices C/D) — response
+// times of the 22 queries across optimization levels (Tables 3–5 on the
+// PostgreSQL-like engine, Tables 7–9 on the System-C-like engine) and the
+// tenant-scaling curves for Q1/Q6/Q22 (Figures 5 and 6).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mth"
+	"mtbase/internal/optimizer"
+)
+
+// OptSpec parameterizes one optimization-level table (Tables 3–5, 7–9).
+type OptSpec struct {
+	Label   string // e.g. "Table 3"
+	SF      float64
+	Tenants int
+	Dist    mth.Distribution
+	Mode    engine.Mode
+	C       int64
+	Scope   string  // MTSQL scope text, e.g. "IN (1)" or "IN ()"
+	BaseSF  float64 // plain TPC-H baseline scale factor
+	Repeats int     // measurement runs; the last one is reported (§6.2)
+	Queries []int   // query ids; nil = all 22
+}
+
+// Levels evaluated in every table (Table 6 of the paper).
+var levels = []optimizer.Level{
+	optimizer.Canonical, optimizer.O1, optimizer.O2,
+	optimizer.O3, optimizer.O4, optimizer.InlOnly,
+}
+
+// OptResult holds measured response times in seconds.
+type OptResult struct {
+	Spec     OptSpec
+	QueryIDs []int
+	Baseline []float64                     // plain TPC-H per query
+	Times    map[optimizer.Level][]float64 // per level, per query
+	UDFCalls map[optimizer.Level][]int64   // ablation metric
+}
+
+func (s OptSpec) repeats() int {
+	if s.Repeats <= 0 {
+		return 2
+	}
+	return s.Repeats
+}
+
+func (s OptSpec) queryIDs() []int {
+	if len(s.Queries) > 0 {
+		out := append([]int{}, s.Queries...)
+		sort.Ints(out)
+		return out
+	}
+	ids := make([]int, 22)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
+}
+
+// RunOptLevels builds the MT-H instance and the plain baseline, then
+// measures every query at every optimization level.
+func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
+	cfg := mth.Config{SF: spec.SF, Tenants: spec.Tenants, Dist: spec.Dist, Seed: 42, Mode: spec.Mode}
+	data := mth.Generate(cfg)
+	inst, err := mth.LoadMT(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.GrantReadTo(spec.C); err != nil {
+		return nil, err
+	}
+	conn, err := inst.Connect(spec.C, spec.Scope)
+	if err != nil {
+		return nil, err
+	}
+
+	baseCfg := mth.Config{SF: spec.BaseSF, Tenants: 1, Dist: mth.Uniform, Seed: 42, Mode: spec.Mode}
+	plain, err := mth.LoadPlain(mth.Generate(baseCfg), spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+
+	ids := spec.queryIDs()
+	res := &OptResult{
+		Spec:     spec,
+		QueryIDs: ids,
+		Times:    make(map[optimizer.Level][]float64),
+		UDFCalls: make(map[optimizer.Level][]int64),
+	}
+
+	for _, id := range ids {
+		q, err := mth.QueryByID(spec.BaseSF, id)
+		if err != nil {
+			return nil, err
+		}
+		secs, err := timePlain(plain, q, spec.repeats())
+		if err != nil {
+			return nil, fmt.Errorf("baseline Q%d: %w", id, err)
+		}
+		res.Baseline = append(res.Baseline, secs)
+	}
+
+	for _, level := range levels {
+		conn.SetOptLevel(level)
+		for _, id := range ids {
+			q, err := mth.QueryByID(spec.SF, id)
+			if err != nil {
+				return nil, err
+			}
+			db := inst.Srv.DB()
+			db.Stats = engine.Stats{}
+			secs, err := timeMT(conn, q, spec.repeats())
+			if err != nil {
+				return nil, fmt.Errorf("%s Q%d at %s: %w", spec.Label, id, level, err)
+			}
+			res.Times[level] = append(res.Times[level], secs)
+			res.UDFCalls[level] = append(res.UDFCalls[level], db.Stats.UDFCalls)
+			if progress != nil {
+				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls)\n",
+					spec.Label, level, id, secs, db.Stats.UDFCalls)
+			}
+		}
+	}
+	return res, nil
+}
+
+func timePlain(db *engine.DB, q mth.Query, repeats int) (float64, error) {
+	var last float64
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := mth.RunOnPlain(db, q); err != nil {
+			return 0, err
+		}
+		last = time.Since(start).Seconds()
+	}
+	return last, nil
+}
+
+func timeMT(conn *middleware.Conn, q mth.Query, repeats int) (float64, error) {
+	var last float64
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := mth.RunOnMT(conn, q); err != nil {
+			return 0, err
+		}
+		last = time.Since(start).Seconds()
+	}
+	return last, nil
+}
+
+// WriteTable renders the result in the paper's layout: one row per level,
+// one column per query, seconds with two significant digits.
+func (r *OptResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s: response times [sec], sf=%g, T=%d, dist=%s, mode=%s, C=%d, D=%q\n",
+		r.Spec.Label, r.Spec.SF, r.Spec.Tenants, r.Spec.Dist, r.Spec.Mode, r.Spec.C, r.Spec.Scope)
+	fmt.Fprintf(w, "%-10s", "Level")
+	for _, id := range r.QueryIDs {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("Q%02d", id))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s", fmt.Sprintf("tpch-%g", r.Spec.BaseSF))
+	for _, t := range r.Baseline {
+		fmt.Fprintf(w, " %8s", sig2(t))
+	}
+	fmt.Fprintln(w)
+	for _, level := range levels {
+		fmt.Fprintf(w, "%-10s", level.String())
+		for _, t := range r.Times[level] {
+			fmt.Fprintf(w, " %8s", sig2(t))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "UDF body executions per level (ablation):")
+	for _, level := range levels {
+		fmt.Fprintf(w, "%-10s", level.String())
+		for _, n := range r.UDFCalls[level] {
+			fmt.Fprintf(w, " %8d", n)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// sig2 formats seconds with two significant digits, like the paper.
+func sig2(t float64) string {
+	switch {
+	case t <= 0:
+		return "0"
+	case t < 0.0001:
+		return fmt.Sprintf("%.1e", t)
+	case t < 0.001:
+		return fmt.Sprintf("%.5f", t)
+	case t < 0.01:
+		return fmt.Sprintf("%.4f", t)
+	case t < 0.1:
+		return fmt.Sprintf("%.3f", t)
+	case t < 1:
+		return fmt.Sprintf("%.2f", t)
+	case t < 10:
+		return fmt.Sprintf("%.1f", t)
+	default:
+		return fmt.Sprintf("%.0f", t)
+	}
+}
+
+// ---------------------------------------------------------------- scaling
+
+// ScaleSpec parameterizes a tenant-scaling figure (Figures 5 and 6).
+type ScaleSpec struct {
+	Label        string
+	SF           float64
+	TenantCounts []int
+	Dist         mth.Distribution
+	Mode         engine.Mode
+	QueryIDs     []int // default Q1, Q6, Q22
+	Repeats      int
+}
+
+// ScaleResult holds response times relative to plain TPC-H (= 1.0).
+type ScaleResult struct {
+	Spec     ScaleSpec
+	QueryIDs []int
+	Baseline []float64                       // absolute seconds per query
+	Rel      map[optimizer.Level][][]float64 // [query][tenantCount]
+}
+
+var scaleLevels = []optimizer.Level{optimizer.O4, optimizer.InlOnly}
+
+// RunScaling measures the conversion-intensive queries for a growing
+// number of tenants, comparing o4 and inl-only to single-tenant TPC-H
+// (§6.4: "the cost overhead compared to single-tenant query-processing").
+func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
+	ids := spec.QueryIDs
+	if len(ids) == 0 {
+		ids = []int{1, 6, 22}
+	}
+	repeats := spec.Repeats
+	if repeats <= 0 {
+		repeats = 2
+	}
+
+	res := &ScaleResult{Spec: spec, QueryIDs: ids, Rel: make(map[optimizer.Level][][]float64)}
+	baseCfg := mth.Config{SF: spec.SF, Tenants: 1, Dist: mth.Uniform, Seed: 42, Mode: spec.Mode}
+	plain, err := mth.LoadPlain(mth.Generate(baseCfg), spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		q, err := mth.QueryByID(spec.SF, id)
+		if err != nil {
+			return nil, err
+		}
+		secs, err := timePlain(plain, q, repeats)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline = append(res.Baseline, secs)
+	}
+	for _, level := range scaleLevels {
+		res.Rel[level] = make([][]float64, len(ids))
+	}
+
+	for _, tcount := range spec.TenantCounts {
+		cfg := mth.Config{SF: spec.SF, Tenants: tcount, Dist: spec.Dist, Seed: 42, Mode: spec.Mode}
+		inst, err := mth.LoadMT(mth.Generate(cfg))
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.GrantReadTo(1); err != nil {
+			return nil, err
+		}
+		conn, err := inst.Connect(1, "IN ()")
+		if err != nil {
+			return nil, err
+		}
+		for _, level := range scaleLevels {
+			conn.SetOptLevel(level)
+			for qi, id := range ids {
+				q, err := mth.QueryByID(spec.SF, id)
+				if err != nil {
+					return nil, err
+				}
+				secs, err := timeMT(conn, q, repeats)
+				if err != nil {
+					return nil, fmt.Errorf("%s T=%d Q%d at %s: %w", spec.Label, tcount, id, level, err)
+				}
+				rel := secs / res.Baseline[qi]
+				res.Rel[level][qi] = append(res.Rel[level][qi], rel)
+				if progress != nil {
+					fmt.Fprintf(progress, "%s T=%-6d %-9s Q%02d %8.4fs (%.2fx TPC-H)\n",
+						spec.Label, tcount, level, id, secs, rel)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteFigure renders one series block per query: tenant count vs
+// response time relative to TPC-H for o4 and inl-only.
+func (r *ScaleResult) WriteFigure(w io.Writer) {
+	fmt.Fprintf(w, "%s: response time relative to TPC-H (=1.0), sf=%g, dist=%s, mode=%s\n",
+		r.Spec.Label, r.Spec.SF, r.Spec.Dist, r.Spec.Mode)
+	for qi, id := range r.QueryIDs {
+		fmt.Fprintf(w, "MT-H Query %d (baseline %.4fs):\n", id, r.Baseline[qi])
+		fmt.Fprintf(w, "  %-10s %10s %10s\n", "tenants", "o4", "inl-only")
+		for ti, t := range r.Spec.TenantCounts {
+			fmt.Fprintf(w, "  %-10d %10.2f %10.2f\n", t,
+				r.Rel[optimizer.O4][qi][ti], r.Rel[optimizer.InlOnly][qi][ti])
+		}
+	}
+}
+
+// ---------------------------------------------------------------- presets
+
+// TableSpec returns the preset for a numbered paper table. sf scales the
+// experiment (the paper used sf=1 for Tables 3–5 and sf=10 for 7–9; the
+// default here is laptop-scale — shapes, not absolute numbers).
+func TableSpec(number int, sf float64, tenants int) (OptSpec, error) {
+	base := OptSpec{SF: sf, Tenants: tenants, Dist: mth.Uniform, C: 1, Repeats: 2}
+	switch number {
+	case 3:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 3", engine.ModePostgres, "IN (1)", sf/float64(tenants)
+	case 4:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 4", engine.ModePostgres, "IN (2)", sf/float64(tenants)
+	case 5:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 5", engine.ModePostgres, "IN ()", sf
+	case 7:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 7", engine.ModeSystemC, "IN (1)", sf/float64(tenants)
+	case 8:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 8", engine.ModeSystemC, "IN (2)", sf/float64(tenants)
+	case 9:
+		base.Label, base.Mode, base.Scope, base.BaseSF = "Table 9", engine.ModeSystemC, "IN ()", sf
+	default:
+		return OptSpec{}, fmt.Errorf("bench: no Table %d preset (3-5, 7-9)", number)
+	}
+	return base, nil
+}
+
+// FigureSpec returns the preset for a numbered paper figure.
+func FigureSpec(number int, sf float64, tenantCounts []int) (ScaleSpec, error) {
+	if len(tenantCounts) == 0 {
+		tenantCounts = []int{1, 10, 100, 1000}
+	}
+	spec := ScaleSpec{SF: sf, TenantCounts: tenantCounts, Dist: mth.Zipf, Repeats: 2}
+	switch number {
+	case 5:
+		spec.Label, spec.Mode = "Figure 5", engine.ModePostgres
+	case 6:
+		spec.Label, spec.Mode = "Figure 6", engine.ModeSystemC
+	default:
+		return ScaleSpec{}, fmt.Errorf("bench: no Figure %d preset (5 or 6)", number)
+	}
+	return spec, nil
+}

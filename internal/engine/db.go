@@ -1,0 +1,571 @@
+// Package engine is the substrate DBMS that MTBase runs on: an embedded,
+// in-memory SQL engine with a Volcano-style executor, hash joins, grouped
+// aggregation, correlated subqueries, views and SQL-defined scalar
+// functions (UDFs). It stands in for PostgreSQL / "System C" in the paper's
+// evaluation; the Mode knob reproduces the one behavioural difference the
+// paper leans on — whether results of IMMUTABLE UDFs are cached.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+	"mtbase/internal/sqltypes"
+)
+
+// Mode selects the backing-DBMS behaviour being emulated.
+type Mode uint8
+
+// Engine modes.
+const (
+	// ModePostgres caches results of IMMUTABLE UDFs per (function, args)
+	// during a statement, like PostgreSQL does for the paper's conversion
+	// functions (§6.2).
+	ModePostgres Mode = iota
+	// ModeSystemC never caches UDF results: the commercial system of
+	// Appendix C "does not allow UDFs to be defined as deterministic and
+	// hence cannot cache conversion results".
+	ModeSystemC
+)
+
+func (m Mode) String() string {
+	if m == ModeSystemC {
+		return "system-c"
+	}
+	return "postgres"
+}
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    sqltypes.Kind
+	NotNull bool
+}
+
+// Table is an in-memory heap of rows plus lazily built hash indexes.
+type Table struct {
+	Name    string
+	Cols    []Column
+	PK      []string // primary key column names (may be empty)
+	Rows    [][]sqltypes.Value
+	colIdx  map[string]int
+	indexes map[string]*hashIndex // keyed by lower-case comma-joined cols
+	version uint64                // bumped on every write; invalidates indexes
+
+	Constraints []sqlast.Constraint // FK / CHECK retained for validation
+}
+
+// ColIndex returns the ordinal of a column (case-insensitive), or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColNames returns the column names in order.
+func (t *Table) ColNames() []string {
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func (t *Table) invalidate() {
+	t.version++
+	t.indexes = nil
+}
+
+// Function is a SQL-bodied scalar function.
+type Function struct {
+	Name      string
+	NumParams int
+	Body      *sqlast.Select
+	Immutable bool
+}
+
+// Result is the outcome of a statement.
+type Result struct {
+	Cols     []string
+	Rows     [][]sqltypes.Value
+	Affected int
+}
+
+// DB is an embedded SQL database.
+type DB struct {
+	mu     sync.Mutex
+	mode   Mode
+	tables map[string]*Table
+	views  map[string]*sqlast.Select
+	funcs  map[string]*Function
+
+	// Stats accumulates counters across statements; benchmarks reset it.
+	Stats Stats
+}
+
+// Stats counts interesting engine events.
+type Stats struct {
+	UDFCalls     int64 // UDF body executions (cache misses in ModePostgres)
+	UDFCacheHits int64
+}
+
+// Open returns an empty database in the given mode.
+func Open(mode Mode) *DB {
+	return &DB{
+		mode:   mode,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*sqlast.Select),
+		funcs:  make(map[string]*Function),
+	}
+}
+
+// Mode reports the emulation mode.
+func (db *DB) Mode() Mode { return db.mode }
+
+// Table returns a table by name (case-insensitive) or nil.
+func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Function returns a registered function by name (case-insensitive) or nil.
+func (db *DB) Function(name string) *Function { return db.funcs[strings.ToLower(name)] }
+
+// ExecSQL parses and executes a single statement.
+func (db *DB) ExecSQL(sql string) (*Result, error) {
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(stmt)
+}
+
+// ExecScript executes a ;-separated script, returning the last result.
+func (db *DB) ExecScript(sql string) (*Result, error) {
+	stmts, err := sqlparse.ParseStatements(sql)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.Exec(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Exec executes a parsed statement.
+func (db *DB) Exec(stmt sqlast.Statement) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case *sqlast.Select:
+		ex := db.newExec()
+		return ex.runQuery(s, rootScope())
+	case *sqlast.CreateTable:
+		return db.createTable(s)
+	case *sqlast.CreateView:
+		return db.createView(s)
+	case *sqlast.CreateFunction:
+		return db.createFunction(s)
+	case *sqlast.DropTable:
+		key := strings.ToLower(s.Name)
+		if _, ok := db.tables[key]; !ok {
+			return nil, fmt.Errorf("engine: no such table %s", s.Name)
+		}
+		delete(db.tables, key)
+		return &Result{}, nil
+	case *sqlast.DropView:
+		key := strings.ToLower(s.Name)
+		if _, ok := db.views[key]; !ok {
+			return nil, fmt.Errorf("engine: no such view %s", s.Name)
+		}
+		delete(db.views, key)
+		return &Result{}, nil
+	case *sqlast.Insert:
+		return db.insert(s)
+	case *sqlast.Update:
+		return db.update(s)
+	case *sqlast.Delete:
+		return db.delete(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// Query executes a SELECT.
+func (db *DB) Query(sel *sqlast.Select) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ex := db.newExec()
+	return ex.runQuery(sel, rootScope())
+}
+
+// QuerySQL parses and executes a SELECT.
+func (db *DB) QuerySQL(sql string) (*Result, error) {
+	sel, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(sel)
+}
+
+// ---------------------------------------------------------------- DDL
+
+func kindOfType(t sqlast.TypeName) (sqltypes.Kind, error) {
+	switch t.Name {
+	case "INTEGER", "INT", "BIGINT":
+		return sqltypes.KindInt, nil
+	case "DECIMAL", "NUMERIC":
+		return sqltypes.KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT":
+		return sqltypes.KindString, nil
+	case "DATE":
+		return sqltypes.KindDate, nil
+	case "BOOLEAN":
+		return sqltypes.KindBool, nil
+	}
+	return sqltypes.KindNull, fmt.Errorf("engine: unsupported type %s", t.Name)
+}
+
+func (db *DB) createTable(ct *sqlast.CreateTable) (*Result, error) {
+	key := strings.ToLower(ct.Name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("engine: table %s already exists", ct.Name)
+	}
+	t := &Table{Name: ct.Name, colIdx: make(map[string]int)}
+	for i, cd := range ct.Columns {
+		kind, err := kindOfType(cd.Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", cd.Name, err)
+		}
+		lower := strings.ToLower(cd.Name)
+		if _, dup := t.colIdx[lower]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %s", cd.Name)
+		}
+		t.Cols = append(t.Cols, Column{Name: cd.Name, Type: kind, NotNull: cd.NotNull})
+		t.colIdx[lower] = i
+	}
+	for _, con := range ct.Constraints {
+		switch con.Kind {
+		case sqlast.ConstraintPrimaryKey:
+			t.PK = con.Columns
+		default:
+			t.Constraints = append(t.Constraints, con)
+		}
+	}
+	db.tables[key] = t
+	return &Result{}, nil
+}
+
+// CreateTableDirect registers a table without going through SQL, used by
+// generators that build large tables programmatically.
+func (db *DB) CreateTableDirect(name string, cols []Column, pk []string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := &Table{Name: name, Cols: cols, PK: pk, colIdx: make(map[string]int)}
+	for i, c := range cols {
+		t.colIdx[strings.ToLower(c.Name)] = i
+	}
+	db.tables[strings.ToLower(name)] = t
+	return t
+}
+
+// AppendRow adds a row to a table without per-statement overhead. The row
+// is not copied; callers must not retain it.
+func (t *Table) AppendRow(row []sqltypes.Value) {
+	t.Rows = append(t.Rows, row)
+	t.invalidate()
+}
+
+// BulkLoad appends many rows and invalidates indexes once.
+func (t *Table) BulkLoad(rows [][]sqltypes.Value) {
+	t.Rows = append(t.Rows, rows...)
+	t.invalidate()
+}
+
+func (db *DB) createView(cv *sqlast.CreateView) (*Result, error) {
+	key := strings.ToLower(cv.Name)
+	if _, exists := db.views[key]; exists {
+		return nil, fmt.Errorf("engine: view %s already exists", cv.Name)
+	}
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("engine: %s already names a table", cv.Name)
+	}
+	db.views[key] = cv.Sub
+	return &Result{}, nil
+}
+
+func (db *DB) createFunction(cf *sqlast.CreateFunction) (*Result, error) {
+	key := strings.ToLower(cf.Name)
+	if _, exists := db.funcs[key]; exists {
+		return nil, fmt.Errorf("engine: function %s already exists", cf.Name)
+	}
+	db.funcs[key] = &Function{
+		Name:      cf.Name,
+		NumParams: len(cf.ParamTypes),
+		Body:      cf.Body,
+		Immutable: cf.Immutable,
+	}
+	return &Result{}, nil
+}
+
+// ---------------------------------------------------------------- DML
+
+func (db *DB) insert(ins *sqlast.Insert) (*Result, error) {
+	t := db.tables[strings.ToLower(ins.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("engine: no such table %s", ins.Table)
+	}
+	colOrder := make([]int, 0, len(t.Cols))
+	if len(ins.Columns) == 0 {
+		for i := range t.Cols {
+			colOrder = append(colOrder, i)
+		}
+	} else {
+		for _, c := range ins.Columns {
+			idx := t.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: no column %s in %s", c, t.Name)
+			}
+			colOrder = append(colOrder, idx)
+		}
+	}
+
+	var srcRows [][]sqltypes.Value
+	if ins.Sub != nil {
+		ex := db.newExec()
+		res, err := ex.runQuery(ins.Sub, rootScope())
+		if err != nil {
+			return nil, err
+		}
+		srcRows = res.Rows
+	} else {
+		ex := db.newExec()
+		for _, exprRow := range ins.Rows {
+			row := make([]sqltypes.Value, len(exprRow))
+			for i, e := range exprRow {
+				v, err := ex.eval(e, rootScope())
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+
+	for _, src := range srcRows {
+		if len(src) != len(colOrder) {
+			return nil, fmt.Errorf("engine: INSERT into %s: %d values for %d columns", t.Name, len(src), len(colOrder))
+		}
+		row := make([]sqltypes.Value, len(t.Cols))
+		for i, idx := range colOrder {
+			v, err := coerce(src[i], t.Cols[idx].Type)
+			if err != nil {
+				return nil, fmt.Errorf("engine: INSERT into %s.%s: %w", t.Name, t.Cols[idx].Name, err)
+			}
+			row[idx] = v
+		}
+		for i, c := range t.Cols {
+			if c.NotNull && row[i].IsNull() {
+				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, c.Name)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.invalidate()
+	return &Result{Affected: len(srcRows)}, nil
+}
+
+// coerce converts v to the declared column kind where lossless.
+func coerce(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
+	if v.IsNull() || v.K == kind {
+		return v, nil
+	}
+	switch {
+	case kind == sqltypes.KindFloat && v.K == sqltypes.KindInt:
+		return sqltypes.NewFloat(float64(v.I)), nil
+	case kind == sqltypes.KindInt && v.K == sqltypes.KindFloat && v.F == float64(int64(v.F)):
+		return sqltypes.NewInt(int64(v.F)), nil
+	case kind == sqltypes.KindDate && v.K == sqltypes.KindString:
+		return sqltypes.ParseDate(v.S)
+	case kind == sqltypes.KindString:
+		return sqltypes.NewString(v.AsString()), nil
+	}
+	return sqltypes.Null, fmt.Errorf("cannot store %s as %s", v.K, kind)
+}
+
+func (db *DB) update(up *sqlast.Update) (*Result, error) {
+	t := db.tables[strings.ToLower(up.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("engine: no such table %s", up.Table)
+	}
+	ex := db.newExec()
+	sc := tableScope(t)
+	affected := 0
+	for _, row := range t.Rows {
+		sc.row = row
+		if up.Where != nil {
+			v, err := ex.eval(up.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				continue
+			}
+		}
+		// Evaluate all assignments against the pre-update row.
+		newVals := make([]sqltypes.Value, len(up.Sets))
+		for i, a := range up.Sets {
+			v, err := ex.eval(a.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			idx := t.ColIndex(a.Column)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: no column %s in %s", a.Column, t.Name)
+			}
+			cv, err := coerce(v, t.Cols[idx].Type)
+			if err != nil {
+				return nil, err
+			}
+			newVals[i] = cv
+		}
+		for i, a := range up.Sets {
+			row[t.ColIndex(a.Column)] = newVals[i]
+		}
+		affected++
+	}
+	if affected > 0 {
+		t.invalidate()
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
+	t := db.tables[strings.ToLower(del.Table)]
+	if t == nil {
+		return nil, fmt.Errorf("engine: no such table %s", del.Table)
+	}
+	ex := db.newExec()
+	sc := tableScope(t)
+	kept := t.Rows[:0]
+	affected := 0
+	for _, row := range t.Rows {
+		sc.row = row
+		drop := del.Where == nil
+		if del.Where != nil {
+			v, err := ex.eval(del.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			truth, _ := sqltypes.Truthy(v)
+			drop = truth
+		}
+		if drop {
+			affected++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	if affected > 0 {
+		t.invalidate()
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// tableScope builds a single-binding scope over t for DML evaluation.
+func tableScope(t *Table) *scope {
+	sc := rootScope()
+	sc.bindings = []*binding{newBinding(t.Name, t.ColNames())}
+	return sc
+}
+
+// ---------------------------------------------------------------- constraints
+
+// ValidateConstraints checks every FOREIGN KEY and CHECK constraint of every
+// table, returning the first violation found. The MTSQL layer rewrites
+// tenant-specific referential integrity into CHECK constraints (Appendix A);
+// this is the hook that enforces both kinds.
+func (db *DB) ValidateConstraints() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		for _, con := range t.Constraints {
+			if err := db.validateConstraint(t, con); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) validateConstraint(t *Table, con sqlast.Constraint) error {
+	switch con.Kind {
+	case sqlast.ConstraintForeignKey:
+		ref := db.tables[strings.ToLower(con.RefTable)]
+		if ref == nil {
+			return fmt.Errorf("engine: constraint %s references missing table %s", con.Name, con.RefTable)
+		}
+		idx, err := ref.index(con.RefColumns)
+		if err != nil {
+			return err
+		}
+		srcIdx := make([]int, len(con.Columns))
+		for i, c := range con.Columns {
+			srcIdx[i] = t.ColIndex(c)
+			if srcIdx[i] < 0 {
+				return fmt.Errorf("engine: constraint %s: no column %s", con.Name, c)
+			}
+		}
+		var key []byte
+		for _, row := range t.Rows {
+			key = key[:0]
+			null := false
+			for _, i := range srcIdx {
+				if row[i].IsNull() {
+					null = true
+					break
+				}
+				key = sqltypes.AppendKey(key, row[i])
+			}
+			if null {
+				continue // NULL FK values vacuously satisfy the constraint
+			}
+			if len(idx.m[string(key)]) == 0 {
+				return fmt.Errorf("engine: FK violation %s on %s: no match in %s", con.Name, t.Name, con.RefTable)
+			}
+		}
+	case sqlast.ConstraintCheck:
+		ex := db.newExec()
+		v, err := ex.eval(con.Check, rootScope())
+		if err != nil {
+			return fmt.Errorf("engine: CHECK %s: %w", con.Name, err)
+		}
+		if truth, known := sqltypes.Truthy(v); known && !truth {
+			return fmt.Errorf("engine: CHECK constraint %s violated on %s", con.Name, t.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,882 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// exec carries per-statement execution state: the UDF result cache
+// (ModePostgres) lives exactly as long as one statement, mirroring how
+// PostgreSQL caches IMMUTABLE function results "for the rest of the query
+// execution" (§4.2.1).
+type exec struct {
+	db       *DB
+	udfCache map[string]sqltypes.Value
+	depth    int // subquery/UDF nesting guard
+
+	// subqCache memoizes results of subqueries that did not touch any
+	// enclosing scope during execution (uncorrelated subqueries) — the
+	// engine's equivalent of PostgreSQL's InitPlan, evaluated once per
+	// statement. inSetCache additionally hashes IN-subquery results.
+	subqCache  map[*sqlast.Select]*Result
+	inSetCache map[*sqlast.Select]*inSet
+}
+
+// inSet is a hashed IN-subquery result.
+type inSet struct {
+	m       map[string]bool
+	sawNull bool
+}
+
+func (db *DB) newExec() *exec {
+	return &exec{
+		db:         db,
+		udfCache:   make(map[string]sqltypes.Value),
+		subqCache:  make(map[*sqlast.Select]*Result),
+		inSetCache: make(map[*sqlast.Select]*inSet),
+	}
+}
+
+// binding is one named tuple slot (table alias) inside a scope. Columns of
+// all bindings of a scope are concatenated in the scope's current row.
+type binding struct {
+	name   string // lower-case alias or table name
+	cols   []string
+	colIdx map[string]int // lower-case column name -> position within binding
+	off    int            // offset of this binding within the scope row
+}
+
+func newBinding(name string, cols []string) *binding {
+	b := &binding{name: strings.ToLower(name), cols: cols, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		b.colIdx[strings.ToLower(c)] = i
+	}
+	return b
+}
+
+// scope is one level of name resolution; parent links implement correlated
+// subqueries and UDF parameter frames.
+type scope struct {
+	parent   *scope
+	bindings []*binding
+	row      []sqltypes.Value
+	params   []sqltypes.Value // UDF arguments, addressed by $n
+	group    *groupCtx        // non-nil while evaluating grouped output
+
+	// crossed marks a subquery boundary: any name resolution that walks
+	// past this scope into its ancestors flips the flag, telling the
+	// caller the subquery is correlated and must not be cached.
+	crossed *bool
+}
+
+// groupCtx holds the rows of the current group during aggregate evaluation.
+type groupCtx struct {
+	rows [][]sqltypes.Value
+}
+
+func rootScope() *scope { return &scope{} }
+
+// lookup resolves a (qualifier, column) pair against the scope chain,
+// marking every subquery boundary the resolution walks past.
+func (sc *scope) lookup(table, col string) (*scope, int, error) {
+	tl, cl := strings.ToLower(table), strings.ToLower(col)
+	var crossed []*bool
+	for s := sc; s != nil; s = s.parent {
+		found := -1
+		for _, b := range s.bindings {
+			if tl != "" && b.name != tl {
+				continue
+			}
+			if i, ok := b.colIdx[cl]; ok {
+				if found >= 0 {
+					return nil, 0, fmt.Errorf("engine: ambiguous column %s", col)
+				}
+				found = b.off + i
+			}
+		}
+		if found >= 0 {
+			for _, f := range crossed {
+				*f = true
+			}
+			return s, found, nil
+		}
+		if s.crossed != nil {
+			crossed = append(crossed, s.crossed)
+		}
+	}
+	if table != "" {
+		return nil, 0, fmt.Errorf("engine: unknown column %s.%s", table, col)
+	}
+	return nil, 0, fmt.Errorf("engine: unknown column %s", col)
+}
+
+// ---------------------------------------------------------------- eval
+
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether a function name is an aggregate.
+func IsAggregate(name string) bool { return aggregateNames[strings.ToUpper(name)] }
+
+func (ex *exec) eval(e sqlast.Expr, sc *scope) (sqltypes.Value, error) {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		return x.Val, nil
+	case *sqlast.ColumnRef:
+		s, idx, err := sc.lookup(x.Table, x.Name)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if s.row == nil {
+			// A grouped query's empty global group has no representative
+			// row; non-aggregated references evaluate to NULL so that
+			// expressions like rate * SUM(x) yield NULL over empty input.
+			if s.group != nil {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.Null, fmt.Errorf("engine: column %s referenced outside row context", x)
+		}
+		return s.row[idx], nil
+	case *sqlast.Param:
+		var crossed []*bool
+		for s := sc; s != nil; s = s.parent {
+			if s.params != nil {
+				if x.N < 1 || x.N > len(s.params) {
+					return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", x.N)
+				}
+				for _, f := range crossed {
+					*f = true
+				}
+				return s.params[x.N-1], nil
+			}
+			if s.crossed != nil {
+				crossed = append(crossed, s.crossed)
+			}
+		}
+		return sqltypes.Null, fmt.Errorf("engine: parameter $%d outside function body", x.N)
+	case *sqlast.BinaryExpr:
+		return ex.evalBinary(x, sc)
+	case *sqlast.UnaryExpr:
+		v, err := ex.eval(x.X, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if x.Op == "-" {
+			return sqltypes.Neg(v)
+		}
+		// NOT with three-valued logic
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(!v.Bool()), nil
+	case *sqlast.FuncCall:
+		return ex.evalFunc(x, sc)
+	case *sqlast.CaseExpr:
+		return ex.evalCase(x, sc)
+	case *sqlast.InExpr:
+		return ex.evalIn(x, sc)
+	case *sqlast.ExistsExpr:
+		res, err := ex.runSubquery(x.Sub, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool((len(res.Rows) > 0) != x.Not), nil
+	case *sqlast.RowExpr:
+		return sqltypes.Null, fmt.Errorf("engine: row value outside IN predicate")
+	case *sqlast.BetweenExpr:
+		return ex.evalBetween(x, sc)
+	case *sqlast.LikeExpr:
+		return ex.evalLike(x, sc)
+	case *sqlast.IsNullExpr:
+		v, err := ex.eval(x.X, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(v.IsNull() != x.Not), nil
+	case *sqlast.SubqueryExpr:
+		return ex.evalScalarSubquery(x.Sub, sc)
+	case *sqlast.ExtractExpr:
+		return ex.evalExtract(x, sc)
+	case *sqlast.SubstringExpr:
+		return ex.evalSubstring(x, sc)
+	case *sqlast.IntervalExpr:
+		switch x.Unit {
+		case "DAY":
+			return sqltypes.NewInterval(x.N, 0), nil
+		case "MONTH":
+			return sqltypes.NewInterval(0, x.N), nil
+		case "YEAR":
+			return sqltypes.NewInterval(0, 12*x.N), nil
+		}
+		return sqltypes.Null, fmt.Errorf("engine: bad interval unit %s", x.Unit)
+	}
+	return sqltypes.Null, fmt.Errorf("engine: cannot evaluate %T", e)
+}
+
+func (ex *exec) evalBinary(x *sqlast.BinaryExpr, sc *scope) (sqltypes.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := ex.eval(x.L, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if lt, known := sqltypes.Truthy(l); known && !lt {
+			return sqltypes.NewBool(false), nil
+		}
+		r, err := ex.eval(x.R, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if rt, known := sqltypes.Truthy(r); known && !rt {
+			return sqltypes.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(true), nil
+	case "OR":
+		l, err := ex.eval(x.L, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if lt, known := sqltypes.Truthy(l); known && lt {
+			return sqltypes.NewBool(true), nil
+		}
+		r, err := ex.eval(x.R, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if rt, known := sqltypes.Truthy(r); known && rt {
+			return sqltypes.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(false), nil
+	}
+	l, err := ex.eval(x.L, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r, err := ex.eval(x.R, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch x.Op {
+	case "+":
+		return sqltypes.Add(l, r)
+	case "-":
+		return sqltypes.Sub(l, r)
+	case "*":
+		return sqltypes.Mul(l, r)
+	case "/":
+		return sqltypes.Div(l, r)
+	case "%":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		if r.AsInt() == 0 {
+			return sqltypes.Null, fmt.Errorf("engine: modulo by zero")
+		}
+		return sqltypes.NewInt(l.AsInt() % r.AsInt()), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewString(l.AsString() + r.AsString()), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		cmp, ok := sqltypes.Compare(l, r)
+		if !ok {
+			return sqltypes.Null, nil
+		}
+		var b bool
+		switch x.Op {
+		case "=":
+			b = cmp == 0
+		case "<>":
+			b = cmp != 0
+		case "<":
+			b = cmp < 0
+		case "<=":
+			b = cmp <= 0
+		case ">":
+			b = cmp > 0
+		case ">=":
+			b = cmp >= 0
+		}
+		return sqltypes.NewBool(b), nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown operator %s", x.Op)
+}
+
+func (ex *exec) evalCase(x *sqlast.CaseExpr, sc *scope) (sqltypes.Value, error) {
+	var operand sqltypes.Value
+	var err error
+	if x.Operand != nil {
+		operand, err = ex.eval(x.Operand, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+	}
+	for _, w := range x.Whens {
+		cond, err := ex.eval(w.Cond, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		matched := false
+		if x.Operand != nil {
+			eq, ok := sqltypes.Equal(operand, cond)
+			matched = ok && eq
+		} else {
+			matched, _ = sqltypes.Truthy(cond)
+		}
+		if matched {
+			return ex.eval(w.Then, sc)
+		}
+	}
+	if x.Else != nil {
+		return ex.eval(x.Else, sc)
+	}
+	return sqltypes.Null, nil
+}
+
+func (ex *exec) evalIn(x *sqlast.InExpr, sc *scope) (sqltypes.Value, error) {
+	if x.Sub != nil {
+		return ex.evalInSubquery(x, sc)
+	}
+	v, err := ex.eval(x.X, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	sawNull := false
+	found := false
+	for _, item := range x.List {
+		iv, err := ex.eval(item, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if eq, ok := sqltypes.Equal(v, iv); ok && eq {
+			found = true
+			break
+		}
+	}
+	if !found && sawNull {
+		return sqltypes.Null, nil // unknown per three-valued IN semantics
+	}
+	return sqltypes.NewBool(found != x.Not), nil
+}
+
+// evalInSubquery probes a hashed subquery result. The left side may be a
+// row value — (o_orderkey, ttid) IN (SELECT l_orderkey, ttid ...) — which
+// is how MTBase makes membership predicates tenant-aware.
+func (ex *exec) evalInSubquery(x *sqlast.InExpr, sc *scope) (sqltypes.Value, error) {
+	var leftVals []sqltypes.Value
+	if row, ok := x.X.(*sqlast.RowExpr); ok {
+		leftVals = make([]sqltypes.Value, len(row.Exprs))
+		for i, e := range row.Exprs {
+			v, err := ex.eval(e, sc)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			leftVals[i] = v
+		}
+	} else {
+		v, err := ex.eval(x.X, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		leftVals = []sqltypes.Value{v}
+	}
+	for _, v := range leftVals {
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+	}
+
+	set, ok := ex.inSetCache[x.Sub]
+	if !ok {
+		res, err := ex.runSubquery(x.Sub, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if len(res.Cols) != len(leftVals) {
+			return sqltypes.Null, fmt.Errorf("engine: IN subquery returns %d columns, left side has %d", len(res.Cols), len(leftVals))
+		}
+		set = &inSet{m: make(map[string]bool, len(res.Rows))}
+		var buf []byte
+		for _, row := range res.Rows {
+			buf = buf[:0]
+			null := false
+			for _, v := range row {
+				if v.IsNull() {
+					null = true
+					break
+				}
+				buf = sqltypes.AppendKey(buf, v)
+			}
+			if null {
+				set.sawNull = true
+				continue
+			}
+			set.m[string(buf)] = true
+		}
+		// Hash sets are reusable only for uncorrelated subqueries, which
+		// runSubquery has just cached; reuse exactly then.
+		if _, cached := ex.subqCache[x.Sub]; cached {
+			ex.inSetCache[x.Sub] = set
+		}
+	}
+
+	var buf []byte
+	for _, v := range leftVals {
+		buf = sqltypes.AppendKey(buf, v)
+	}
+	found := set.m[string(buf)]
+	if !found && set.sawNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(found != x.Not), nil
+}
+
+// runSubquery executes a subquery, memoizing the result when execution
+// never resolved a name through the subquery boundary (uncorrelated).
+func (ex *exec) runSubquery(sub *sqlast.Select, sc *scope) (*Result, error) {
+	if res, ok := ex.subqCache[sub]; ok {
+		return res, nil
+	}
+	if ex.depth > 64 {
+		return nil, fmt.Errorf("engine: subquery nesting too deep")
+	}
+	ex.depth++
+	correlated := false
+	child := &scope{parent: sc, crossed: &correlated}
+	res, err := ex.runQuery(sub, child)
+	ex.depth--
+	if err != nil {
+		return nil, err
+	}
+	if !correlated {
+		ex.subqCache[sub] = res
+	}
+	return res, nil
+}
+
+func (ex *exec) evalBetween(x *sqlast.BetweenExpr, sc *scope) (sqltypes.Value, error) {
+	v, err := ex.eval(x.X, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	lo, err := ex.eval(x.Lo, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	hi, err := ex.eval(x.Hi, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	c1, ok1 := sqltypes.Compare(v, lo)
+	c2, ok2 := sqltypes.Compare(v, hi)
+	if !ok1 || !ok2 {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool((c1 >= 0 && c2 <= 0) != x.Not), nil
+}
+
+func (ex *exec) evalLike(x *sqlast.LikeExpr, sc *scope) (sqltypes.Value, error) {
+	v, err := ex.eval(x.X, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	p, err := ex.eval(x.Pattern, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(likeMatch(v.AsString(), p.AsString()) != x.Not), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte)
+// using the classic two-pointer wildcard algorithm.
+func likeMatch(s, pattern string) bool {
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func (ex *exec) evalScalarSubquery(sub *sqlast.Select, sc *scope) (sqltypes.Value, error) {
+	res, err := ex.runSubquery(sub, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if len(res.Cols) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: scalar subquery must return one column")
+	}
+	switch len(res.Rows) {
+	case 0:
+		return sqltypes.Null, nil
+	case 1:
+		return res.Rows[0][0], nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: scalar subquery returned %d rows", len(res.Rows))
+}
+
+func (ex *exec) evalExtract(x *sqlast.ExtractExpr, sc *scope) (sqltypes.Value, error) {
+	v, err := ex.eval(x.X, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	if v.K != sqltypes.KindDate {
+		return sqltypes.Null, fmt.Errorf("engine: EXTRACT from non-date %s", v.K)
+	}
+	t := sqltypes.DateToTime(v)
+	switch x.Field {
+	case "YEAR":
+		return sqltypes.NewInt(int64(t.Year())), nil
+	case "MONTH":
+		return sqltypes.NewInt(int64(t.Month())), nil
+	case "DAY":
+		return sqltypes.NewInt(int64(t.Day())), nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: bad EXTRACT field %s", x.Field)
+}
+
+func (ex *exec) evalSubstring(x *sqlast.SubstringExpr, sc *scope) (sqltypes.Value, error) {
+	v, err := ex.eval(x.X, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	from, err := ex.eval(x.From, sc)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() || from.IsNull() {
+		return sqltypes.Null, nil
+	}
+	s := v.AsString()
+	start := int(from.AsInt()) - 1 // SQL is 1-based
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s) {
+		start = len(s)
+	}
+	end := len(s)
+	if x.For != nil {
+		n, err := ex.eval(x.For, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if n.IsNull() {
+			return sqltypes.Null, nil
+		}
+		end = start + int(n.AsInt())
+		if end > len(s) {
+			end = len(s)
+		}
+		if end < start {
+			end = start
+		}
+	}
+	return sqltypes.NewString(s[start:end]), nil
+}
+
+// ---------------------------------------------------------------- functions
+
+func (ex *exec) evalFunc(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, error) {
+	upper := strings.ToUpper(x.Name)
+	if aggregateNames[upper] {
+		return ex.evalAggregate(x, sc)
+	}
+	// scalar builtins
+	switch upper {
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range x.Args {
+			v, err := ex.eval(a, sc)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			sb.WriteString(v.AsString())
+		}
+		return sqltypes.NewString(sb.String()), nil
+	case "CHAR_LENGTH":
+		v, err := ex.evalOneArg(x, sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewInt(int64(len(v.AsString()))), nil
+	case "ABS":
+		v, err := ex.evalOneArg(x, sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		if v.K == sqltypes.KindInt {
+			if v.I < 0 {
+				return sqltypes.NewInt(-v.I), nil
+			}
+			return v, nil
+		}
+		return sqltypes.NewFloat(math.Abs(v.AsFloat())), nil
+	case "ROUND":
+		if len(x.Args) == 0 || len(x.Args) > 2 {
+			return sqltypes.Null, fmt.Errorf("engine: ROUND takes 1 or 2 arguments")
+		}
+		v, err := ex.eval(x.Args[0], sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		digits := int64(0)
+		if len(x.Args) == 2 {
+			d, err := ex.eval(x.Args[1], sc)
+			if err != nil || d.IsNull() {
+				return sqltypes.Null, err
+			}
+			digits = d.AsInt()
+		}
+		scale := math.Pow(10, float64(digits))
+		return sqltypes.NewFloat(math.Round(v.AsFloat()*scale) / scale), nil
+	case "COALESCE":
+		for _, a := range x.Args {
+			v, err := ex.eval(a, sc)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return sqltypes.Null, nil
+	case "CAST_INTEGER", "CAST_INT", "CAST_BIGINT":
+		v, err := ex.evalOneArg(x, sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewInt(v.AsInt()), nil
+	case "CAST_DECIMAL", "CAST_NUMERIC":
+		v, err := ex.evalOneArg(x, sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(v.AsFloat()), nil
+	case "CAST_VARCHAR", "CAST_CHAR", "CAST_TEXT":
+		v, err := ex.evalOneArg(x, sc)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewString(v.AsString()), nil
+	}
+	// user-defined function
+	fn := ex.db.Function(x.Name)
+	if fn == nil {
+		return sqltypes.Null, fmt.Errorf("engine: unknown function %s", x.Name)
+	}
+	args := make([]sqltypes.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ex.eval(a, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		args[i] = v
+	}
+	return ex.callUDF(fn, args)
+}
+
+func (ex *exec) evalOneArg(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, error) {
+	if len(x.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: %s takes exactly one argument", x.Name)
+	}
+	return ex.eval(x.Args[0], sc)
+}
+
+// callUDF executes a SQL-bodied function. In ModePostgres the result of an
+// IMMUTABLE function is cached per (function, arguments) for the duration
+// of the statement; ModeSystemC always re-executes the body — the cost
+// difference is exactly what separates Tables 3–5 from Tables 7–9 in the
+// paper.
+func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, error) {
+	if len(args) != fn.NumParams {
+		return sqltypes.Null, fmt.Errorf("engine: %s expects %d arguments, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	var key string
+	if fn.Immutable && ex.db.mode == ModePostgres {
+		buf := make([]byte, 0, 32)
+		buf = append(buf, fn.Name...)
+		for _, a := range args {
+			buf = sqltypes.AppendKey(buf, a)
+		}
+		key = string(buf)
+		if v, ok := ex.udfCache[key]; ok {
+			ex.db.Stats.UDFCacheHits++
+			return v, nil
+		}
+	}
+	ex.db.Stats.UDFCalls++
+	if ex.depth > 64 {
+		return sqltypes.Null, fmt.Errorf("engine: UDF recursion too deep in %s", fn.Name)
+	}
+	ex.depth++
+	sc := rootScope()
+	sc.params = args
+	res, err := ex.runQuery(fn.Body, sc)
+	ex.depth--
+	if err != nil {
+		return sqltypes.Null, fmt.Errorf("engine: in function %s: %w", fn.Name, err)
+	}
+	out := sqltypes.Null
+	if len(res.Rows) > 0 {
+		out = res.Rows[0][0]
+	}
+	if key != "" {
+		ex.udfCache[key] = out
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- aggregates
+
+func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, error) {
+	g := sc.group
+	if g == nil {
+		return sqltypes.Null, fmt.Errorf("engine: aggregate %s outside grouped context", x.Name)
+	}
+	upper := strings.ToUpper(x.Name)
+	if upper == "COUNT" && x.Star {
+		return sqltypes.NewInt(int64(len(g.rows))), nil
+	}
+	if len(x.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: %s takes exactly one argument", x.Name)
+	}
+	arg := x.Args[0]
+
+	savedRow, savedGroup := sc.row, sc.group
+	sc.group = nil // nested aggregates are invalid
+	defer func() { sc.row, sc.group = savedRow, savedGroup }()
+
+	var (
+		count   int64
+		sumI    int64
+		sumF    float64
+		isFloat bool
+		minV    = sqltypes.Null
+		maxV    = sqltypes.Null
+		seen    map[string]bool
+	)
+	if x.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, row := range g.rows {
+		sc.row = row
+		v, err := ex.eval(arg, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			k := string(sqltypes.AppendKey(nil, v))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		switch upper {
+		case "SUM", "AVG":
+			if v.K == sqltypes.KindFloat {
+				isFloat = true
+				sumF += v.F
+			} else {
+				sumI += v.AsInt()
+			}
+		case "MIN":
+			if minV.IsNull() {
+				minV = v
+			} else if c, ok := sqltypes.Compare(v, minV); ok && c < 0 {
+				minV = v
+			}
+		case "MAX":
+			if maxV.IsNull() {
+				maxV = v
+			} else if c, ok := sqltypes.Compare(v, maxV); ok && c > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch upper {
+	case "COUNT":
+		return sqltypes.NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		if isFloat {
+			return sqltypes.NewFloat(sumF + float64(sumI)), nil
+		}
+		return sqltypes.NewInt(sumI), nil
+	case "AVG":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewFloat((sumF + float64(sumI)) / float64(count)), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", x.Name)
+}
+
+// hasAggregate reports whether e contains an aggregate call at this query
+// level (subqueries are separate levels and excluded).
+func hasAggregate(e sqlast.Expr) bool {
+	found := false
+	sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+		if fc, ok := n.(*sqlast.FuncCall); ok && aggregateNames[strings.ToUpper(fc.Name)] {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,1196 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// relation is a materialized intermediate result: named bindings laid out
+// side by side in each row tuple.
+type relation struct {
+	bindings []*binding
+	rows     [][]sqltypes.Value
+	width    int
+	// base is the backing table when rows is exactly the table heap
+	// (unfiltered single-table scan); it enables index probes.
+	base *Table
+}
+
+func (r *relation) names() map[string]bool {
+	m := make(map[string]bool, len(r.bindings))
+	for _, b := range r.bindings {
+		m[b.name] = true
+	}
+	return m
+}
+
+// scopeFor builds an evaluation scope over this relation.
+func (r *relation) scopeFor(parent *scope) *scope {
+	return &scope{parent: parent, bindings: r.bindings}
+}
+
+// conjunct is one AND-factor of a WHERE clause with its analysis.
+type conjunct struct {
+	expr         sqlast.Expr
+	refs         map[string]bool // local binding names referenced
+	hasSub       bool
+	used         bool
+	fromOrFactor bool // extracted from an OR; implied, never a residual
+}
+
+// ---------------------------------------------------------------- runQuery
+
+func (ex *exec) runQuery(sel *sqlast.Select, parent *scope) (*Result, error) {
+	rel, err := ex.buildFromWhere(sel, parent)
+	if err != nil {
+		return nil, err
+	}
+
+	aliases := selectAliases(sel)
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !grouped {
+		for _, it := range sel.Items {
+			if !it.Star && hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+
+	var res *execResult
+	if grouped {
+		res, err = ex.projectGrouped(sel, rel, parent, aliases)
+	} else {
+		res, err = ex.projectRows(sel, rel, parent, aliases)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		res.dedupe()
+	}
+	res.sortAndTrim(sel.Limit)
+	return res.finish(), nil
+}
+
+// execResult carries rows with their sort keys until ordering is applied.
+type execResult struct {
+	Cols     []string
+	Rows     [][]sqltypes.Value
+	sortKeys [][]sqltypes.Value
+	desc     []bool
+}
+
+func (r *execResult) dedupe() {
+	seen := make(map[string]bool, len(r.Rows))
+	outRows := r.Rows[:0]
+	outKeys := r.sortKeys[:0]
+	var buf []byte
+	for i, row := range r.Rows {
+		buf = buf[:0]
+		for _, v := range row {
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if seen[string(buf)] {
+			continue
+		}
+		seen[string(buf)] = true
+		outRows = append(outRows, row)
+		if r.sortKeys != nil {
+			outKeys = append(outKeys, r.sortKeys[i])
+		}
+	}
+	r.Rows = outRows
+	if r.sortKeys != nil {
+		r.sortKeys = outKeys
+	}
+}
+
+func (r *execResult) sortAndTrim(limit int64) {
+	if len(r.desc) > 0 {
+		idx := make([]int, len(r.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := r.sortKeys[idx[a]], r.sortKeys[idx[b]]
+			for k := range r.desc {
+				c := compareNullsFirst(ka[k], kb[k])
+				if r.desc[k] {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		rows := make([][]sqltypes.Value, len(idx))
+		for i, j := range idx {
+			rows[i] = r.Rows[j]
+		}
+		r.Rows = rows
+	}
+	if limit >= 0 && int64(len(r.Rows)) > limit {
+		r.Rows = r.Rows[:limit]
+	}
+}
+
+func (r *execResult) finish() *Result {
+	return &Result{Cols: r.Cols, Rows: r.Rows}
+}
+
+// compareNullsFirst orders NULL before any value, mixed kinds by kind.
+func compareNullsFirst(a, b sqltypes.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	if c, ok := sqltypes.Compare(a, b); ok {
+		return c
+	}
+	// incomparable kinds: order by kind id for determinism
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
+// selectAliases maps lower-case output aliases to their expressions.
+func selectAliases(sel *sqlast.Select) map[string]sqlast.Expr {
+	m := make(map[string]sqlast.Expr)
+	for _, it := range sel.Items {
+		if !it.Star && it.Alias != "" {
+			m[strings.ToLower(it.Alias)] = it.Expr
+		}
+	}
+	return m
+}
+
+// substituteAlias replaces an unqualified column reference that does not
+// resolve in the relation but matches an output alias with the aliased
+// expression (per the SQL rule the paper invokes for GROUP BY, §3.1).
+func substituteAlias(e sqlast.Expr, sc *scope, aliases map[string]sqlast.Expr) sqlast.Expr {
+	cr, ok := e.(*sqlast.ColumnRef)
+	if !ok || cr.Table != "" {
+		return e
+	}
+	if _, _, err := sc.lookup("", cr.Name); err == nil {
+		return e // resolves as a real column; prefer it
+	}
+	if sub, ok := aliases[strings.ToLower(cr.Name)]; ok {
+		return sqlast.CloneExpr(sub)
+	}
+	return e
+}
+
+// ---------------------------------------------------------------- projection
+
+func (ex *exec) outputShape(sel *sqlast.Select, rel *relation) ([]string, error) {
+	var cols []string
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.StarTable == "":
+			for _, b := range rel.bindings {
+				cols = append(cols, b.cols...)
+			}
+		case it.Star:
+			found := false
+			for _, b := range rel.bindings {
+				if b.name == strings.ToLower(it.StarTable) {
+					cols = append(cols, b.cols...)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: unknown table %s in %s.*", it.StarTable, it.StarTable)
+			}
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sqlast.ColumnRef); ok {
+				cols = append(cols, cr.Name)
+			} else {
+				cols = append(cols, it.Expr.String())
+			}
+		}
+	}
+	return cols, nil
+}
+
+// orderPlan decides, per ORDER BY item, whether to reuse an output column
+// or evaluate an expression in the row/group context.
+type orderPlan struct {
+	outCol int         // >= 0: sort by this output column
+	expr   sqlast.Expr // else: evaluate this
+	desc   bool
+}
+
+func buildOrderPlan(sel *sqlast.Select, outCols []string, sc *scope, aliases map[string]sqlast.Expr) []orderPlan {
+	plans := make([]orderPlan, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		plans[i] = orderPlan{outCol: -1, desc: o.Desc}
+		if cr, ok := o.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+			for j, c := range outCols {
+				if strings.EqualFold(c, cr.Name) {
+					plans[i].outCol = j
+					break
+				}
+			}
+			if plans[i].outCol >= 0 {
+				continue
+			}
+		}
+		plans[i].expr = substituteAlias(sqlast.CloneExpr(o.Expr), sc, aliases)
+	}
+	return plans
+}
+
+func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, aliases map[string]sqlast.Expr) (*execResult, error) {
+	sc := rel.scopeFor(parent)
+	outCols, err := ex.outputShape(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+	plans := buildOrderPlan(sel, outCols, sc, aliases)
+
+	res := &execResult{Cols: outCols}
+	for range plans {
+		res.desc = append(res.desc, false)
+	}
+	for i, p := range plans {
+		res.desc[i] = p.desc
+	}
+
+	for _, row := range rel.rows {
+		sc.row = row
+		out, err := ex.projectOne(sel, rel, sc, row)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, out)
+		if len(plans) > 0 {
+			keys, err := ex.sortKeysFor(plans, out, sc)
+			if err != nil {
+				return nil, err
+			}
+			res.sortKeys = append(res.sortKeys, keys)
+		}
+	}
+	return res, nil
+}
+
+func (ex *exec) projectOne(sel *sqlast.Select, rel *relation, sc *scope, row []sqltypes.Value) ([]sqltypes.Value, error) {
+	var out []sqltypes.Value
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.StarTable == "":
+			out = append(out, row...)
+		case it.Star:
+			for _, b := range rel.bindings {
+				if b.name == strings.ToLower(it.StarTable) {
+					out = append(out, row[b.off:b.off+len(b.cols)]...)
+				}
+			}
+		default:
+			v, err := ex.eval(it.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func (ex *exec) sortKeysFor(plans []orderPlan, out []sqltypes.Value, sc *scope) ([]sqltypes.Value, error) {
+	keys := make([]sqltypes.Value, len(plans))
+	for i, p := range plans {
+		if p.outCol >= 0 {
+			keys[i] = out[p.outCol]
+			continue
+		}
+		v, err := ex.eval(p.expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// ---------------------------------------------------------------- grouping
+
+func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope, aliases map[string]sqlast.Expr) (*execResult, error) {
+	sc := rel.scopeFor(parent)
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("engine: SELECT * is invalid in a grouped query")
+		}
+	}
+	outCols, err := ex.outputShape(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+	plans := buildOrderPlan(sel, outCols, sc, aliases)
+
+	groupExprs := make([]sqlast.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupExprs[i] = substituteAlias(sqlast.CloneExpr(g), sc, aliases)
+		if hasAggregate(groupExprs[i]) {
+			return nil, fmt.Errorf("engine: aggregate in GROUP BY")
+		}
+	}
+
+	type group struct {
+		rows [][]sqltypes.Value
+	}
+	var order []string
+	groups := make(map[string]*group)
+	var buf []byte
+	for _, row := range rel.rows {
+		sc.row = row
+		buf = buf[:0]
+		for _, g := range groupExprs {
+			v, err := ex.eval(g, sc)
+			if err != nil {
+				return nil, err
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		k := string(buf)
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.rows = append(gr.rows, row)
+	}
+	// A global aggregate (no GROUP BY) over zero rows still yields one group.
+	if len(sel.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	having := sel.Having
+	if having != nil {
+		having = sqlast.TransformExpr(sqlast.CloneExpr(having), func(e sqlast.Expr) sqlast.Expr {
+			return substituteAlias(e, sc, aliases)
+		})
+	}
+
+	res := &execResult{Cols: outCols}
+	for _, p := range plans {
+		res.desc = append(res.desc, p.desc)
+	}
+	for _, k := range order {
+		gr := groups[k]
+		if len(gr.rows) > 0 {
+			sc.row = gr.rows[0]
+		} else {
+			sc.row = nil
+		}
+		sc.group = &groupCtx{rows: gr.rows}
+		if having != nil {
+			hv, err := ex.eval(having, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(hv); !truth {
+				sc.group = nil
+				continue
+			}
+		}
+		out := make([]sqltypes.Value, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			v, err := ex.eval(it.Expr, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+		if len(plans) > 0 {
+			keys, err := ex.sortKeysFor(plans, out, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			res.sortKeys = append(res.sortKeys, keys)
+		}
+		sc.group = nil
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- FROM/WHERE
+
+func (ex *exec) buildFromWhere(sel *sqlast.Select, parent *scope) (*relation, error) {
+	if len(sel.From) == 0 {
+		rel := &relation{rows: [][]sqltypes.Value{{}}}
+		if sel.Where != nil {
+			sc := rel.scopeFor(parent)
+			sc.row = rel.rows[0]
+			v, err := ex.eval(sel.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				rel.rows = nil
+			}
+		}
+		return rel, nil
+	}
+
+	rels := make([]*relation, len(sel.From))
+	for i, te := range sel.From {
+		r, err := ex.buildTableExpr(te, parent)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	// Duplicate binding names are ambiguous.
+	seen := make(map[string]bool)
+	for _, r := range rels {
+		for _, b := range r.bindings {
+			if seen[b.name] {
+				return nil, fmt.Errorf("engine: duplicate table alias %s", b.name)
+			}
+			seen[b.name] = true
+		}
+	}
+
+	// colOwner: unqualified column name -> binding names that define it.
+	colOwner := make(map[string][]string)
+	for _, r := range rels {
+		for _, b := range r.bindings {
+			for c := range b.colIdx {
+				colOwner[c] = append(colOwner[c], b.name)
+			}
+		}
+	}
+	local := func(name string) bool { return seen[strings.ToLower(name)] }
+
+	conjs := splitConjuncts(sel.Where)
+	nPlain := len(conjs)
+	conjs = append(conjs, factorCommonOr(sel.Where)...)
+	analyzed := make([]*conjunct, len(conjs))
+	for i, c := range conjs {
+		analyzed[i] = analyzeConjunct(c, local, colOwner)
+		analyzed[i].fromOrFactor = i >= nPlain
+	}
+
+	// Constant conjuncts (no local refs, no subqueries) gate the whole FROM.
+	for _, c := range analyzed {
+		if len(c.refs) == 0 && !c.hasSub {
+			sc := &scope{parent: parent}
+			v, err := ex.eval(c.expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			c.used = true
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				return &relation{bindings: allBindings(rels), rows: nil, width: totalWidth(rels)}, nil
+			}
+		}
+	}
+
+	// Pre-filter each relation with its single-relation conjuncts.
+	for i, r := range rels {
+		names := r.names()
+		var mine []*conjunct
+		for _, c := range analyzed {
+			if c.used || c.hasSub || len(c.refs) == 0 {
+				continue
+			}
+			if subset(c.refs, names) {
+				mine = append(mine, c)
+			}
+		}
+		if len(mine) > 0 {
+			fr, err := ex.filterRelation(r, mine, parent)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = fr
+		}
+	}
+
+	// Greedy hash-join order: prefer relations connected by equi-conjuncts.
+	cur := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		var pairs []equiPair
+		for i, r := range remaining {
+			p := equiPairsBetween(analyzed, cur, r)
+			if len(p) > 0 {
+				pick, pairs = i, p
+				break
+			}
+		}
+		if pick < 0 {
+			// no connection: take the smallest for the cross product
+			pick = 0
+			for i, r := range remaining {
+				if len(r.rows) < len(remaining[pick].rows) {
+					pick = i
+				}
+			}
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		joined, err := ex.hashJoin(cur, next, pairs, parent)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			p.src.used = true
+		}
+		cur = joined
+	}
+
+	// Residual conjuncts (multi-relation non-equi, subqueries).
+	var residual []*conjunct
+	for _, c := range analyzed {
+		if !c.used && !c.fromOrFactor {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		fr, err := ex.filterRelation(cur, residual, parent)
+		if err != nil {
+			return nil, err
+		}
+		cur = fr
+	}
+	return cur, nil
+}
+
+func allBindings(rels []*relation) []*binding {
+	var out []*binding
+	off := 0
+	for _, r := range rels {
+		for _, b := range r.bindings {
+			nb := *b
+			nb.off = off + b.off
+			out = append(out, &nb)
+		}
+		off += r.width
+	}
+	return out
+}
+
+func totalWidth(rels []*relation) int {
+	w := 0
+	for _, r := range rels {
+		w += r.width
+	}
+	return w
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitConjuncts flattens the AND tree of e.
+func splitConjuncts(e sqlast.Expr) []sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlast.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+// factorCommonOr extracts conjuncts common to every branch of a top-level
+// OR (textual equality), enabling hash joins for queries like TPC-H Q19:
+// (A AND B) OR (A AND C) implies A. The OR itself remains as a filter, so
+// the extraction is purely an enabling transformation.
+func factorCommonOr(e sqlast.Expr) []sqlast.Expr {
+	var out []sqlast.Expr
+	for _, c := range splitConjuncts(e) {
+		b, ok := c.(*sqlast.BinaryExpr)
+		if !ok || b.Op != "OR" {
+			continue
+		}
+		branches := splitDisjuncts(b)
+		if len(branches) < 2 {
+			continue
+		}
+		common := make(map[string]sqlast.Expr)
+		for _, cj := range splitConjuncts(branches[0]) {
+			common[cj.String()] = cj
+		}
+		for _, br := range branches[1:] {
+			here := make(map[string]bool)
+			for _, cj := range splitConjuncts(br) {
+				here[cj.String()] = true
+			}
+			for k := range common {
+				if !here[k] {
+					delete(common, k)
+				}
+			}
+		}
+		keys := make([]string, 0, len(common))
+		for k := range common {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, sqlast.CloneExpr(common[k]))
+		}
+	}
+	return out
+}
+
+func splitDisjuncts(e sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.BinaryExpr); ok && b.Op == "OR" {
+		return append(splitDisjuncts(b.L), splitDisjuncts(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+func analyzeConjunct(e sqlast.Expr, local func(string) bool, colOwner map[string][]string) *conjunct {
+	c := &conjunct{expr: e, refs: make(map[string]bool)}
+	c.hasSub = len(sqlast.SubqueriesOf(e)) > 0
+	addRefs(e, local, colOwner, c.refs)
+	return c
+}
+
+func addRefs(e sqlast.Expr, local func(string) bool, colOwner map[string][]string, refs map[string]bool) {
+	for _, cr := range sqlast.ColumnRefsOf(e) {
+		if cr.Table != "" {
+			if local(cr.Table) {
+				refs[strings.ToLower(cr.Table)] = true
+			}
+			continue
+		}
+		for _, owner := range colOwner[strings.ToLower(cr.Name)] {
+			refs[owner] = true
+		}
+	}
+}
+
+// filterRelation applies conjuncts to a relation. For an unfiltered base
+// table, equality conjuncts whose other side is constant w.r.t. this query
+// level (a literal, parameter, or outer/correlated reference) are served by
+// a lazily built hash index instead of a scan — the engine's stand-in for
+// the B-tree lookups PostgreSQL would use for correlated subqueries and the
+// conversion-UDF meta-table lookups.
+func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*relation, error) {
+	rows := r.rows
+	rest := conjs
+	if r.base != nil && len(r.bindings) == 1 {
+		var probeCols []string
+		var probeExprs []sqlast.Expr
+		rest = rest[:0:0]
+		for _, c := range conjs {
+			if col, val, ok := probeForm(c.expr, r); ok {
+				probeCols = append(probeCols, col)
+				probeExprs = append(probeExprs, val)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if len(probeCols) > 0 {
+			idx, err := r.base.index(probeCols)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]sqltypes.Value, len(probeExprs))
+			psc := &scope{parent: parent}
+			for i, e := range probeExprs {
+				v, err := ex.eval(e, psc)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			ids := idx.probe(vals)
+			rows = make([][]sqltypes.Value, len(ids))
+			for i, id := range ids {
+				rows[i] = r.base.Rows[id]
+			}
+		} else {
+			rest = conjs
+		}
+	}
+
+	sc := r.scopeFor(parent)
+	out := &relation{bindings: r.bindings, width: r.width}
+	for _, row := range rows {
+		sc.row = row
+		keep := true
+		for _, c := range rest {
+			v, err := ex.eval(c.expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	for _, c := range conjs {
+		c.used = true
+	}
+	return out, nil
+}
+
+// probeForm recognizes `col = expr` (either side) where col belongs to the
+// relation and expr is constant w.r.t. the relation (no local references,
+// no subqueries). It returns the column name and the value expression.
+func probeForm(e sqlast.Expr, r *relation) (string, sqlast.Expr, bool) {
+	be, ok := e.(*sqlast.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return "", nil, false
+	}
+	try := func(colSide, valSide sqlast.Expr) (string, sqlast.Expr, bool) {
+		cr, ok := colSide.(*sqlast.ColumnRef)
+		if !ok || !relationHasRef(r, cr) {
+			return "", nil, false
+		}
+		if len(sqlast.SubqueriesOf(valSide)) > 0 {
+			return "", nil, false
+		}
+		for _, ref := range sqlast.ColumnRefsOf(valSide) {
+			if relationHasRef(r, ref) {
+				return "", nil, false
+			}
+		}
+		return cr.Name, valSide, true
+	}
+	if col, val, ok := try(be.L, be.R); ok {
+		return col, val, true
+	}
+	return try(be.R, be.L)
+}
+
+// ---------------------------------------------------------------- joins
+
+// equiPair is one hash-join key: left expression over relation A, right
+// expression over relation B.
+type equiPair struct {
+	left, right sqlast.Expr
+	src         *conjunct
+}
+
+func equiPairsBetween(conjs []*conjunct, a, b *relation) []equiPair {
+	var out []equiPair
+	for _, c := range conjs {
+		if c.used || c.hasSub {
+			continue
+		}
+		be, ok := c.expr.(*sqlast.BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		lrefs := sqlast.ColumnRefsOf(be.L)
+		rrefs := sqlast.ColumnRefsOf(be.R)
+		if len(lrefs) == 0 || len(rrefs) == 0 {
+			continue
+		}
+		switch {
+		case resolvesOnlyIn(lrefs, a, b) && resolvesOnlyIn(rrefs, b, a):
+			out = append(out, equiPair{left: be.L, right: be.R, src: c})
+		case resolvesOnlyIn(lrefs, b, a) && resolvesOnlyIn(rrefs, a, b):
+			out = append(out, equiPair{left: be.R, right: be.L, src: c})
+		}
+	}
+	return out
+}
+
+// relationHasRef reports whether a column reference resolves against the
+// bindings of r (by qualifier, or unqualified column ownership).
+func relationHasRef(r *relation, ref *sqlast.ColumnRef) bool {
+	cl := strings.ToLower(ref.Name)
+	if ref.Table != "" {
+		tl := strings.ToLower(ref.Table)
+		for _, b := range r.bindings {
+			if b.name == tl {
+				_, ok := b.colIdx[cl]
+				return ok
+			}
+		}
+		return false
+	}
+	for _, b := range r.bindings {
+		if _, ok := b.colIdx[cl]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// resolvesOnlyIn reports whether every reference resolves in relation a
+// and none resolves in relation b — the unambiguous condition for using
+// the expression as a hash-join key over a.
+func resolvesOnlyIn(refs []*sqlast.ColumnRef, a, b *relation) bool {
+	if len(refs) == 0 {
+		return false
+	}
+	for _, r := range refs {
+		if !relationHasRef(a, r) || relationHasRef(b, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJoin joins L and R on the equi pairs (inner). With no pairs it
+// degrades to the cross product.
+func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*relation, error) {
+	out := &relation{width: l.width + r.width}
+	out.bindings = append(out.bindings, l.bindings...)
+	for _, b := range r.bindings {
+		nb := *b
+		nb.off += l.width
+		out.bindings = append(out.bindings, &nb)
+	}
+	if len(pairs) == 0 {
+		for _, lr := range l.rows {
+			for _, rr := range r.rows {
+				out.rows = append(out.rows, concatRows(lr, rr, out.width))
+			}
+		}
+		return out, nil
+	}
+	// Index fast path: when the build side is an unfiltered base table and
+	// every right key is a plain column, probe the table's persistent lazy
+	// index instead of building a transient hash table. This makes the
+	// meta-table lookups inside conversion-UDF bodies O(1) per call
+	// regardless of the number of tenants.
+	if r.base != nil && len(r.bindings) == 1 {
+		cols := make([]string, 0, len(pairs))
+		simple := true
+		for _, p := range pairs {
+			cr, ok := p.right.(*sqlast.ColumnRef)
+			if !ok || !relationHasRef(r, cr) {
+				simple = false
+				break
+			}
+			cols = append(cols, cr.Name)
+		}
+		if simple {
+			idx, err := r.base.index(cols)
+			if err != nil {
+				return nil, err
+			}
+			lsc := l.scopeFor(parent)
+			vals := make([]sqltypes.Value, len(pairs))
+			for _, lr := range l.rows {
+				lsc.row = lr
+				null := false
+				for i, p := range pairs {
+					v, err := ex.eval(p.left, lsc)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					vals[i] = v
+				}
+				if null {
+					continue
+				}
+				for _, id := range idx.probe(vals) {
+					out.rows = append(out.rows, concatRows(lr, r.base.Rows[id], out.width))
+				}
+			}
+			return out, nil
+		}
+	}
+	// build on R
+	rsc := r.scopeFor(parent)
+	build := make(map[string][]int, len(r.rows))
+	var buf []byte
+	for i, row := range r.rows {
+		rsc.row = row
+		buf = buf[:0]
+		null := false
+		for _, p := range pairs {
+			v, err := ex.eval(p.right, rsc)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			continue
+		}
+		build[string(buf)] = append(build[string(buf)], i)
+	}
+	lsc := l.scopeFor(parent)
+	for _, lr := range l.rows {
+		lsc.row = lr
+		buf = buf[:0]
+		null := false
+		for _, p := range pairs {
+			v, err := ex.eval(p.left, lsc)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			continue
+		}
+		for _, ri := range build[string(buf)] {
+			out.rows = append(out.rows, concatRows(lr, r.rows[ri], out.width))
+		}
+	}
+	return out, nil
+}
+
+func concatRows(l, r []sqltypes.Value, width int) []sqltypes.Value {
+	row := make([]sqltypes.Value, 0, width)
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+// ---------------------------------------------------------------- FROM items
+
+func (ex *exec) buildTableExpr(te sqlast.TableExpr, parent *scope) (*relation, error) {
+	switch t := te.(type) {
+	case *sqlast.TableName:
+		return ex.buildTableName(t, parent)
+	case *sqlast.DerivedTable:
+		res, err := ex.runQuery(t.Sub, &scope{parent: parent})
+		if err != nil {
+			return nil, err
+		}
+		b := newBinding(t.Alias, res.Cols)
+		return &relation{bindings: []*binding{b}, rows: res.Rows, width: len(res.Cols)}, nil
+	case *sqlast.JoinExpr:
+		return ex.buildJoin(t, parent)
+	}
+	return nil, fmt.Errorf("engine: unsupported FROM item %T", te)
+}
+
+func (ex *exec) buildTableName(t *sqlast.TableName, parent *scope) (*relation, error) {
+	key := strings.ToLower(t.Name)
+	if view, ok := ex.db.views[key]; ok {
+		sub := sqlast.CloneSelect(view)
+		res, err := ex.runQuery(sub, &scope{parent: parent})
+		if err != nil {
+			return nil, fmt.Errorf("engine: in view %s: %w", t.Name, err)
+		}
+		b := newBinding(t.Binding(), res.Cols)
+		return &relation{bindings: []*binding{b}, rows: res.Rows, width: len(res.Cols)}, nil
+	}
+	tab := ex.db.tables[key]
+	if tab == nil {
+		return nil, fmt.Errorf("engine: no such table %s", t.Name)
+	}
+	b := newBinding(t.Binding(), tab.ColNames())
+	return &relation{bindings: []*binding{b}, rows: tab.Rows, width: len(tab.Cols), base: tab}, nil
+}
+
+func (ex *exec) buildJoin(j *sqlast.JoinExpr, parent *scope) (*relation, error) {
+	l, err := ex.buildTableExpr(j.L, parent)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.buildTableExpr(j.R, parent)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case sqlast.JoinCross:
+		return ex.hashJoin(l, r, nil, parent)
+	case sqlast.JoinInner:
+		conjs := splitConjuncts(j.On)
+		analyzed := make([]*conjunct, len(conjs))
+		names := func(n string) bool {
+			ln := strings.ToLower(n)
+			return l.names()[ln] || r.names()[ln]
+		}
+		colOwner := ownerMap(l, r)
+		for i, c := range conjs {
+			analyzed[i] = analyzeConjunct(c, names, colOwner)
+		}
+		pairs := equiPairsBetween(analyzed, l, r)
+		joined, err := ex.hashJoin(l, r, pairs, parent)
+		if err != nil {
+			return nil, err
+		}
+		var residual []*conjunct
+		for _, c := range analyzed {
+			used := false
+			for _, p := range pairs {
+				if p.src == c {
+					used = true
+					break
+				}
+			}
+			if !used {
+				residual = append(residual, c)
+			}
+		}
+		if len(residual) == 0 {
+			return joined, nil
+		}
+		return ex.filterRelation(joined, residual, parent)
+	case sqlast.JoinLeftOuter:
+		return ex.leftOuterJoin(l, r, j.On, parent)
+	}
+	return nil, fmt.Errorf("engine: unsupported join kind %v", j.Kind)
+}
+
+func ownerMap(rels ...*relation) map[string][]string {
+	m := make(map[string][]string)
+	for _, r := range rels {
+		for _, b := range r.bindings {
+			for c := range b.colIdx {
+				m[c] = append(m[c], b.name)
+			}
+		}
+	}
+	return m
+}
+
+// leftOuterJoin preserves every left row; the full ON condition decides
+// matches, with an equi fast path for the probe set.
+func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*relation, error) {
+	out := &relation{width: l.width + r.width}
+	out.bindings = append(out.bindings, l.bindings...)
+	for _, b := range r.bindings {
+		nb := *b
+		nb.off += l.width
+		out.bindings = append(out.bindings, &nb)
+	}
+
+	conjs := splitConjuncts(on)
+	names := func(n string) bool {
+		ln := strings.ToLower(n)
+		return l.names()[ln] || r.names()[ln]
+	}
+	colOwner := ownerMap(l, r)
+	analyzed := make([]*conjunct, len(conjs))
+	for i, c := range conjs {
+		analyzed[i] = analyzeConjunct(c, names, colOwner)
+	}
+	pairs := equiPairsBetween(analyzed, l, r)
+	var residual []*conjunct
+	for _, c := range analyzed {
+		used := false
+		for _, p := range pairs {
+			if p.src == c {
+				used = true
+				break
+			}
+		}
+		if !used {
+			residual = append(residual, c)
+		}
+	}
+
+	// Build hash on R over the equi keys (or a single bucket when none).
+	rsc := r.scopeFor(parent)
+	build := make(map[string][]int, len(r.rows))
+	var buf []byte
+	for i, row := range r.rows {
+		rsc.row = row
+		buf = buf[:0]
+		null := false
+		for _, p := range pairs {
+			v, err := ex.eval(p.right, rsc)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			continue
+		}
+		build[string(buf)] = append(build[string(buf)], i)
+	}
+
+	nulls := make([]sqltypes.Value, r.width)
+	osc := out.scopeFor(parent)
+	lsc := l.scopeFor(parent)
+	for _, lr := range l.rows {
+		lsc.row = lr
+		buf = buf[:0]
+		null := false
+		for _, p := range pairs {
+			v, err := ex.eval(p.left, lsc)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		matched := false
+		if !null {
+			for _, ri := range build[string(buf)] {
+				combined := concatRows(lr, r.rows[ri], out.width)
+				ok := true
+				osc.row = combined
+				for _, c := range residual {
+					v, err := ex.eval(c.expr, osc)
+					if err != nil {
+						return nil, err
+					}
+					if truth, _ := sqltypes.Truthy(v); !truth {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matched = true
+					out.rows = append(out.rows, combined)
+				}
+			}
+		}
+		if !matched {
+			out.rows = append(out.rows, concatRows(lr, nulls, out.width))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"mtbase/internal/sqltypes"
+)
+
+// hashIndex maps encoded key-column values to row ordinals of a table.
+// Indexes are built lazily on first use and discarded whenever the table
+// is written (Table.invalidate).
+type hashIndex struct {
+	cols []int
+	m    map[string][]int
+}
+
+// index returns (building if necessary) a hash index on the named columns.
+func (t *Table) index(cols []string) (*hashIndex, error) {
+	key := strings.ToLower(strings.Join(cols, ","))
+	if t.indexes == nil {
+		t.indexes = make(map[string]*hashIndex)
+	}
+	if idx, ok := t.indexes[key]; ok {
+		return idx, nil
+	}
+	ordinals := make([]int, len(cols))
+	for i, c := range cols {
+		ordinals[i] = t.ColIndex(c)
+		if ordinals[i] < 0 {
+			return nil, fmt.Errorf("engine: no column %s in %s", c, t.Name)
+		}
+	}
+	idx := &hashIndex{cols: ordinals, m: make(map[string][]int, len(t.Rows))}
+	var buf []byte
+	for rowID, row := range t.Rows {
+		buf = buf[:0]
+		null := false
+		for _, o := range ordinals {
+			if row[o].IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, row[o])
+		}
+		if null {
+			continue // NULL keys never match an equi-probe
+		}
+		idx.m[string(buf)] = append(idx.m[string(buf)], rowID)
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// probe returns the row ordinals matching the given key values.
+func (ix *hashIndex) probe(vals []sqltypes.Value) []int {
+	var buf []byte
+	for _, v := range vals {
+		if v.IsNull() {
+			return nil
+		}
+		buf = sqltypes.AppendKey(buf, v)
+	}
+	return ix.m[string(buf)]
+}

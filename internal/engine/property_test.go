@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mtbase/internal/sqltypes"
+)
+
+// TestLikeMatchesRegexpOracle checks the LIKE matcher against a regexp
+// translation on random inputs.
+func TestLikeMatchesRegexpOracle(t *testing.T) {
+	alphabet := []rune{'a', 'b', 'c', '%', '_'}
+	r := rand.New(rand.NewSource(11))
+	randomWord := func(n int, withWild bool) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			max := 3
+			if withWild {
+				max = len(alphabet)
+			}
+			sb.WriteRune(alphabet[r.Intn(max)])
+		}
+		return sb.String()
+	}
+	toRegexp := func(pattern string) *regexp.Regexp {
+		var sb strings.Builder
+		sb.WriteString("^")
+		for _, c := range pattern {
+			switch c {
+			case '%':
+				sb.WriteString("(?s).*")
+			case '_':
+				sb.WriteString("(?s).")
+			default:
+				sb.WriteString(regexp.QuoteMeta(string(c)))
+			}
+		}
+		sb.WriteString("$")
+		return regexp.MustCompile(sb.String())
+	}
+	for i := 0; i < 5000; i++ {
+		s := randomWord(r.Intn(8), false)
+		p := randomWord(r.Intn(6), true)
+		want := toRegexp(p).MatchString(s)
+		if got := likeMatch(s, p); got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, regexp says %v", s, p, got, want)
+		}
+	}
+}
+
+// TestHashJoinMatchesNestedLoopOracle compares the hash-join plan against
+// a brute-force cross product + filter on random tables.
+func TestHashJoinMatchesNestedLoopOracle(t *testing.T) {
+	f := func(leftKeys, rightKeys []uint8) bool {
+		if len(leftKeys) > 40 {
+			leftKeys = leftKeys[:40]
+		}
+		if len(rightKeys) > 40 {
+			rightKeys = rightKeys[:40]
+		}
+		db := Open(ModePostgres)
+		if _, err := db.ExecScript("CREATE TABLE l (lk INTEGER, lv INTEGER); CREATE TABLE r (rk INTEGER, rv INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		lt, rt := db.Table("l"), db.Table("r")
+		for i, k := range leftKeys {
+			lt.AppendRow([]sqltypes.Value{sqltypes.NewInt(int64(k % 8)), sqltypes.NewInt(int64(i))})
+		}
+		for i, k := range rightKeys {
+			rt.AppendRow([]sqltypes.Value{sqltypes.NewInt(int64(k % 8)), sqltypes.NewInt(int64(i))})
+		}
+		// Hash-join path (equi conjunct).
+		a, err := db.QuerySQL("SELECT lv, rv FROM l, r WHERE lk = rk ORDER BY lv, rv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Forced nested-loop path (arithmetic defeats equi detection).
+		b, err := db.QuerySQL("SELECT lv, rv FROM l, r WHERE lk + 0 = rk + 0 ORDER BY lv, rv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for i := range a.Rows {
+			if a.Rows[i][0].I != b.Rows[i][0].I || a.Rows[i][1].I != b.Rows[i][1].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupByMatchesManualAggregation cross-checks grouped SUM/COUNT
+// against a hand-rolled aggregation over random data.
+func TestGroupByMatchesManualAggregation(t *testing.T) {
+	f := func(vals []int16) bool {
+		db := Open(ModePostgres)
+		if _, err := db.ExecSQL("CREATE TABLE t (g INTEGER, v INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		tab := db.Table("t")
+		sums := map[int64]int64{}
+		counts := map[int64]int64{}
+		for _, v := range vals {
+			g := int64(v % 5)
+			if g < 0 {
+				g = -g
+			}
+			tab.AppendRow([]sqltypes.Value{sqltypes.NewInt(g), sqltypes.NewInt(int64(v))})
+			sums[g] += int64(v)
+			counts[g]++
+		}
+		res, err := db.QuerySQL("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(sums) {
+			return false
+		}
+		for _, row := range res.Rows {
+			g := row[0].I
+			if row[1].I != sums[g] || row[2].I != counts[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeftOuterJoinInvariants: every left row appears at least once, and
+// rows without a match carry NULLs.
+func TestLeftOuterJoinInvariants(t *testing.T) {
+	f := func(leftKeys, rightKeys []uint8) bool {
+		if len(leftKeys) > 30 {
+			leftKeys = leftKeys[:30]
+		}
+		if len(rightKeys) > 30 {
+			rightKeys = rightKeys[:30]
+		}
+		db := Open(ModePostgres)
+		if _, err := db.ExecScript("CREATE TABLE l (lk INTEGER, id INTEGER); CREATE TABLE r (rk INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		lt, rt := db.Table("l"), db.Table("r")
+		rightSet := map[int64]int{}
+		for i, k := range leftKeys {
+			lt.AppendRow([]sqltypes.Value{sqltypes.NewInt(int64(k % 6)), sqltypes.NewInt(int64(i))})
+		}
+		for _, k := range rightKeys {
+			rt.AppendRow([]sqltypes.Value{sqltypes.NewInt(int64(k % 6))})
+			rightSet[int64(k%6)]++
+		}
+		res, err := db.QuerySQL("SELECT id, lk, rk FROM l LEFT OUTER JOIN r ON lk = rk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		perLeft := map[int64]int{}
+		for _, row := range res.Rows {
+			perLeft[row[0].I]++
+			if row[2].IsNull() {
+				if rightSet[row[1].I] != 0 {
+					return false // NULL despite existing match
+				}
+			} else if row[1].I != row[2].I {
+				return false // ON condition violated
+			}
+		}
+		for i, k := range leftKeys {
+			want := rightSet[int64(k%6)]
+			if want == 0 {
+				want = 1 // null-extended
+			}
+			if perLeft[int64(i)] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderByPermutationStable: ORDER BY must produce a sorted permutation
+// of the input.
+func TestOrderByPermutationStable(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) > 100 {
+			vals = vals[:100]
+		}
+		db := Open(ModePostgres)
+		if _, err := db.ExecSQL("CREATE TABLE t (v INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		tab := db.Table("t")
+		for _, v := range vals {
+			tab.AppendRow([]sqltypes.Value{sqltypes.NewInt(int64(v))})
+		}
+		res, err := db.QuerySQL("SELECT v FROM t ORDER BY v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i-1][0].I > res.Rows[i][0].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedViews(t *testing.T) {
+	db := newEmployeeDB(t, ModePostgres)
+	if _, err := db.ExecScript(`
+		CREATE VIEW v1 AS SELECT E_name, E_age FROM Employees WHERE E_age > 27;
+		CREATE VIEW v2 AS SELECT E_name FROM v1 WHERE E_age < 50`); err != nil {
+		t.Fatal(err)
+	}
+	rows := queryRows(t, db, "SELECT COUNT(*) FROM v2")
+	// ages 30, 28, 46, 46 qualify (25 and 72 excluded)
+	if rows[0][0].I != 4 {
+		t.Errorf("nested view count = %v", rows[0][0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := newEmployeeDB(t, ModePostgres)
+	if _, err := db.QuerySQL("SELECT E_name FROM Employees WHERE SUM(E_age) > 10"); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+	if _, err := db.QuerySQL("SELECT SUM(MAX(E_age)) FROM Employees"); err == nil {
+		t.Error("nested aggregate accepted")
+	}
+	if _, err := db.QuerySQL("SELECT E_age, COUNT(*) FROM Employees GROUP BY SUM(E_age)"); err == nil {
+		t.Error("aggregate in GROUP BY accepted")
+	}
+}
+
+func TestCrossJoinCount(t *testing.T) {
+	db := newEmployeeDB(t, ModePostgres)
+	rows := queryRows(t, db, "SELECT COUNT(*) FROM Roles CROSS JOIN Regions")
+	if rows[0][0].I != 6*6 {
+		t.Errorf("cross join count = %v", rows[0][0])
+	}
+}
+
+func TestScalarSubqueryCardinalityError(t *testing.T) {
+	db := newEmployeeDB(t, ModePostgres)
+	if _, err := db.QuerySQL("SELECT (SELECT E_name FROM Employees) FROM Regions"); err == nil {
+		t.Error("multi-row scalar subquery accepted")
+	}
+	if _, err := db.QuerySQL("SELECT (SELECT E_name, E_age FROM Employees LIMIT 1) FROM Regions"); err == nil {
+		t.Error("multi-column scalar subquery accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePostgres.String() != "postgres" || ModeSystemC.String() != "system-c" {
+		t.Error("mode strings")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := newEmployeeDB(t, ModePostgres)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			_, err := db.QuerySQL(fmt.Sprintf("SELECT COUNT(*) FROM Employees WHERE E_age > %d", 20+i))
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

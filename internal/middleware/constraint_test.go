@@ -1,0 +1,88 @@
+package middleware
+
+import (
+	"testing"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/sqlast"
+)
+
+// TestTenantSpecificFKAsCheck exercises Appendix A.1: a tenant imposes a
+// referential integrity constraint on her own data only; it becomes a
+// CHECK constraint that ignores other tenants' rows.
+func TestTenantSpecificFKAsCheck(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	c0 := connFor(t, srv, 0)
+	// Remove the example's global FK so only the tenant-specific
+	// constraint under test remains.
+	srv.DB().Table("Employees").Constraints = nil
+	fk := sqlast.Constraint{
+		Kind: sqlast.ConstraintForeignKey, Name: "fk_emp_role",
+		Columns: []string{"E_role_id"}, RefTable: "Roles", RefColumns: []string{"R_role_id"},
+	}
+	if err := c0.AddForeignKey("Employees", fk); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DB().ValidateConstraints(); err != nil {
+		t.Fatalf("valid data rejected: %v", err)
+	}
+	// A dangling role for tenant 1 does NOT violate tenant 0's constraint.
+	c1 := connFor(t, srv, 1)
+	if _, err := c1.Exec("INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) VALUES (7, 'Uwe', 99, 3, 1000, 40)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DB().ValidateConstraints(); err != nil {
+		t.Fatalf("other tenant's dangling FK wrongly flagged: %v", err)
+	}
+	// A dangling role for tenant 0 violates it.
+	if _, err := c0.Exec("INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) VALUES (8, 'Vera', 99, 3, 1000, 40)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DB().ValidateConstraints(); err == nil {
+		t.Error("tenant-specific FK violation not detected")
+	}
+}
+
+// TestGlobalFKExtendedWithTTID: the modeller's global FK between
+// tenant-specific tables carries ttid on both sides.
+func TestGlobalFKExtendedWithTTID(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	admin := connFor(t, srv, 99)
+	fk := sqlast.Constraint{
+		Kind: sqlast.ConstraintForeignKey, Name: "fk_global",
+		Columns: []string{"E_role_id"}, RefTable: "Roles", RefColumns: []string{"R_role_id"},
+	}
+	if err := admin.AddForeignKey("Employees", fk); err != nil {
+		t.Fatal(err)
+	}
+	tab := srv.DB().Table("Employees")
+	got := tab.Constraints[len(tab.Constraints)-1]
+	if len(got.Columns) != 2 || got.Columns[1] != "ttid" || got.RefColumns[1] != "ttid" {
+		t.Errorf("FK not extended: %v -> %v", got.Columns, got.RefColumns)
+	}
+	if err := srv.DB().ValidateConstraints(); err != nil {
+		t.Fatalf("valid data rejected: %v", err)
+	}
+	// Cross-tenant dangling link: role 99 exists nowhere.
+	c0 := connFor(t, srv, 0)
+	if _, err := c0.Exec("INSERT INTO Employees (E_emp_id, E_name, E_role_id, E_reg_id, E_salary, E_age) VALUES (9, 'Wil', 99, 3, 1000, 40)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DB().ValidateConstraints(); err == nil {
+		t.Error("global FK violation not detected")
+	}
+}
+
+func TestAddForeignKeyErrors(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	c0 := connFor(t, srv, 0)
+	bad := sqlast.Constraint{Kind: sqlast.ConstraintPrimaryKey}
+	if err := c0.AddForeignKey("Employees", bad); err == nil {
+		t.Error("non-FK constraint accepted")
+	}
+	fk := sqlast.Constraint{Kind: sqlast.ConstraintForeignKey,
+		Columns: []string{"x"}, RefTable: "Roles", RefColumns: []string{"y"}}
+	if err := c0.AddForeignKey("nothere", fk); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package middleware
+
+import (
+	"testing"
+
+	"mtbase/internal/engine"
+)
+
+// TestDDLDelegation covers §2.2: the data modeller delegates the DDL
+// privilege to a trusted tenant, who can then create tables; revoking
+// takes it away again.
+func TestDDLDelegation(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	admin := connFor(t, srv, 99)
+	c0 := connFor(t, srv, 0)
+
+	if _, err := c0.Exec("CREATE TABLE Notes SPECIFIC (n_id INTEGER SPECIFIC)"); err == nil {
+		t.Fatal("tenant 0 created a table without the DDL role")
+	}
+	if err := c0.DelegateDDL(1); err == nil {
+		t.Fatal("non-modeller delegated the DDL role")
+	}
+	if err := admin.DelegateDDL(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Exec("CREATE TABLE Notes SPECIFIC (n_id INTEGER SPECIFIC)"); err != nil {
+		t.Fatalf("delegated tenant cannot create tables: %v", err)
+	}
+	if err := admin.RevokeDDL(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Exec("CREATE TABLE Notes2 SPECIFIC (n_id INTEGER SPECIFIC)"); err == nil {
+		t.Error("revoked tenant still has the DDL role")
+	}
+	if err := admin.RevokeDDL(99); err == nil {
+		t.Error("modeller revoked own role")
+	}
+	if err := admin.DelegateDDL(12345); err == nil {
+		t.Error("delegated to unknown tenant")
+	}
+}

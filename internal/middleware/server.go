@@ -1,0 +1,479 @@
+// Package middleware implements MTBase proper (§3, Figure 4): an
+// MTSQL-to-SQL translation layer between clients and a DBMS. Sessions
+// carry the client tenant C (from the connection) and the SCOPE runtime
+// parameter defining the dataset D. Each statement is processed as the
+// paper describes: a complex scope is resolved against the DBMS, D is
+// pruned against C's privileges to D′, the statement is canonically
+// rewritten, optimized at the session's optimization level, serialized to
+// SQL text and shipped to the DBMS.
+package middleware
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/mtsql"
+	"mtbase/internal/optimizer"
+	"mtbase/internal/rewrite"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+	"mtbase/internal/sqltypes"
+)
+
+// privKey identifies one privilege grant: grantee may act on owner's
+// instance of table (lower-case; empty = whole database).
+type privKey struct {
+	grantee int64
+	owner   int64
+	table   string
+	priv    sqlast.Privilege
+}
+
+// Server is one MTBase deployment: the backing DBMS, the MT-specific
+// meta-data cache (schema, conversion registry, privileges, tenants), and
+// the data-modeller role.
+type Server struct {
+	mu     sync.Mutex
+	db     *engine.DB
+	schema *mtsql.Schema
+
+	tenants    map[int64]bool
+	privs      map[privKey]bool
+	modellers  map[int64]bool   // tenants with DDL privilege (§2.2)
+	viewOwners map[string]int64 // view name -> creating tenant
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDataModeller grants the DDL role to a tenant at start-up.
+func WithDataModeller(ttid int64) Option {
+	return func(s *Server) { s.modellers[ttid] = true }
+}
+
+// NewServer wraps a DBMS instance in an MTBase middleware.
+func NewServer(db *engine.DB, opts ...Option) *Server {
+	s := &Server{
+		db:         db,
+		schema:     mtsql.NewSchema(),
+		tenants:    make(map[int64]bool),
+		privs:      make(map[privKey]bool),
+		modellers:  make(map[int64]bool),
+		viewOwners: make(map[string]int64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.bootstrapMetaTables()
+	return s
+}
+
+// DB exposes the backing DBMS (used by generators and benchmarks).
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Schema exposes the MT meta-data cache.
+func (s *Server) Schema() *mtsql.Schema { return s.schema }
+
+// bootstrapMetaTables creates the middleware's persisted meta tables
+// (mirroring the Go-side cache, as in Figure 4 where MT meta data lives in
+// the DBMS alongside user data).
+func (s *Server) bootstrapMetaTables() {
+	s.db.CreateTableDirect("mt_tenants", []engine.Column{
+		{Name: "ttid", Type: sqltypes.KindInt, NotNull: true},
+	}, []string{"ttid"})
+	s.db.CreateTableDirect("mt_privileges", []engine.Column{
+		{Name: "grantee", Type: sqltypes.KindInt, NotNull: true},
+		{Name: "owner", Type: sqltypes.KindInt, NotNull: true},
+		{Name: "table_name", Type: sqltypes.KindString},
+		{Name: "privilege", Type: sqltypes.KindString, NotNull: true},
+	}, nil)
+}
+
+// CreateTenant registers a tenant and installs the default privileges of
+// §2.3: READ on global tables and full rights on her own instances.
+func (s *Server) CreateTenant(ttid int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenants[ttid] {
+		return fmt.Errorf("middleware: tenant %d already exists", ttid)
+	}
+	s.tenants[ttid] = true
+	s.db.Table("mt_tenants").AppendRow([]sqltypes.Value{sqltypes.NewInt(ttid)})
+	for _, p := range []sqlast.Privilege{sqlast.PrivRead, sqlast.PrivInsert, sqlast.PrivUpdate, sqlast.PrivDelete} {
+		s.grantLocked(ttid, ttid, "", p)
+	}
+	return nil
+}
+
+// Tenants returns all registered ttids, sorted.
+func (s *Server) Tenants() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantsLocked()
+}
+
+func (s *Server) tenantsLocked() []int64 {
+	out := make([]int64, 0, len(s.tenants))
+	for t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *Server) grantLocked(grantee, owner int64, table string, p sqlast.Privilege) {
+	key := privKey{grantee: grantee, owner: owner, table: strings.ToLower(table), priv: p}
+	if s.privs[key] {
+		return
+	}
+	s.privs[key] = true
+	s.db.Table("mt_privileges").AppendRow([]sqltypes.Value{
+		sqltypes.NewInt(grantee), sqltypes.NewInt(owner),
+		sqltypes.NewString(strings.ToLower(table)), sqltypes.NewString(string(p)),
+	})
+}
+
+func (s *Server) revokeLocked(grantee, owner int64, table string, p sqlast.Privilege) {
+	key := privKey{grantee: grantee, owner: owner, table: strings.ToLower(table), priv: p}
+	delete(s.privs, key)
+	mt := s.db.Table("mt_privileges")
+	kept := mt.Rows[:0]
+	for _, row := range mt.Rows {
+		if row[0].I == grantee && row[1].I == owner && row[2].S == strings.ToLower(table) && row[3].S == string(p) {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	mt.Rows = kept
+}
+
+// hasPrivilege checks a privilege, honouring database-wide grants.
+func (s *Server) hasPrivilege(grantee, owner int64, table string, p sqlast.Privilege) bool {
+	if s.privs[privKey{grantee: grantee, owner: owner, table: "", priv: p}] {
+		return true
+	}
+	return s.privs[privKey{grantee: grantee, owner: owner, table: strings.ToLower(table), priv: p}]
+}
+
+// Connect opens a session for tenant ttid; C is fixed for the connection
+// lifetime (§2.1: derived from the connection string).
+func (s *Server) Connect(ttid int64) (*Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tenants[ttid] && !s.modellers[ttid] {
+		return nil, fmt.Errorf("middleware: unknown tenant %d", ttid)
+	}
+	return &Conn{srv: s, c: ttid, level: optimizer.O4}, nil
+}
+
+// Conn is one client session: the client tenant C, the current SCOPE and
+// the optimization level applied to rewritten statements.
+type Conn struct {
+	srv   *Server
+	c     int64
+	scope *sqlast.SetScope // nil = default scope {C}
+	level optimizer.Level
+}
+
+// C returns the session's client tenant.
+func (c *Conn) C() int64 { return c.c }
+
+// SetOptLevel switches the optimization pass stack for this session.
+func (c *Conn) SetOptLevel(l optimizer.Level) { c.level = l }
+
+// OptLevel returns the session's optimization level.
+func (c *Conn) OptLevel() optimizer.Level { return c.level }
+
+// Exec parses and executes one MTSQL statement.
+func (c *Conn) Exec(sql string) (*engine.Result, error) {
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.ExecStatement(stmt)
+}
+
+// ExecStatement executes a parsed MTSQL statement.
+func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
+	switch st := stmt.(type) {
+	case *sqlast.SetScope:
+		c.scope = st
+		return &engine.Result{}, nil
+	case *sqlast.Select:
+		return c.query(st)
+	case *sqlast.CreateTable:
+		return c.createTable(st)
+	case *sqlast.CreateView:
+		return c.createView(st)
+	case *sqlast.CreateFunction:
+		return c.createFunction(st)
+	case *sqlast.DropTable:
+		return c.dropTable(st)
+	case *sqlast.DropView:
+		// Views are droppable by their creator or the data modeller
+		// (tenants manage their own views, §2.2.4).
+		if owner, ok := c.srv.viewOwner(st.Name); ok && owner != c.c && !c.srv.isModeller(c.c) {
+			return nil, fmt.Errorf("middleware: view %s belongs to tenant %d", st.Name, owner)
+		}
+		res, err := c.srv.db.Exec(st)
+		if err != nil {
+			return nil, err
+		}
+		c.srv.schema.DropView(st.Name)
+		c.srv.dropViewOwner(st.Name)
+		return res, nil
+	case *sqlast.Insert:
+		return c.insert(st)
+	case *sqlast.Update:
+		return c.update(st)
+	case *sqlast.Delete:
+		return c.delete(st)
+	case *sqlast.Grant:
+		return c.grant(st)
+	case *sqlast.Revoke:
+		return c.revoke(st)
+	}
+	return nil, fmt.Errorf("middleware: unsupported statement %T", stmt)
+}
+
+// Query is shorthand for executing a SELECT.
+func (c *Conn) Query(sql string) (*engine.Result, error) { return c.Exec(sql) }
+
+func (s *Server) isModeller(ttid int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modellers[ttid]
+}
+
+// DelegateDDL passes the data-modeller role to another tenant (§2.2: "the
+// data modeller can delegate this privilege to any tenant she trusts").
+// Only a current modeller may delegate.
+func (c *Conn) DelegateDDL(to int64) error {
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	if !c.srv.modellers[c.c] {
+		return fmt.Errorf("middleware: tenant %d lacks the DDL role", c.c)
+	}
+	if !c.srv.tenants[to] && !c.srv.modellers[to] {
+		return fmt.Errorf("middleware: unknown tenant %d", to)
+	}
+	c.srv.modellers[to] = true
+	return nil
+}
+
+// RevokeDDL removes a delegated modeller role.
+func (c *Conn) RevokeDDL(from int64) error {
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	if !c.srv.modellers[c.c] {
+		return fmt.Errorf("middleware: tenant %d lacks the DDL role", c.c)
+	}
+	if from == c.c {
+		return fmt.Errorf("middleware: cannot revoke own DDL role")
+	}
+	delete(c.srv.modellers, from)
+	return nil
+}
+
+func (s *Server) viewOwner(name string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.viewOwners[strings.ToLower(name)]
+	return owner, ok
+}
+
+func (s *Server) setViewOwner(name string, ttid int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.viewOwners[strings.ToLower(name)] = ttid
+}
+
+func (s *Server) dropViewOwner(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.viewOwners, strings.ToLower(name))
+}
+
+// RewriteContext resolves the session's scope into a concrete,
+// privilege-pruned dataset D′ and returns the rewrite context for a
+// statement touching the given tenant-specific tables.
+func (c *Conn) RewriteContext(priv sqlast.Privilege, tables ...string) (*rewrite.Context, error) {
+	d, all, err := c.resolveScope()
+	if err != nil {
+		return nil, err
+	}
+	pruned := c.srv.pruneDataset(c.c, d, priv, tables)
+	return &rewrite.Context{
+		C:      c.c,
+		D:      pruned,
+		DAll:   all && len(pruned) == len(d),
+		Schema: c.srv.schema,
+	}, nil
+}
+
+// resolveScope materializes D: the default scope {C}, a simple IN list,
+// all tenants for the empty IN list, or the result of evaluating a
+// complex scope query against the DBMS (§3, Listing 12).
+func (c *Conn) resolveScope() (d []int64, all bool, err error) {
+	switch {
+	case c.scope == nil:
+		return []int64{c.c}, false, nil
+	case c.scope.Complex != nil:
+		ctx := &rewrite.Context{C: c.c, Schema: c.srv.schema}
+		sq, err := rewrite.Scope(ctx, c.scope.Complex)
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := c.srv.db.Query(sq)
+		if err != nil {
+			return nil, false, fmt.Errorf("middleware: evaluating scope: %w", err)
+		}
+		for _, row := range res.Rows {
+			d = append(d, row[0].AsInt())
+		}
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		return d, false, nil
+	case c.scope.All:
+		return c.srv.Tenants(), true, nil
+	default:
+		d = append(d, c.scope.Simple...)
+		return d, false, nil
+	}
+}
+
+// pruneDataset drops tenants whose data C may not touch: D′ (§3). The
+// check covers every tenant-specific table the statement references.
+func (s *Server) pruneDataset(client int64, d []int64, priv sqlast.Privilege, tables []string) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ts []string
+	for _, t := range tables {
+		if info := s.schema.Table(t); info != nil && info.TenantSpecific() {
+			ts = append(ts, t)
+		}
+	}
+	var out []int64
+	for _, owner := range d {
+		if !s.tenants[owner] {
+			continue
+		}
+		ok := true
+		for _, t := range ts {
+			if !s.hasPrivilege(client, owner, t, priv) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// tenantSpecificTables collects base-table names referenced anywhere in a
+// query (including subqueries), for privilege pruning.
+func tenantSpecificTables(q *sqlast.Select) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var visitQ func(s *sqlast.Select)
+	var visitTE func(te sqlast.TableExpr)
+	visitExpr := func(e sqlast.Expr) {
+		if e == nil {
+			return
+		}
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			switch x := n.(type) {
+			case *sqlast.InExpr:
+				if x.Sub != nil {
+					visitQ(x.Sub)
+				}
+			case *sqlast.ExistsExpr:
+				visitQ(x.Sub)
+			case *sqlast.SubqueryExpr:
+				visitQ(x.Sub)
+			}
+			return true
+		})
+	}
+	visitTE = func(te sqlast.TableExpr) {
+		switch t := te.(type) {
+		case *sqlast.TableName:
+			key := strings.ToLower(t.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, t.Name)
+			}
+		case *sqlast.DerivedTable:
+			visitQ(t.Sub)
+		case *sqlast.JoinExpr:
+			visitTE(t.L)
+			visitTE(t.R)
+			visitExpr(t.On)
+		}
+	}
+	visitQ = func(s *sqlast.Select) {
+		for _, te := range s.From {
+			visitTE(te)
+		}
+		for _, it := range s.Items {
+			visitExpr(it.Expr)
+		}
+		visitExpr(s.Where)
+		visitExpr(s.Having)
+	}
+	visitQ(q)
+	return out
+}
+
+func (c *Conn) query(q *sqlast.Select) (*engine.Result, error) {
+	ctx, err := c.RewriteContext(sqlast.PrivRead, tenantSpecificTables(q)...)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, err := rewrite.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := optimizer.Optimize(ctx, rewritten, c.level)
+	if err != nil {
+		return nil, err
+	}
+	// The middleware communicates with the DBMS "by the means of pure
+	// SQL" (§3): serialize and reparse.
+	return c.srv.execSQLText(optimized.String())
+}
+
+func (s *Server) execSQLText(sql string) (*engine.Result, error) {
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, fmt.Errorf("middleware: rewritten SQL failed to parse: %w\n%s", err, sql)
+	}
+	return s.db.Exec(stmt)
+}
+
+// RewriteSQL parses, rewrites and optimizes a query without executing it.
+func (c *Conn) RewriteSQL(sql string) (*sqlast.Select, error) {
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.RewriteOnly(q)
+}
+
+// RewriteOnly rewrites and optimizes a query without executing it —
+// used by tools (mtsh -explain) and the benchmark harness.
+func (c *Conn) RewriteOnly(q *sqlast.Select) (*sqlast.Select, error) {
+	ctx, err := c.RewriteContext(sqlast.PrivRead, tenantSpecificTables(q)...)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, err := rewrite.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Optimize(ctx, rewritten, c.level)
+}

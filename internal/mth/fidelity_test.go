@@ -1,0 +1,103 @@
+package mth
+
+import (
+	"testing"
+
+	"mtbase/internal/optimizer"
+	"mtbase/internal/sqlparse"
+)
+
+// TestRewriteSerializationFidelity checks the property the middleware's
+// architecture rests on (§3: communication "by the means of pure SQL"):
+// for every MT-H query at every optimization level, the rewritten AST
+// serializes to SQL that reparses to an identical serialization.
+func TestRewriteSerializationFidelity(t *testing.T) {
+	inst, err := BuildMT(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries(inst.Cfg.SF) {
+		// Q15's main query needs its view; create it canonically.
+		for _, s := range q.Setup {
+			if _, err := conn.Exec(s); err != nil {
+				t.Fatalf("Q%d setup: %v", q.ID, err)
+			}
+		}
+		for _, level := range []optimizer.Level{
+			optimizer.Canonical, optimizer.O1, optimizer.O2,
+			optimizer.O3, optimizer.O4, optimizer.InlOnly,
+		} {
+			conn.SetOptLevel(level)
+			rw, err := conn.RewriteSQL(q.SQL)
+			if err != nil {
+				t.Fatalf("Q%d rewrite at %s: %v", q.ID, level, err)
+			}
+			text := rw.String()
+			reparsed, err := sqlparse.ParseQuery(text)
+			if err != nil {
+				t.Fatalf("Q%d at %s does not reparse: %v\n%s", q.ID, level, err, text)
+			}
+			if got := reparsed.String(); got != text {
+				t.Errorf("Q%d at %s: serialization not a fixed point:\n first: %s\nsecond: %s",
+					q.ID, level, text, got)
+			}
+		}
+		for _, s := range q.Teardown {
+			if _, err := conn.Exec(s); err != nil {
+				t.Fatalf("Q%d teardown: %v", q.ID, err)
+			}
+		}
+	}
+}
+
+// TestScopeReResolvedPerStatement: a complex scope is evaluated at every
+// statement execution (§3), so D follows data changes.
+func TestScopeReResolvedPerStatement(t *testing.T) {
+	inst, err := BuildMT(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope: tenants owning at least one order above a threshold in C=1's
+	// (universal) format.
+	if _, err := conn.Exec(`SET SCOPE = "FROM orders WHERE o_totalprice > 99999999"`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Exec("SELECT COUNT(*) AS n FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("no tenant should qualify yet: %v", res.Rows)
+	}
+	// Insert a qualifying order into tenant 1's data; the SAME session's
+	// next query must now see tenant 1 in D.
+	self, err := inst.Connect(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := self.Exec(`INSERT INTO orders (o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate, o_orderpriority, o_clerk, o_shippriority, o_comment)
+		VALUES (999999, 1, 'O', 100000000, DATE '1995-01-01', '1-URGENT', 'Clerk#1', 0, 'big')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = conn.Exec("SELECT COUNT(*) AS n FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Error("complex scope not re-resolved after data change")
+	}
+}

@@ -1,0 +1,201 @@
+// Package mtsql implements the MTSQL semantic layer of the paper (§2):
+// table generality, attribute comparability, conversion-function pairs with
+// their algebraic property lattice (Definition 1 and §2.2.2), and the
+// aggregate-distributability matrix of Table 2 that gates the o3
+// optimization pass.
+package mtsql
+
+import (
+	"fmt"
+	"strings"
+
+	"mtbase/internal/sqltypes"
+)
+
+// ConvClass places a conversion-function pair in the property lattice of
+// §2.2.2. Classes are ordered: every linear pair is affine, every affine
+// pair (with positive slope) is order-preserving, and every valid pair is
+// at least equality-preserving (Corollary 1).
+type ConvClass uint8
+
+// Conversion classes, weakest first.
+const (
+	// ClassEqualityPreserving is the minimal property every valid pair
+	// has (Corollary 1); e.g. the phone-prefix conversions of Listing 4/5.
+	ClassEqualityPreserving ConvClass = iota
+	// ClassOrderPreserving: x < y ⇔ to(x,t) < to(y,t) for all tenants.
+	ClassOrderPreserving
+	// ClassAffine: to(x,t) = a_t·x + b_t (e.g. temperature units).
+	ClassAffine
+	// ClassLinear: to(x,t) = c_t·x (e.g. the currency conversions of
+	// Listing 6/7, fully-SUM-preserving).
+	ClassLinear
+)
+
+func (c ConvClass) String() string {
+	switch c {
+	case ClassEqualityPreserving:
+		return "equality-preserving"
+	case ClassOrderPreserving:
+		return "order-preserving"
+	case ClassAffine:
+		return "affine"
+	case ClassLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("ConvClass(%d)", uint8(c))
+}
+
+// AtLeast reports whether c has all the guarantees of o.
+func (c ConvClass) AtLeast(o ConvClass) bool { return c >= o }
+
+// Distributes reproduces Table 2: whether the aggregate function agg
+// distributes over a conversion pair of the given class. Holistic
+// aggregates (anything not in the standard five) never distribute.
+func Distributes(agg string, c ConvClass) bool {
+	switch strings.ToUpper(agg) {
+	case "COUNT":
+		// Conversion functions are scalar-to-scalar, hence always
+		// fully-COUNT-preserving.
+		return true
+	case "MIN", "MAX":
+		return c.AtLeast(ClassOrderPreserving)
+	case "SUM", "AVG":
+		// Linear pairs distribute directly; affine pairs distribute via
+		// the count-weighted form proven in Appendix B.
+		return c.AtLeast(ClassAffine)
+	}
+	return false
+}
+
+// ConvPair is the metadata of a registered conversion-function pair: the
+// names of the two SQL UDFs plus the algebraic class the optimizer may
+// rely on.
+type ConvPair struct {
+	Name     string // pair name, e.g. "currency"
+	ToFunc   string // toUniversal UDF name
+	FromFunc string // fromUniversal UDF name
+	Class    ConvClass
+}
+
+// GoPair is an executable Go realization of a conversion pair, used by the
+// data generator (to materialize tenant formats) and by property tests of
+// Definition 1.
+type GoPair struct {
+	To   func(v sqltypes.Value, tenant int64) sqltypes.Value
+	From func(v sqltypes.Value, tenant int64) sqltypes.Value
+}
+
+// Validate checks Definition 1 (iii) — fromUniversal inverts toUniversal —
+// and the Corollary 1/2 equality-preservation consequences on the given
+// sample values and tenants. eq decides value equality (callers pass an
+// epsilon comparison for floating-point domains).
+func (p GoPair) Validate(tenants []int64, samples []sqltypes.Value, eq func(a, b sqltypes.Value) bool) error {
+	for _, t := range tenants {
+		for _, x := range samples {
+			// (iii) from(to(x,t),t) = x
+			if got := p.From(p.To(x, t), t); !eq(got, x) {
+				return fmt.Errorf("mtsql: pair is not invertible for tenant %d: from(to(%v)) = %v", t, x, got)
+			}
+		}
+	}
+	// Corollary 1: to is equality-preserving (injective on samples).
+	for _, t := range tenants {
+		seen := make(map[string]sqltypes.Value)
+		for _, x := range samples {
+			k := string(sqltypes.AppendKey(nil, p.To(x, t)))
+			if prev, dup := seen[k]; dup && !eq(prev, x) {
+				return fmt.Errorf("mtsql: toUniversal(·,%d) maps %v and %v to the same value", t, prev, x)
+			}
+			seen[k] = x
+		}
+	}
+	// Corollary 2: cross-tenant conversion through universal format
+	// preserves equality.
+	for _, ti := range tenants {
+		for _, tj := range tenants {
+			for _, x := range samples {
+				a := p.From(p.To(x, ti), tj)
+				b := p.From(p.To(x, ti), tj)
+				if !eq(a, b) {
+					return fmt.Errorf("mtsql: cross-tenant conversion is not deterministic")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckOrderPreserving verifies the order-preservation property on samples
+// for each tenant; used to validate a claimed ConvClass.
+func (p GoPair) CheckOrderPreserving(tenants []int64, samples []sqltypes.Value) error {
+	for _, t := range tenants {
+		for _, x := range samples {
+			for _, y := range samples {
+				cx, okx := sqltypes.Compare(x, y)
+				tx := p.To(x, t)
+				ty := p.To(y, t)
+				cu, oku := sqltypes.Compare(tx, ty)
+				if okx && oku && sign(cx) != sign(cu) {
+					return fmt.Errorf("mtsql: order not preserved for tenant %d: %v vs %v -> %v vs %v", t, x, y, tx, ty)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// Registry holds the conversion pairs known to an MTBase deployment,
+// addressable by pair name and by either UDF name.
+type Registry struct {
+	byName map[string]*ConvPair
+	byFunc map[string]*ConvPair
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*ConvPair), byFunc: make(map[string]*ConvPair)}
+}
+
+// Register adds a pair; it is an error to reuse a name or function name.
+func (r *Registry) Register(p ConvPair) error {
+	key := strings.ToLower(p.Name)
+	if _, dup := r.byName[key]; dup {
+		return fmt.Errorf("mtsql: conversion pair %s already registered", p.Name)
+	}
+	for _, fn := range []string{p.ToFunc, p.FromFunc} {
+		if _, dup := r.byFunc[strings.ToLower(fn)]; dup {
+			return fmt.Errorf("mtsql: conversion function %s already registered", fn)
+		}
+	}
+	cp := p
+	r.byName[key] = &cp
+	r.byFunc[strings.ToLower(p.ToFunc)] = &cp
+	r.byFunc[strings.ToLower(p.FromFunc)] = &cp
+	return nil
+}
+
+// ByName returns the pair registered under name, or nil.
+func (r *Registry) ByName(name string) *ConvPair { return r.byName[strings.ToLower(name)] }
+
+// ByFunc returns the pair owning the given UDF name, or nil.
+func (r *Registry) ByFunc(fn string) *ConvPair { return r.byFunc[strings.ToLower(fn)] }
+
+// Pairs returns all registered pairs (unordered).
+func (r *Registry) Pairs() []*ConvPair {
+	out := make([]*ConvPair, 0, len(r.byName))
+	for _, p := range r.byName {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package mtsql
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+	"mtbase/internal/sqltypes"
+)
+
+// TestDistributabilityTable2 reproduces the full matrix of Table 2.
+func TestDistributabilityTable2(t *testing.T) {
+	cases := []struct {
+		agg  string
+		want map[ConvClass]bool
+	}{
+		{"COUNT", map[ConvClass]bool{ClassLinear: true, ClassAffine: true, ClassOrderPreserving: true, ClassEqualityPreserving: true}},
+		{"MIN", map[ConvClass]bool{ClassLinear: true, ClassAffine: true, ClassOrderPreserving: true, ClassEqualityPreserving: false}},
+		{"MAX", map[ConvClass]bool{ClassLinear: true, ClassAffine: true, ClassOrderPreserving: true, ClassEqualityPreserving: false}},
+		{"SUM", map[ConvClass]bool{ClassLinear: true, ClassAffine: true, ClassOrderPreserving: false, ClassEqualityPreserving: false}},
+		{"AVG", map[ConvClass]bool{ClassLinear: true, ClassAffine: true, ClassOrderPreserving: false, ClassEqualityPreserving: false}},
+		{"MEDIAN", map[ConvClass]bool{ClassLinear: false, ClassAffine: false, ClassOrderPreserving: false, ClassEqualityPreserving: false}}, // holistic
+	}
+	for _, c := range cases {
+		for class, want := range c.want {
+			if got := Distributes(c.agg, class); got != want {
+				t.Errorf("Distributes(%s, %s) = %v, want %v", c.agg, class, got, want)
+			}
+		}
+	}
+}
+
+func TestConvClassLattice(t *testing.T) {
+	if !ClassLinear.AtLeast(ClassAffine) || !ClassAffine.AtLeast(ClassOrderPreserving) ||
+		!ClassOrderPreserving.AtLeast(ClassEqualityPreserving) {
+		t.Error("lattice ordering broken")
+	}
+	if ClassEqualityPreserving.AtLeast(ClassOrderPreserving) {
+		t.Error("equality-preserving must not imply order-preserving")
+	}
+}
+
+// currencyPair mirrors Listings 6/7: multiplication by a per-tenant rate.
+func currencyPair(rates map[int64]float64) GoPair {
+	return GoPair{
+		To: func(v sqltypes.Value, t int64) sqltypes.Value {
+			return sqltypes.NewFloat(v.AsFloat() * rates[t])
+		},
+		From: func(v sqltypes.Value, t int64) sqltypes.Value {
+			return sqltypes.NewFloat(v.AsFloat() / rates[t])
+		},
+	}
+}
+
+// phonePair mirrors Listings 4/5: strip/prepend a per-tenant prefix.
+func phonePair(prefixes map[int64]string) GoPair {
+	return GoPair{
+		To: func(v sqltypes.Value, t int64) sqltypes.Value {
+			s := v.AsString()
+			p := prefixes[t]
+			if len(s) >= len(p) && s[:len(p)] == p {
+				return sqltypes.NewString(s[len(p):])
+			}
+			return sqltypes.NewString(s)
+		},
+		From: func(v sqltypes.Value, t int64) sqltypes.Value {
+			return sqltypes.NewString(prefixes[t] + v.AsString())
+		},
+	}
+}
+
+func floatEq(a, b sqltypes.Value) bool {
+	x, y := a.AsFloat(), b.AsFloat()
+	if x == y {
+		return true
+	}
+	return math.Abs(x-y) <= 1e-9*math.Max(math.Abs(x), math.Abs(y))
+}
+
+func strEq(a, b sqltypes.Value) bool { return a.AsString() == b.AsString() }
+
+func TestCurrencyPairSatisfiesDefinition1(t *testing.T) {
+	rates := map[int64]float64{1: 1.0, 2: 1.1, 3: 0.25}
+	pair := currencyPair(rates)
+	tenants := []int64{1, 2, 3}
+	samples := []sqltypes.Value{
+		sqltypes.NewFloat(0), sqltypes.NewFloat(1), sqltypes.NewFloat(-3.5),
+		sqltypes.NewFloat(50000), sqltypes.NewFloat(1e6),
+	}
+	if err := pair.Validate(tenants, samples, floatEq); err != nil {
+		t.Error(err)
+	}
+	if err := pair.CheckOrderPreserving(tenants, samples); err != nil {
+		t.Errorf("currency must be order-preserving: %v", err)
+	}
+}
+
+func TestPhonePairEqualityOnly(t *testing.T) {
+	prefixes := map[int64]string{1: "", 2: "00", 3: "+"}
+	pair := phonePair(prefixes)
+	// Definition 1 (iii) quantifies over each tenant's own domain: samples
+	// must carry that tenant's prefix.
+	universal := []string{"4411223344", "15550001111", "7", "991"}
+	for tenant, prefix := range prefixes {
+		samples := make([]sqltypes.Value, len(universal))
+		for i, u := range universal {
+			samples[i] = sqltypes.NewString(prefix + u)
+		}
+		if err := pair.Validate([]int64{tenant}, samples, strEq); err != nil {
+			t.Errorf("tenant %d: %v", tenant, err)
+		}
+	}
+	// The pair is NOT order-preserving (§4.2.2): stripping the prefix "00"
+	// inverts the order of "0044..." (prefixed) and "15..." (already in
+	// exit-code-free form): "0044" < "15" but to gives "44" > "15".
+	if err := pair.CheckOrderPreserving([]int64{2}, []sqltypes.Value{
+		sqltypes.NewString("0044"), sqltypes.NewString("15"),
+	}); err == nil {
+		t.Error("phone pair unexpectedly order-preserving")
+	}
+}
+
+// Property: linear conversions distribute over SUM — summing converted
+// values equals converting the sum (Corollary of fully-SUM-preserving).
+func TestLinearSumPreservationProperty(t *testing.T) {
+	rates := map[int64]float64{7: 1.25}
+	pair := currencyPair(rates)
+	f := func(xs []float64) bool {
+		var sumConv, sum float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // outside the modelled domain
+			}
+			sumConv += pair.To(sqltypes.NewFloat(x), 7).AsFloat()
+			sum += x
+		}
+		conv := pair.To(sqltypes.NewFloat(sum), 7).AsFloat()
+		return math.Abs(conv-sumConv) <= 1e-6*math.Max(1, math.Abs(conv))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: affine conversions distribute over AVG via the weighted form
+// (Appendix B): avg(to(x)) = to(avg(x)).
+func TestAffineAvgPreservationProperty(t *testing.T) {
+	a, b := 1.8, 32.0 // Celsius -> Fahrenheit
+	to := func(x float64) float64 { return a*x + b }
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var sumConv, sum float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+			sumConv += to(x)
+			sum += x
+		}
+		n := float64(len(xs))
+		return math.Abs(sumConv/n-to(sum/n)) <= 1e-6*math.Max(1, math.Abs(sumConv/n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(ConvPair{Name: "currency", ToFunc: "currencyToUniversal", FromFunc: "currencyFromUniversal", Class: ClassLinear}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ConvPair{Name: "currency", ToFunc: "x", FromFunc: "y"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := r.Register(ConvPair{Name: "other", ToFunc: "currencyToUniversal", FromFunc: "z"}); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	if p := r.ByName("CURRENCY"); p == nil || p.Class != ClassLinear {
+		t.Error("ByName lookup failed")
+	}
+	if p := r.ByFunc("currencyfromuniversal"); p == nil || p.Name != "currency" {
+		t.Error("ByFunc lookup failed")
+	}
+	if len(r.Pairs()) != 1 {
+		t.Error("Pairs count")
+	}
+}
+
+func newTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if err := s.Convs().Register(ConvPair{Name: "currency", ToFunc: "currencyToUniversal", FromFunc: "currencyFromUniversal", Class: ClassLinear}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func addTable(t *testing.T, s *Schema, ddl string) *TableInfo {
+	t.Helper()
+	stmt, err := sqlparse.ParseStatement(ddl)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := s.AddTable(stmt.(*sqlast.CreateTable))
+	if err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	return info
+}
+
+func TestSchemaComparabilityTable1(t *testing.T) {
+	s := newTestSchema(t)
+	emp := addTable(t, s, `CREATE TABLE Employees SPECIFIC (
+		E_emp_id INTEGER NOT NULL SPECIFIC,
+		E_name VARCHAR(25) NOT NULL COMPARABLE,
+		E_role_id INTEGER NOT NULL SPECIFIC,
+		E_reg_id INTEGER NOT NULL COMPARABLE,
+		E_salary DECIMAL(15,2) NOT NULL CONVERTIBLE @currencyToUniversal @currencyFromUniversal,
+		E_age INTEGER NOT NULL COMPARABLE)`)
+	reg := addTable(t, s, `CREATE TABLE Regions (Re_reg_id INTEGER NOT NULL, Re_name VARCHAR(25) NOT NULL)`)
+
+	// Table 1's classification of the running example.
+	if !emp.TenantSpecific() || reg.TenantSpecific() {
+		t.Error("generality wrong")
+	}
+	wantComp := map[string]sqlast.Comparability{
+		"E_emp_id": sqlast.Specific, "E_name": sqlast.Comparable,
+		"E_role_id": sqlast.Specific, "E_reg_id": sqlast.Comparable,
+		"E_salary": sqlast.Convertible, "E_age": sqlast.Comparable,
+	}
+	for col, want := range wantComp {
+		if got := emp.Column(col).Comparability; got != want {
+			t.Errorf("%s comparability = %v, want %v", col, got, want)
+		}
+	}
+	if emp.Column("E_salary").ToFunc != "currencyToUniversal" {
+		t.Error("conversion pair not recorded")
+	}
+	if reg.Column("Re_name").Comparability != sqlast.Comparable {
+		t.Error("global columns must be comparable")
+	}
+}
+
+func TestSchemaRejectsInvalid(t *testing.T) {
+	s := newTestSchema(t)
+	cases := []string{
+		// convertible column with unregistered function
+		"CREATE TABLE t SPECIFIC (a DECIMAL(15,2) CONVERTIBLE @nope @nada)",
+		// mismatched pair (from used as to)
+		"CREATE TABLE t SPECIFIC (a DECIMAL(15,2) CONVERTIBLE @currencyFromUniversal @currencyToUniversal)",
+		// global table with a specific column
+		"CREATE TABLE g (a INTEGER SPECIFIC)",
+		// reserved ttid column
+		"CREATE TABLE t SPECIFIC (ttid INTEGER)",
+	}
+	for _, ddl := range cases {
+		stmt, err := sqlparse.ParseStatement(ddl)
+		if err != nil {
+			t.Fatalf("parse %q: %v", ddl, err)
+		}
+		if _, err := s.AddTable(stmt.(*sqlast.CreateTable)); err == nil {
+			t.Errorf("accepted invalid DDL: %s", ddl)
+		}
+	}
+}
+
+func TestSchemaDropAndFunctions(t *testing.T) {
+	s := newTestSchema(t)
+	addTable(t, s, "CREATE TABLE t SPECIFIC (a INTEGER)")
+	if s.Table("T") == nil {
+		t.Fatal("lookup failed")
+	}
+	s.DropTable("t")
+	if s.Table("t") != nil {
+		t.Error("drop failed")
+	}
+	stmt, err := sqlparse.ParseStatement(`CREATE FUNCTION f (INTEGER) RETURNS INTEGER AS 'SELECT $1 + 1' LANGUAGE SQL IMMUTABLE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddFunction(stmt.(*sqlast.CreateFunction))
+	if s.Function("F") == nil {
+		t.Error("function lookup failed")
+	}
+}

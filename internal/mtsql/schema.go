@@ -1,0 +1,151 @@
+package mtsql
+
+import (
+	"fmt"
+	"strings"
+
+	"mtbase/internal/sqlast"
+)
+
+// TTIDColumn is the invisible meta column that implements data ownership
+// in the basic (shared-tables) layout, Figure 2.
+const TTIDColumn = "ttid"
+
+// ColumnInfo is the MT-specific metadata of one attribute (Table 1).
+type ColumnInfo struct {
+	Name          string
+	Comparability sqlast.Comparability
+	ToFunc        string // set iff Convertible
+	FromFunc      string
+}
+
+// TableInfo is the MT-specific metadata of one table.
+type TableInfo struct {
+	Name       string
+	Generality sqlast.Generality
+	Columns    []ColumnInfo
+	byName     map[string]*ColumnInfo
+}
+
+// TenantSpecific reports whether rows of this table are tenant-owned.
+func (t *TableInfo) TenantSpecific() bool { return t.Generality == sqlast.TenantSpecific }
+
+// Column returns metadata for a column (case-insensitive), or nil.
+func (t *TableInfo) Column(name string) *ColumnInfo { return t.byName[strings.ToLower(name)] }
+
+// ColumnNames returns the visible column names in order (ttid excluded —
+// it is invisible to clients).
+func (t *TableInfo) ColumnNames() []string {
+	names := make([]string, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Schema is the MT-specific catalog the middleware caches: per-table
+// generality and per-attribute comparability (persisted in the paper's
+// "Schema" meta table), the conversion-function registry, and the parsed
+// bodies of SQL-defined conversion UDFs (needed by the o4 inliner).
+type Schema struct {
+	tables map[string]*TableInfo
+	convs  *Registry
+	funcs  map[string]*sqlast.CreateFunction
+	views  map[string][]string // view name -> client-visible output columns
+}
+
+// NewSchema returns an empty schema with an empty conversion registry.
+func NewSchema() *Schema {
+	return &Schema{
+		tables: make(map[string]*TableInfo),
+		convs:  NewRegistry(),
+		funcs:  make(map[string]*sqlast.CreateFunction),
+		views:  make(map[string][]string),
+	}
+}
+
+// AddView records a view's client-visible output columns. A view created
+// through the middleware already satisfies the rewrite invariant (its body
+// was rewritten at creation, §2.2.4), so the rewriter treats it like a
+// derived table: comparable outputs, no D-filter.
+func (s *Schema) AddView(name string, cols []string) {
+	s.views[strings.ToLower(name)] = cols
+}
+
+// View returns a view's output columns, or nil when unknown.
+func (s *Schema) View(name string) []string { return s.views[strings.ToLower(name)] }
+
+// DropView removes a view registration.
+func (s *Schema) DropView(name string) { delete(s.views, strings.ToLower(name)) }
+
+// Convs exposes the conversion registry.
+func (s *Schema) Convs() *Registry { return s.convs }
+
+// AddTable registers MT metadata from a CREATE TABLE statement and checks
+// that convertible columns reference registered conversion pairs.
+func (s *Schema) AddTable(ct *sqlast.CreateTable) (*TableInfo, error) {
+	key := strings.ToLower(ct.Name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("mtsql: table %s already registered", ct.Name)
+	}
+	info := &TableInfo{
+		Name:       ct.Name,
+		Generality: ct.Generality,
+		byName:     make(map[string]*ColumnInfo),
+	}
+	for _, cd := range ct.Columns {
+		if strings.EqualFold(cd.Name, TTIDColumn) {
+			return nil, fmt.Errorf("mtsql: column name %s is reserved", TTIDColumn)
+		}
+		ci := ColumnInfo{Name: cd.Name, Comparability: cd.Comparability}
+		if cd.Comparability == sqlast.Convertible {
+			if ct.Generality != sqlast.TenantSpecific {
+				return nil, fmt.Errorf("mtsql: global table %s cannot have convertible column %s", ct.Name, cd.Name)
+			}
+			pair := s.convs.ByFunc(cd.ToUniversal)
+			if pair == nil || !strings.EqualFold(pair.ToFunc, cd.ToUniversal) {
+				return nil, fmt.Errorf("mtsql: column %s.%s: unknown toUniversal function %s", ct.Name, cd.Name, cd.ToUniversal)
+			}
+			if !strings.EqualFold(pair.FromFunc, cd.FromUniversal) {
+				return nil, fmt.Errorf("mtsql: column %s.%s: %s and %s are not a registered pair", ct.Name, cd.Name, cd.ToUniversal, cd.FromUniversal)
+			}
+			ci.ToFunc = pair.ToFunc
+			ci.FromFunc = pair.FromFunc
+		}
+		if ct.Generality == sqlast.Global && cd.Comparability != sqlast.Comparable {
+			// Global tables are shared between all tenants and can only
+			// have comparable attributes (§2.2.1, footnote 1).
+			return nil, fmt.Errorf("mtsql: global table %s requires comparable columns, %s is %s", ct.Name, cd.Name, cd.Comparability)
+		}
+		info.Columns = append(info.Columns, ci)
+		info.byName[strings.ToLower(cd.Name)] = &info.Columns[len(info.Columns)-1]
+	}
+	s.tables[key] = info
+	return info, nil
+}
+
+// DropTable removes a table's metadata.
+func (s *Schema) DropTable(name string) { delete(s.tables, strings.ToLower(name)) }
+
+// Table returns metadata for a table (case-insensitive), or nil.
+func (s *Schema) Table(name string) *TableInfo { return s.tables[strings.ToLower(name)] }
+
+// Tables returns all registered tables (unordered).
+func (s *Schema) Tables() []*TableInfo {
+	out := make([]*TableInfo, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddFunction retains the parsed body of a SQL-defined function so the o4
+// inliner can expand conversion calls into joins with the meta tables.
+func (s *Schema) AddFunction(cf *sqlast.CreateFunction) {
+	s.funcs[strings.ToLower(cf.Name)] = cf
+}
+
+// Function returns a retained function definition, or nil.
+func (s *Schema) Function(name string) *sqlast.CreateFunction {
+	return s.funcs[strings.ToLower(name)]
+}

@@ -1,0 +1,238 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"mtbase/internal/sqltypes"
+)
+
+func TestSelectStringClauses(t *testing.T) {
+	sel := NewSelect()
+	sel.Distinct = true
+	sel.Items = []SelectItem{
+		{Expr: &ColumnRef{Table: "e", Name: "name"}, Alias: "n"},
+		{Star: true, StarTable: "r"},
+	}
+	sel.From = []TableExpr{
+		&TableName{Name: "Employees", Alias: "e"},
+		&DerivedTable{Sub: &Select{Items: []SelectItem{{Expr: NewIntLit(1)}}, Limit: -1}, Alias: "d"},
+	}
+	sel.Where = &BinaryExpr{Op: ">", L: &ColumnRef{Name: "age"}, R: NewIntLit(30)}
+	sel.GroupBy = []Expr{&ColumnRef{Name: "n"}}
+	sel.Having = &BinaryExpr{Op: ">", L: &FuncCall{Name: "COUNT", Star: true}, R: NewIntLit(1)}
+	sel.OrderBy = []OrderItem{{Expr: &ColumnRef{Name: "n"}, Desc: true}}
+	sel.Limit = 5
+	got := sel.String()
+	for _, want := range []string{
+		"SELECT DISTINCT", "e.name AS n", "r.*", "Employees e",
+		"(SELECT 1) AS d", "WHERE", "GROUP BY n", "HAVING", "COUNT(*)",
+		"ORDER BY n DESC", "LIMIT 5",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestJoinKindStrings(t *testing.T) {
+	j := &JoinExpr{Kind: JoinLeftOuter,
+		L:  &TableName{Name: "a"},
+		R:  &TableName{Name: "b"},
+		On: &BinaryExpr{Op: "=", L: &ColumnRef{Name: "x"}, R: &ColumnRef{Name: "y"}},
+	}
+	if got := j.String(); got != "a LEFT OUTER JOIN b ON (x = y)" {
+		t.Errorf("join string: %s", got)
+	}
+	if JoinInner.String() != "JOIN" || JoinCross.String() != "CROSS JOIN" {
+		t.Error("join kind strings")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&UnaryExpr{Op: "NOT", X: NewIntLit(1)}, "(NOT 1)"},
+		{&UnaryExpr{Op: "-", X: NewIntLit(2)}, "(-2)"},
+		{&CaseExpr{Operand: &ColumnRef{Name: "x"},
+			Whens: []CaseWhen{{Cond: NewIntLit(1), Then: NewStringLit("a")}},
+			Else:  NewStringLit("b")}, "CASE x WHEN 1 THEN 'a' ELSE 'b' END"},
+		{&InExpr{X: &ColumnRef{Name: "x"}, Not: true, List: []Expr{NewIntLit(1), NewIntLit(2)}}, "x NOT IN (1, 2)"},
+		{&ExistsExpr{Not: true, Sub: &Select{Items: []SelectItem{{Expr: NewIntLit(1)}}, Limit: -1}}, "NOT EXISTS (SELECT 1)"},
+		{&BetweenExpr{X: &ColumnRef{Name: "x"}, Lo: NewIntLit(1), Hi: NewIntLit(2), Not: true}, "(x NOT BETWEEN 1 AND 2)"},
+		{&LikeExpr{X: &ColumnRef{Name: "x"}, Pattern: NewStringLit("a%"), Not: true}, "(x NOT LIKE 'a%')"},
+		{&IsNullExpr{X: &ColumnRef{Name: "x"}, Not: true}, "(x IS NOT NULL)"},
+		{&ExtractExpr{Field: "YEAR", X: &ColumnRef{Name: "d"}}, "EXTRACT(YEAR FROM d)"},
+		{&SubstringExpr{X: &ColumnRef{Name: "s"}, From: NewIntLit(1), For: NewIntLit(2)}, "SUBSTRING(s FROM 1 FOR 2)"},
+		{&IntervalExpr{N: 3, Unit: "MONTH"}, "INTERVAL '3' MONTH"},
+		{&RowExpr{Exprs: []Expr{NewIntLit(1), &ColumnRef{Name: "t"}}}, "(1, t)"},
+		{&Param{N: 2}, "$2"},
+		{&FuncCall{Name: "COUNT", Distinct: true, Args: []Expr{&ColumnRef{Name: "x"}}}, "COUNT(DISTINCT x)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStatementStrings(t *testing.T) {
+	g := &Grant{Privileges: []Privilege{PrivRead, PrivInsert}, Table: "T", Grantee: 42}
+	if got := g.String(); got != "GRANT READ, INSERT ON T TO 42" {
+		t.Errorf("grant: %s", got)
+	}
+	r := &Revoke{Privileges: []Privilege{PrivDelete}, GranteeAll: true}
+	if got := r.String(); got != "REVOKE DELETE ON DATABASE FROM ALL" {
+		t.Errorf("revoke: %s", got)
+	}
+	ss := &SetScope{Simple: []int64{1, 3}}
+	if got := ss.String(); got != `SET SCOPE = "IN (1, 3)"` {
+		t.Errorf("scope: %s", got)
+	}
+	ss = &SetScope{All: true}
+	if got := ss.String(); got != `SET SCOPE = "IN ()"` {
+		t.Errorf("all scope: %s", got)
+	}
+	up := &Update{Table: "t", Sets: []Assignment{{Column: "a", Expr: NewIntLit(1)}},
+		Where: &BinaryExpr{Op: "=", L: &ColumnRef{Name: "b"}, R: NewIntLit(2)}}
+	if got := up.String(); got != "UPDATE t SET a = 1 WHERE (b = 2)" {
+		t.Errorf("update: %s", got)
+	}
+	del := &Delete{Table: "t"}
+	if got := del.String(); got != "DELETE FROM t" {
+		t.Errorf("delete: %s", got)
+	}
+	dv := &DropView{Name: "v"}
+	if got := dv.String(); got != "DROP VIEW v" {
+		t.Errorf("drop view: %s", got)
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	exprs := []Expr{
+		&BinaryExpr{Op: "+", L: &ColumnRef{Name: "a"}, R: NewIntLit(1)},
+		&CaseExpr{Whens: []CaseWhen{{Cond: NewIntLit(1), Then: NewIntLit(2)}}},
+		&InExpr{X: &ColumnRef{Name: "a"}, Sub: &Select{Items: []SelectItem{{Expr: &ColumnRef{Name: "b"}}}, Limit: -1}},
+		&RowExpr{Exprs: []Expr{&ColumnRef{Name: "a"}}},
+		&SubstringExpr{X: &ColumnRef{Name: "s"}, From: NewIntLit(1)},
+	}
+	for _, e := range exprs {
+		clone := CloneExpr(e)
+		if clone.String() != e.String() {
+			t.Errorf("clone differs: %s vs %s", clone, e)
+		}
+		// Mutate the clone's first column ref; original must not change.
+		before := e.String()
+		mutated := false
+		TransformExpr(clone, func(n Expr) Expr {
+			if cr, ok := n.(*ColumnRef); ok && !mutated {
+				cr.Name = "zzz"
+				mutated = true
+			}
+			return n
+		})
+		if e.String() != before {
+			t.Errorf("mutating clone changed original: %s", e)
+		}
+	}
+}
+
+func TestAndExprs(t *testing.T) {
+	if AndExprs(nil, nil) != nil {
+		t.Error("all-nil must give nil")
+	}
+	one := NewIntLit(1)
+	if got := AndExprs(nil, one, nil); got != one {
+		t.Error("single expr must pass through")
+	}
+	got := AndExprs(NewIntLit(1), NewIntLit(2), NewIntLit(3))
+	if got.String() != "((1 AND 2) AND 3)" {
+		t.Errorf("and chain: %s", got)
+	}
+}
+
+func TestBaseTablesOf(t *testing.T) {
+	from := []TableExpr{
+		&TableName{Name: "a"},
+		&JoinExpr{Kind: JoinInner,
+			L: &TableName{Name: "b", Alias: "bb"},
+			R: &JoinExpr{Kind: JoinLeftOuter, L: &TableName{Name: "c"}, R: &TableName{Name: "d"}},
+		},
+		&DerivedTable{Sub: &Select{Items: []SelectItem{{Expr: NewIntLit(1)}},
+			From: []TableExpr{&TableName{Name: "hidden"}}, Limit: -1}, Alias: "x"},
+	}
+	names := []string{}
+	for _, t := range BaseTablesOf(from) {
+		names = append(names, t.Name)
+	}
+	want := "a,b,c,d"
+	if strings.Join(names, ",") != want {
+		t.Errorf("base tables = %v, want %s (derived tables excluded)", names, want)
+	}
+}
+
+func TestColumnRefsOfSkipsSubqueries(t *testing.T) {
+	e := &BinaryExpr{Op: "AND",
+		L: &BinaryExpr{Op: "=", L: &ColumnRef{Name: "a"}, R: &ColumnRef{Table: "t", Name: "b"}},
+		R: &ExistsExpr{Sub: &Select{Items: []SelectItem{{Expr: &ColumnRef{Name: "inner_col"}}}, Limit: -1}},
+	}
+	refs := ColumnRefsOf(e)
+	if len(refs) != 2 {
+		t.Errorf("refs = %v", refs)
+	}
+	subs := SubqueriesOf(e)
+	if len(subs) != 1 {
+		t.Errorf("subqueries = %d", len(subs))
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	pk := Constraint{Kind: ConstraintPrimaryKey, Name: "pk", Columns: []string{"a", "b"}}
+	if got := pk.String(); got != "CONSTRAINT pk PRIMARY KEY (a, b)" {
+		t.Errorf("pk: %s", got)
+	}
+	fk := Constraint{Kind: ConstraintForeignKey, Name: "fk", Columns: []string{"a"},
+		RefTable: "r", RefColumns: []string{"x"}}
+	if got := fk.String(); got != "CONSTRAINT fk FOREIGN KEY (a) REFERENCES r (x)" {
+		t.Errorf("fk: %s", got)
+	}
+	ck := Constraint{Kind: ConstraintCheck, Name: "ck",
+		Check: &BinaryExpr{Op: ">", L: &ColumnRef{Name: "a"}, R: NewIntLit(0)}}
+	if got := ck.String(); got != "CONSTRAINT ck CHECK ((a > 0))" {
+		t.Errorf("check: %s", got)
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	if NewIntLit(7).Val.I != 7 {
+		t.Error("NewIntLit")
+	}
+	if NewStringLit("x").Val.S != "x" {
+		t.Error("NewStringLit")
+	}
+	lit := &Literal{Val: sqltypes.MustDate("1994-01-01")}
+	if lit.String() != "DATE '1994-01-01'" {
+		t.Errorf("date literal: %s", lit)
+	}
+}
+
+func TestTypeNameString(t *testing.T) {
+	tn := TypeName{Name: "DECIMAL", Args: []int{15, 2}}
+	if tn.String() != "DECIMAL(15,2)" {
+		t.Errorf("type: %s", tn)
+	}
+	if (TypeName{Name: "DATE"}).String() != "DATE" {
+		t.Error("bare type")
+	}
+}
+
+func TestGeneralityComparabilityStrings(t *testing.T) {
+	if Global.String() != "GLOBAL" || TenantSpecific.String() != "SPECIFIC" {
+		t.Error("generality strings")
+	}
+	if Comparable.String() != "COMPARABLE" || Convertible.String() != "CONVERTIBLE" || Specific.String() != "SPECIFIC" {
+		t.Error("comparability strings")
+	}
+}

@@ -1,0 +1,296 @@
+package sqlast
+
+// This file provides deep cloning and structural traversal of the AST.
+// The rewrite algorithm (internal/rewrite) and the optimizer passes
+// (internal/optimizer) are pure AST→AST functions; they clone before
+// mutating so callers can keep the original statement.
+
+// CloneExpr returns a deep copy of e. A nil expression clones to nil.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *Literal:
+		c := *x
+		return &c
+	case *Param:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X)}
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star, Args: args}
+	case *CaseExpr:
+		whens := make([]CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = CaseWhen{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)}
+		}
+		return &CaseExpr{Operand: CloneExpr(x.Operand), Whens: whens, Else: CloneExpr(x.Else)}
+	case *InExpr:
+		var list []Expr
+		if x.List != nil {
+			list = make([]Expr, len(x.List))
+			for i, it := range x.List {
+				list[i] = CloneExpr(it)
+			}
+		}
+		return &InExpr{X: CloneExpr(x.X), Not: x.Not, List: list, Sub: CloneSelect(x.Sub)}
+	case *ExistsExpr:
+		return &ExistsExpr{Not: x.Not, Sub: CloneSelect(x.Sub)}
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Pattern: CloneExpr(x.Pattern), Not: x.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: CloneSelect(x.Sub)}
+	case *RowExpr:
+		exprs := make([]Expr, len(x.Exprs))
+		for i, e := range x.Exprs {
+			exprs[i] = CloneExpr(e)
+		}
+		return &RowExpr{Exprs: exprs}
+	case *ExtractExpr:
+		return &ExtractExpr{Field: x.Field, X: CloneExpr(x.X)}
+	case *SubstringExpr:
+		return &SubstringExpr{X: CloneExpr(x.X), From: CloneExpr(x.From), For: CloneExpr(x.For)}
+	case *IntervalExpr:
+		c := *x
+		return &c
+	case *Select:
+		return CloneSelect(x)
+	}
+	panic("sqlast: CloneExpr: unhandled node type")
+}
+
+// CloneSelect returns a deep copy of s; nil clones to nil.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	out := &Select{
+		Distinct: s.Distinct,
+		Limit:    s.Limit,
+	}
+	out.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		out.Items[i] = SelectItem{Star: it.Star, StarTable: it.StarTable, Expr: CloneExpr(it.Expr), Alias: it.Alias}
+	}
+	out.From = make([]TableExpr, len(s.From))
+	for i, t := range s.From {
+		out.From[i] = CloneTableExpr(t)
+	}
+	out.Where = CloneExpr(s.Where)
+	out.GroupBy = make([]Expr, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		out.GroupBy[i] = CloneExpr(g)
+	}
+	out.Having = CloneExpr(s.Having)
+	out.OrderBy = make([]OrderItem, len(s.OrderBy))
+	for i, o := range s.OrderBy {
+		out.OrderBy[i] = OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc}
+	}
+	return out
+}
+
+// CloneTableExpr returns a deep copy of a FROM item.
+func CloneTableExpr(t TableExpr) TableExpr {
+	switch x := t.(type) {
+	case *TableName:
+		c := *x
+		return &c
+	case *DerivedTable:
+		return &DerivedTable{Sub: CloneSelect(x.Sub), Alias: x.Alias}
+	case *JoinExpr:
+		return &JoinExpr{Kind: x.Kind, L: CloneTableExpr(x.L), R: CloneTableExpr(x.R), On: CloneExpr(x.On)}
+	}
+	panic("sqlast: CloneTableExpr: unhandled node type")
+}
+
+// TransformExpr rewrites e bottom-up: children are transformed first, then
+// f is applied to the (rebuilt) node and its result replaces the node.
+// Subqueries (*Select) are NOT entered — the rewrite algorithm recurses
+// into subqueries explicitly, per Algorithm 1 of the paper.
+func TransformExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ColumnRef, *Literal, *Param, *IntervalExpr, *Select:
+		// leaves (Select is a subquery boundary)
+	case *BinaryExpr:
+		x.L = TransformExpr(x.L, f)
+		x.R = TransformExpr(x.R, f)
+	case *UnaryExpr:
+		x.X = TransformExpr(x.X, f)
+	case *FuncCall:
+		for i, a := range x.Args {
+			x.Args[i] = TransformExpr(a, f)
+		}
+	case *CaseExpr:
+		x.Operand = TransformExpr(x.Operand, f)
+		for i := range x.Whens {
+			x.Whens[i].Cond = TransformExpr(x.Whens[i].Cond, f)
+			x.Whens[i].Then = TransformExpr(x.Whens[i].Then, f)
+		}
+		x.Else = TransformExpr(x.Else, f)
+	case *InExpr:
+		x.X = TransformExpr(x.X, f)
+		for i, it := range x.List {
+			x.List[i] = TransformExpr(it, f)
+		}
+	case *ExistsExpr:
+		// subquery boundary
+	case *BetweenExpr:
+		x.X = TransformExpr(x.X, f)
+		x.Lo = TransformExpr(x.Lo, f)
+		x.Hi = TransformExpr(x.Hi, f)
+	case *LikeExpr:
+		x.X = TransformExpr(x.X, f)
+		x.Pattern = TransformExpr(x.Pattern, f)
+	case *IsNullExpr:
+		x.X = TransformExpr(x.X, f)
+	case *SubqueryExpr:
+		// subquery boundary
+	case *RowExpr:
+		for i, it := range x.Exprs {
+			x.Exprs[i] = TransformExpr(it, f)
+		}
+	case *ExtractExpr:
+		x.X = TransformExpr(x.X, f)
+	case *SubstringExpr:
+		x.X = TransformExpr(x.X, f)
+		x.From = TransformExpr(x.From, f)
+		x.For = TransformExpr(x.For, f)
+	}
+	return f(e)
+}
+
+// WalkExpr visits e and its children pre-order; if f returns false the
+// children of the current node are skipped. Subqueries are not entered.
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *UnaryExpr:
+		WalkExpr(x.X, f)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	case *CaseExpr:
+		WalkExpr(x.Operand, f)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, f)
+			WalkExpr(w.Then, f)
+		}
+		WalkExpr(x.Else, f)
+	case *InExpr:
+		WalkExpr(x.X, f)
+		for _, it := range x.List {
+			WalkExpr(it, f)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, f)
+		WalkExpr(x.Lo, f)
+		WalkExpr(x.Hi, f)
+	case *LikeExpr:
+		WalkExpr(x.X, f)
+		WalkExpr(x.Pattern, f)
+	case *IsNullExpr:
+		WalkExpr(x.X, f)
+	case *RowExpr:
+		for _, it := range x.Exprs {
+			WalkExpr(it, f)
+		}
+	case *ExtractExpr:
+		WalkExpr(x.X, f)
+	case *SubstringExpr:
+		WalkExpr(x.X, f)
+		WalkExpr(x.From, f)
+		WalkExpr(x.For, f)
+	}
+}
+
+// SubqueriesOf returns the directly nested subqueries of e (one level).
+func SubqueriesOf(e Expr) []*Select {
+	var subs []*Select
+	WalkExpr(e, func(n Expr) bool {
+		switch x := n.(type) {
+		case *InExpr:
+			if x.Sub != nil {
+				subs = append(subs, x.Sub)
+			}
+		case *ExistsExpr:
+			subs = append(subs, x.Sub)
+		case *SubqueryExpr:
+			subs = append(subs, x.Sub)
+		}
+		return true
+	})
+	return subs
+}
+
+// ColumnRefsOf returns all column references in e (subqueries excluded).
+func ColumnRefsOf(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkExpr(e, func(n Expr) bool {
+		if c, ok := n.(*ColumnRef); ok {
+			refs = append(refs, c)
+		}
+		return true
+	})
+	return refs
+}
+
+// AndExprs conjoins the non-nil expressions with AND; returns nil when all
+// are nil.
+func AndExprs(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}
+
+// BaseTablesOf returns every base-table reference (recursing through joins
+// but not into derived tables) in the FROM list.
+func BaseTablesOf(from []TableExpr) []*TableName {
+	var out []*TableName
+	var visit func(t TableExpr)
+	visit = func(t TableExpr) {
+		switch x := t.(type) {
+		case *TableName:
+			out = append(out, x)
+		case *JoinExpr:
+			visit(x.L)
+			visit(x.R)
+		}
+	}
+	for _, t := range from {
+		visit(t)
+	}
+	return out
+}

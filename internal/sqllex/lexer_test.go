@@ -1,0 +1,164 @@
+package sqllex
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	ks := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestTokenizeSimpleQuery(t *testing.T) {
+	toks, err := Tokenize("SELECT e_name, e_salary FROM Employees WHERE e_age >= 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "e_name"}, {TokOp, ","},
+		{TokIdent, "e_salary"}, {TokKeyword, "FROM"}, {TokIdent, "Employees"},
+		{TokKeyword, "WHERE"}, {TokIdent, "e_age"}, {TokOp, ">="},
+		{TokNumber, "45"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("select From WHERE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokKeyword {
+			t.Errorf("%q not lexed as keyword", tok.Text)
+		}
+	}
+}
+
+func TestMTSQLKeywords(t *testing.T) {
+	toks, err := Tokenize("CREATE TABLE t SPECIFIC (a INTEGER COMPARABLE, b VARCHAR(17) CONVERTIBLE @toU @fromU)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ats []string
+	for _, tok := range toks {
+		if tok.Kind == TokAt {
+			ats = append(ats, tok.Text)
+		}
+	}
+	if len(ats) != 2 || ats[0] != "toU" || ats[1] != "fromU" {
+		t.Errorf("annotations = %v", ats)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := Tokenize("'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "O'Brien" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("'oops"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("1 2.5 0.05 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"1", "2.5", "0.05", "100"}
+	for i, w := range wants {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("number %d = %q", i, toks[i].Text)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block\ncomment */ FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // SELECT 1 FROM t EOF
+		t.Errorf("tokens after comment stripping: %v", kinds(toks))
+	}
+}
+
+func TestParams(t *testing.T) {
+	toks, err := Tokenize("SELECT $1 * $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokParam || toks[1].Text != "1" {
+		t.Errorf("param token = %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[3].Kind != TokParam || toks[3].Text != "2" {
+		t.Errorf("param token = %v %q", toks[3].Kind, toks[3].Text)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("a <> b <= c >= d != e || f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"<>", "<=", ">=", "!=", "||"}
+	j := 0
+	for _, tok := range toks {
+		if tok.Kind == TokOp {
+			if tok.Text != ops[j] {
+				t.Errorf("op %d = %q want %q", j, tok.Text, ops[j])
+			}
+			j++
+		}
+	}
+	if j != len(ops) {
+		t.Errorf("found %d ops, want %d", j, len(ops))
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks, err := Tokenize(`SELECT "Weird Name" FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "Weird Name" {
+		t.Errorf("quoted ident = %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := Tokenize("SELECT #"); err == nil {
+		t.Error("unexpected character accepted")
+	}
+}
+
+func TestDateKeywordAndLiteral(t *testing.T) {
+	toks, err := Tokenize("DATE '1994-01-01' + INTERVAL '1' YEAR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "DATE" {
+		t.Errorf("DATE token = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "1994-01-01" {
+		t.Errorf("date literal = %q", toks[1].Text)
+	}
+}

@@ -1,0 +1,624 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqllex"
+)
+
+// ---------------------------------------------------------------- CREATE
+
+func (p *Parser) parseCreate() (sqlast.Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.eatKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.eatKeyword("VIEW"):
+		return p.parseCreateView()
+	case p.eatKeyword("FUNCTION"):
+		return p.parseCreateFunction()
+	}
+	return nil, p.errorf("expected TABLE, VIEW or FUNCTION after CREATE, got %s", p.peek())
+}
+
+func (p *Parser) parseCreateTable() (sqlast.Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct := &sqlast.CreateTable{Name: name, Generality: sqlast.Global}
+	// MTSQL table generality (tables default to global, §2.2.1).
+	if p.eatKeyword("SPECIFIC") {
+		ct.Generality = sqlast.TenantSpecific
+	} else {
+		p.eatKeyword("GLOBAL")
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.isKeyword("CONSTRAINT") || p.isKeyword("PRIMARY") || p.isKeyword("FOREIGN") || p.isKeyword("CHECK") {
+			con, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			ct.Constraints = append(ct.Constraints, con)
+		} else {
+			col, err := p.parseColumnDef(ct.Generality)
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *Parser) parseColumnDef(gen sqlast.Generality) (sqlast.ColumnDef, error) {
+	var col sqlast.ColumnDef
+	name, err := p.expectIdent()
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+	col.Type, err = p.parseTypeName()
+	if err != nil {
+		return col, err
+	}
+	// Defaults per §2.2.1: attributes of tenant-specific tables default to
+	// tenant-specific; attributes of global tables default to comparable.
+	if gen == sqlast.TenantSpecific {
+		col.Comparability = sqlast.Specific
+	} else {
+		col.Comparability = sqlast.Comparable
+	}
+	for {
+		switch {
+		case p.eatKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return col, err
+			}
+			col.NotNull = true
+		case p.eatKeyword("COMPARABLE"):
+			col.Comparability = sqlast.Comparable
+		case p.eatKeyword("SPECIFIC"):
+			col.Comparability = sqlast.Specific
+		case p.eatKeyword("CONVERTIBLE"):
+			col.Comparability = sqlast.Convertible
+			// @toUniversal @fromUniversal annotations
+			t := p.peek()
+			if t.Kind != sqllex.TokAt {
+				return col, p.errorf("CONVERTIBLE requires @toUniversal @fromUniversal annotations")
+			}
+			col.ToUniversal = p.next().Text
+			t = p.peek()
+			if t.Kind != sqllex.TokAt {
+				return col, p.errorf("CONVERTIBLE requires a second @fromUniversal annotation")
+			}
+			col.FromUniversal = p.next().Text
+		default:
+			return col, nil
+		}
+	}
+}
+
+// typeNames is the set of recognized column types.
+var typeNames = map[string]bool{
+	"INTEGER": true, "INT": true, "BIGINT": true, "DECIMAL": true,
+	"NUMERIC": true, "VARCHAR": true, "CHAR": true, "TEXT": true,
+	"DATE": true, "BOOLEAN": true,
+}
+
+func (p *Parser) parseTypeName() (sqlast.TypeName, error) {
+	t := p.peek()
+	if (t.Kind != sqllex.TokKeyword && t.Kind != sqllex.TokIdent) || !typeNames[strings.ToUpper(t.Text)] {
+		return sqlast.TypeName{}, p.errorf("expected type name, got %s", t)
+	}
+	p.pos++
+	tn := sqlast.TypeName{Name: strings.ToUpper(t.Text)}
+	if p.eatOp("(") {
+		for {
+			num := p.peek()
+			if num.Kind != sqllex.TokNumber {
+				return tn, p.errorf("expected type size, got %s", num)
+			}
+			n, err := strconv.Atoi(num.Text)
+			if err != nil {
+				return tn, p.errorf("bad type size %q", num.Text)
+			}
+			p.pos++
+			tn.Args = append(tn.Args, n)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return tn, err
+		}
+	}
+	return tn, nil
+}
+
+func (p *Parser) parseConstraint() (sqlast.Constraint, error) {
+	var con sqlast.Constraint
+	if p.eatKeyword("CONSTRAINT") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return con, err
+		}
+		con.Name = name
+	}
+	switch {
+	case p.eatKeyword("PRIMARY"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return con, err
+		}
+		con.Kind = sqlast.ConstraintPrimaryKey
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return con, err
+		}
+		con.Columns = cols
+	case p.eatKeyword("FOREIGN"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return con, err
+		}
+		con.Kind = sqlast.ConstraintForeignKey
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return con, err
+		}
+		con.Columns = cols
+		if err := p.expectKeyword("REFERENCES"); err != nil {
+			return con, err
+		}
+		ref, err := p.expectIdent()
+		if err != nil {
+			return con, err
+		}
+		con.RefTable = ref
+		refCols, err := p.parseParenIdentList()
+		if err != nil {
+			return con, err
+		}
+		con.RefColumns = refCols
+	case p.eatKeyword("CHECK"):
+		con.Kind = sqlast.ConstraintCheck
+		if err := p.expectOp("("); err != nil {
+			return con, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return con, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return con, err
+		}
+		con.Check = e
+	default:
+		return con, p.errorf("expected PRIMARY KEY, FOREIGN KEY or CHECK, got %s", p.peek())
+	}
+	return con, nil
+}
+
+func (p *Parser) parseParenIdentList() ([]string, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parseCreateView() (sqlast.Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.CreateView{Name: name, Sub: sub}, nil
+}
+
+func (p *Parser) parseCreateFunction() (sqlast.Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cf := &sqlast.CreateFunction{Name: name}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if !p.isOp(")") {
+		for {
+			tn, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			cf.ParamTypes = append(cf.ParamTypes, tn)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("RETURNS"); err != nil {
+		return nil, err
+	}
+	cf.ReturnType, err = p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	body := p.peek()
+	if body.Kind != sqllex.TokString {
+		return nil, p.errorf("expected quoted SQL body after AS, got %s", body)
+	}
+	p.pos++
+	bodyText := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body.Text), ";"))
+	sub, err := ParseQuery(bodyText)
+	if err != nil {
+		return nil, p.errorf("function body: %v", err)
+	}
+	cf.Body = sub
+	if p.eatKeyword("LANGUAGE") {
+		if err := p.expectKeyword("SQL"); err != nil {
+			return nil, err
+		}
+	}
+	if p.eatKeyword("IMMUTABLE") {
+		cf.Immutable = true
+	}
+	return cf, nil
+}
+
+// ---------------------------------------------------------------- DROP
+
+func (p *Parser) parseDrop() (sqlast.Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.eatKeyword("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropTable{Name: name}, nil
+	case p.eatKeyword("VIEW"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropView{Name: name}, nil
+	}
+	return nil, p.errorf("expected TABLE or VIEW after DROP, got %s", p.peek())
+}
+
+// ---------------------------------------------------------------- DML
+
+func (p *Parser) parseInsert() (sqlast.Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &sqlast.Insert{Table: table}
+	if p.isOp("(") {
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = cols
+	}
+	if p.isKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Sub = sub
+		return ins, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []sqlast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *Parser) parseUpdate() (sqlast.Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	up := &sqlast.Update{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Sets = append(up.Sets, sqlast.Assignment{Column: col, Expr: e})
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *Parser) parseDelete() (sqlast.Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &sqlast.Delete{Table: table}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// ---------------------------------------------------------------- DCL
+
+func (p *Parser) parsePrivileges() ([]sqlast.Privilege, error) {
+	var privs []sqlast.Privilege
+	for {
+		t := p.peek()
+		var pr sqlast.Privilege
+		switch {
+		case t.Kind == sqllex.TokKeyword && t.Text == "READ":
+			pr = sqlast.PrivRead
+		case t.Kind == sqllex.TokKeyword && t.Text == "INSERT":
+			pr = sqlast.PrivInsert
+		case t.Kind == sqllex.TokKeyword && t.Text == "UPDATE":
+			pr = sqlast.PrivUpdate
+		case t.Kind == sqllex.TokKeyword && t.Text == "DELETE":
+			pr = sqlast.PrivDelete
+		default:
+			return nil, p.errorf("expected privilege, got %s", t)
+		}
+		p.pos++
+		privs = append(privs, pr)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	return privs, nil
+}
+
+// parseGranteeTarget parses the ON <database|table> TO/FROM <ttid|ALL> tail.
+func (p *Parser) parseGranteeTarget(sep string) (table string, grantee int64, all bool, err error) {
+	if err = p.expectKeyword("ON"); err != nil {
+		return
+	}
+	if t := p.peek(); t.Kind == sqllex.TokIdent {
+		if strings.EqualFold(t.Text, "DATABASE") {
+			p.pos++
+		} else {
+			table = t.Text
+			p.pos++
+		}
+	} else {
+		err = p.errorf("expected table name or DATABASE, got %s", t)
+		return
+	}
+	if err = p.expectKeyword(sep); err != nil {
+		return
+	}
+	t := p.peek()
+	switch {
+	case t.Kind == sqllex.TokKeyword && t.Text == "ALL":
+		p.pos++
+		all = true
+	case t.Kind == sqllex.TokNumber:
+		p.pos++
+		grantee, err = strconv.ParseInt(t.Text, 10, 64)
+	default:
+		err = p.errorf("expected tenant id or ALL, got %s", t)
+	}
+	return
+}
+
+func (p *Parser) parseGrant() (sqlast.Statement, error) {
+	if err := p.expectKeyword("GRANT"); err != nil {
+		return nil, err
+	}
+	privs, err := p.parsePrivileges()
+	if err != nil {
+		return nil, err
+	}
+	table, grantee, all, err := p.parseGranteeTarget("TO")
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.Grant{Privileges: privs, Table: table, Grantee: grantee, GranteeAll: all}, nil
+}
+
+func (p *Parser) parseRevoke() (sqlast.Statement, error) {
+	if err := p.expectKeyword("REVOKE"); err != nil {
+		return nil, err
+	}
+	privs, err := p.parsePrivileges()
+	if err != nil {
+		return nil, err
+	}
+	table, grantee, all, err := p.parseGranteeTarget("FROM")
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.Revoke{Privileges: privs, Table: table, Grantee: grantee, GranteeAll: all}, nil
+}
+
+// ---------------------------------------------------------------- SET SCOPE
+
+// parseSetScope parses the MTSQL scope statement:
+//
+//	SET SCOPE = "IN (1,3,42)"        -- simple scope
+//	SET SCOPE = "IN ()"              -- all tenants
+//	SET SCOPE = "FROM t WHERE p"     -- complex scope (§2.1)
+//
+// The scope text is carried in a double-quoted (or single-quoted) string.
+func (p *Parser) parseSetScope() (sqlast.Statement, error) {
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SCOPE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind != sqllex.TokString && t.Kind != sqllex.TokIdent {
+		return nil, p.errorf("expected quoted scope expression, got %s", t)
+	}
+	p.pos++
+	return ParseScopeText(t.Text)
+}
+
+// ParseScopeText parses the contents of a SCOPE string.
+func ParseScopeText(text string) (*sqlast.SetScope, error) {
+	inner, err := New(text)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case inner.eatKeyword("IN"):
+		if err := inner.expectOp("("); err != nil {
+			return nil, err
+		}
+		ss := &sqlast.SetScope{}
+		if inner.eatOp(")") {
+			ss.All = true // empty IN list = all tenants (§2.1)
+			return ss, nil
+		}
+		for {
+			t := inner.peek()
+			if t.Kind != sqllex.TokNumber {
+				return nil, inner.errorf("expected tenant id in scope, got %s", t)
+			}
+			id, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return nil, inner.errorf("bad tenant id %q", t.Text)
+			}
+			inner.pos++
+			ss.Simple = append(ss.Simple, id)
+			if !inner.eatOp(",") {
+				break
+			}
+		}
+		if err := inner.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return ss, nil
+	case inner.eatKeyword("FROM"):
+		sq := &sqlast.ScopeQuery{}
+		for {
+			te, err := inner.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			sq.From = append(sq.From, te)
+			if !inner.eatOp(",") {
+				break
+			}
+		}
+		if inner.eatKeyword("WHERE") {
+			w, err := inner.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sq.Where = w
+		}
+		return &sqlast.SetScope{Complex: sq}, nil
+	}
+	return nil, fmt.Errorf("sqlparse: scope must start with IN or FROM: %q", text)
+}
