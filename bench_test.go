@@ -29,6 +29,7 @@ func runTable(b *testing.B, number int) {
 		b.Fatal(err)
 	}
 	spec.Repeats = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunOptLevels(spec, nil); err != nil {
@@ -61,6 +62,7 @@ func runFigure(b *testing.B, number int) {
 		b.Fatal(err)
 	}
 	spec.Repeats = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunScaling(spec, nil); err != nil {
@@ -100,6 +102,7 @@ func BenchmarkQuery(b *testing.B) {
 			optimizer.O3, optimizer.O4, optimizer.InlOnly,
 		} {
 			b.Run(q.Name+"/"+level.String(), func(b *testing.B) {
+				b.ReportAllocs()
 				conn.SetOptLevel(level)
 				for i := 0; i < b.N; i++ {
 					if _, err := mth.RunOnMT(conn, q); err != nil {
@@ -133,6 +136,7 @@ func BenchmarkRewrite(b *testing.B) {
 	}
 	for _, level := range []optimizer.Level{optimizer.Canonical, optimizer.O4} {
 		b.Run(level.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			conn.SetOptLevel(level)
 			for i := 0; i < b.N; i++ {
 				if _, err := conn.RewriteSQL(q.SQL); err != nil {

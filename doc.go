@@ -5,7 +5,13 @@
 // The system lives in internal/ packages:
 //
 //   - sqltypes, sqllex, sqlast, sqlparse — the SQL/MTSQL frontend
-//   - engine — the substrate in-memory DBMS (PostgreSQL / "System C" roles)
+//   - engine — the substrate in-memory DBMS (PostgreSQL / "System C" roles).
+//     Queries run compile-then-execute: expression trees are lowered once
+//     per query into closures over flat row offsets (engine/compile.go),
+//     conversion-UDF bodies are planned once per statement with their
+//     tenant-keyed meta-table lookups cached, and pure conversion results
+//     are memoized per call site; the tree-walking interpreter remains as
+//     the fallback for subqueries, aggregates and correlated references.
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)

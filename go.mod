@@ -1,0 +1,3 @@
+module mtbase
+
+go 1.24

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -44,6 +45,7 @@ type OptResult struct {
 	Baseline []float64                     // plain TPC-H per query
 	Times    map[optimizer.Level][]float64 // per level, per query
 	UDFCalls map[optimizer.Level][]int64   // ablation metric
+	Allocs   map[optimizer.Level][]uint64  // heap allocations of the measured run
 }
 
 func (s OptSpec) repeats() int {
@@ -95,6 +97,7 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 		QueryIDs: ids,
 		Times:    make(map[optimizer.Level][]float64),
 		UDFCalls: make(map[optimizer.Level][]int64),
+		Allocs:   make(map[optimizer.Level][]uint64),
 	}
 
 	for _, id := range ids {
@@ -102,7 +105,7 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		secs, err := timePlain(plain, q, spec.repeats())
+		secs, _, err := timePlain(plain, q, spec.repeats())
 		if err != nil {
 			return nil, fmt.Errorf("baseline Q%d: %w", id, err)
 		}
@@ -118,12 +121,13 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 			}
 			db := inst.Srv.DB()
 			db.Stats = engine.Stats{}
-			secs, err := timeMT(conn, q, spec.repeats())
+			secs, allocs, err := timeMT(conn, q, spec.repeats())
 			if err != nil {
 				return nil, fmt.Errorf("%s Q%d at %s: %w", spec.Label, id, level, err)
 			}
 			res.Times[level] = append(res.Times[level], secs)
 			res.UDFCalls[level] = append(res.UDFCalls[level], db.Stats.UDFCalls)
+			res.Allocs[level] = append(res.Allocs[level], allocs)
 			if progress != nil {
 				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls)\n",
 					spec.Label, level, id, secs, db.Stats.UDFCalls)
@@ -133,28 +137,43 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 	return res, nil
 }
 
-func timePlain(db *engine.DB, q mth.Query, repeats int) (float64, error) {
-	var last float64
-	for i := 0; i < repeats; i++ {
-		start := time.Now()
-		if _, err := mth.RunOnPlain(db, q); err != nil {
-			return 0, err
-		}
-		last = time.Since(start).Seconds()
-	}
-	return last, nil
+// mallocs reads the process-wide allocation counter; deltas around a
+// single-threaded run approximate allocs per query, making interpreter
+// overhead visible next to response times.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
-func timeMT(conn *middleware.Conn, q mth.Query, repeats int) (float64, error) {
+func timePlain(db *engine.DB, q mth.Query, repeats int) (float64, uint64, error) {
 	var last float64
+	var allocs uint64
 	for i := 0; i < repeats; i++ {
+		before := mallocs()
 		start := time.Now()
-		if _, err := mth.RunOnMT(conn, q); err != nil {
-			return 0, err
+		if _, err := mth.RunOnPlain(db, q); err != nil {
+			return 0, 0, err
 		}
 		last = time.Since(start).Seconds()
+		allocs = mallocs() - before
 	}
-	return last, nil
+	return last, allocs, nil
+}
+
+func timeMT(conn *middleware.Conn, q mth.Query, repeats int) (float64, uint64, error) {
+	var last float64
+	var allocs uint64
+	for i := 0; i < repeats; i++ {
+		before := mallocs()
+		start := time.Now()
+		if _, err := mth.RunOnMT(conn, q); err != nil {
+			return 0, 0, err
+		}
+		last = time.Since(start).Seconds()
+		allocs = mallocs() - before
+	}
+	return last, allocs, nil
 }
 
 // WriteTable renders the result in the paper's layout: one row per level,
@@ -183,6 +202,14 @@ func (r *OptResult) WriteTable(w io.Writer) {
 	for _, level := range levels {
 		fmt.Fprintf(w, "%-10s", level.String())
 		for _, n := range r.UDFCalls[level] {
+			fmt.Fprintf(w, " %8d", n)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "heap allocations per level (measured run):")
+	for _, level := range levels {
+		fmt.Fprintf(w, "%-10s", level.String())
+		for _, n := range r.Allocs[level] {
 			fmt.Fprintf(w, " %8d", n)
 		}
 		fmt.Fprintln(w)
@@ -258,7 +285,7 @@ func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		secs, err := timePlain(plain, q, repeats)
+		secs, _, err := timePlain(plain, q, repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +315,7 @@ func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				secs, err := timeMT(conn, q, repeats)
+				secs, _, err := timeMT(conn, q, repeats)
 				if err != nil {
 					return nil, fmt.Errorf("%s T=%d Q%d at %s: %w", spec.Label, tcount, id, level, err)
 				}

@@ -1,0 +1,999 @@
+package engine
+
+// This file implements the compiled-expression subsystem: sqlast.Expr trees
+// are lowered once per query into closures over the current relation's flat
+// row layout, so the per-row hot paths (WHERE filters, projections, join and
+// group-by keys, sort keys, aggregate arguments) pay no per-row name
+// resolution, no string-keyed scope lookups and no AST dispatch. The paper's
+// residual cost after O1–O4 is per-row conversion-function calls; compiling
+// the call sites, planning conversion-UDF bodies once per statement and
+// memoizing pure conversion results turns that residue into array indexing
+// plus hash probes.
+//
+// Compilation is best-effort: any construct the compiler does not cover —
+// subqueries, EXISTS, aggregates, correlated references that resolve in an
+// enclosing scope, $n parameters outside a UDF body plan — makes compile
+// return nil and the caller falls back to the tree-walking interpreter in
+// eval.go. Compiled and interpreted evaluation are kept behaviourally
+// identical (including evaluation order, short-circuiting and error
+// propagation); the differential property test in property_test.go enforces
+// this.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// compiledExpr evaluates an expression against a row laid out according to
+// the bindings the expression was compiled with.
+type compiledExpr func(row []sqltypes.Value) (sqltypes.Value, error)
+
+// cenv is the compilation environment: the flat row layout plus, inside a
+// UDF body plan, the slot the plan stores the current call's arguments in.
+type cenv struct {
+	ex       *exec
+	bindings []*binding
+	params   *[]sqltypes.Value // non-nil only inside UDF body plans
+}
+
+// compile lowers e into a closure over the flat row layout described by
+// bindings. It returns nil when e uses any construct outside the compiled
+// subset; callers then fall back to exec.eval.
+func (ex *exec) compile(e sqlast.Expr, bindings []*binding) compiledExpr {
+	if ex.db.noCompile {
+		return nil
+	}
+	env := &cenv{ex: ex, bindings: bindings}
+	fn, ok := env.compile(e)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// resolveLocal mirrors one level of scope.lookup: the reference must resolve
+// unambiguously against the given bindings. Ambiguous or unresolved
+// references (including correlated ones) report !ok so the interpreter
+// handles them — reproducing its error or outer-scope resolution.
+func resolveLocal(bindings []*binding, table, col string) (int, bool) {
+	tl, cl := strings.ToLower(table), strings.ToLower(col)
+	found := -1
+	for _, b := range bindings {
+		if tl != "" && b.name != tl {
+			continue
+		}
+		if i, ok := b.colIdx[cl]; ok {
+			if found >= 0 {
+				return -1, false // ambiguous: interpreter raises the error
+			}
+			found = b.off + i
+		}
+	}
+	if found < 0 {
+		return -1, false
+	}
+	return found, true
+}
+
+func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		v := x.Val
+		return func([]sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
+	case *sqlast.ColumnRef:
+		idx, ok := resolveLocal(env.bindings, x.Table, x.Name)
+		if !ok {
+			return nil, false
+		}
+		return func(row []sqltypes.Value) (sqltypes.Value, error) { return row[idx], nil }, true
+	case *sqlast.Param:
+		if env.params == nil {
+			return nil, false
+		}
+		n := x.N
+		slot := env.params
+		return func([]sqltypes.Value) (sqltypes.Value, error) {
+			ps := *slot
+			if n < 1 || n > len(ps) {
+				return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", n)
+			}
+			return ps[n-1], nil
+		}, true
+	case *sqlast.BinaryExpr:
+		return env.compileBinary(x)
+	case *sqlast.UnaryExpr:
+		sub, ok := env.compile(x.X)
+		if !ok {
+			return nil, false
+		}
+		if x.Op == "-" {
+			return func(row []sqltypes.Value) (sqltypes.Value, error) {
+				v, err := sub(row)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				return sqltypes.Neg(v)
+			}, true
+		}
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(!v.Bool()), nil
+		}, true
+	case *sqlast.FuncCall:
+		return env.compileFunc(x)
+	case *sqlast.CaseExpr:
+		return env.compileCase(x)
+	case *sqlast.InExpr:
+		return env.compileIn(x)
+	case *sqlast.BetweenExpr:
+		return env.compileBetween(x)
+	case *sqlast.LikeExpr:
+		return env.compileLike(x)
+	case *sqlast.IsNullExpr:
+		sub, ok := env.compile(x.X)
+		if !ok {
+			return nil, false
+		}
+		not := x.Not
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewBool(v.IsNull() != not), nil
+		}, true
+	case *sqlast.ExtractExpr:
+		return env.compileExtract(x)
+	case *sqlast.SubstringExpr:
+		return env.compileSubstring(x)
+	case *sqlast.IntervalExpr:
+		var v sqltypes.Value
+		switch x.Unit {
+		case "DAY":
+			v = sqltypes.NewInterval(x.N, 0)
+		case "MONTH":
+			v = sqltypes.NewInterval(0, x.N)
+		case "YEAR":
+			v = sqltypes.NewInterval(0, 12*x.N)
+		default:
+			return nil, false
+		}
+		return func([]sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
+	}
+	// Subqueries, EXISTS, row values: interpreter territory.
+	return nil, false
+}
+
+func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
+	l, ok := env.compile(x.L)
+	if !ok {
+		return nil, false
+	}
+	r, ok := env.compile(x.R)
+	if !ok {
+		return nil, false
+	}
+	switch x.Op {
+	case "AND":
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if lt, known := sqltypes.Truthy(lv); known && !lt {
+				return sqltypes.NewBool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if rt, known := sqltypes.Truthy(rv); known && !rt {
+				return sqltypes.NewBool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(true), nil
+		}, true
+	case "OR":
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if lt, known := sqltypes.Truthy(lv); known && lt {
+				return sqltypes.NewBool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if rt, known := sqltypes.Truthy(rv); known && rt {
+				return sqltypes.NewBool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(false), nil
+		}, true
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := x.Op
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			cmp, ok := sqltypes.Compare(lv, rv)
+			if !ok {
+				return sqltypes.Null, nil
+			}
+			var b bool
+			switch op {
+			case "=":
+				b = cmp == 0
+			case "<>":
+				b = cmp != 0
+			case "<":
+				b = cmp < 0
+			case "<=":
+				b = cmp <= 0
+			case ">":
+				b = cmp > 0
+			case ">=":
+				b = cmp >= 0
+			}
+			return sqltypes.NewBool(b), nil
+		}, true
+	case "+":
+		return compileArith(l, r, sqltypes.Add), true
+	case "-":
+		return compileArith(l, r, sqltypes.Sub), true
+	case "*":
+		return compileArith(l, r, sqltypes.Mul), true
+	case "/":
+		return compileArith(l, r, sqltypes.Div), true
+	case "%":
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			if rv.AsInt() == 0 {
+				return sqltypes.Null, errModuloZero
+			}
+			return sqltypes.NewInt(lv.AsInt() % rv.AsInt()), nil
+		}, true
+	case "||":
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewString(lv.AsString() + rv.AsString()), nil
+		}, true
+	}
+	return nil, false
+}
+
+func compileArith(l, r compiledExpr, op func(a, b sqltypes.Value) (sqltypes.Value, error)) compiledExpr {
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		lv, err := l(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		rv, err := r(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return op(lv, rv)
+	}
+}
+
+func (env *cenv) compileCase(x *sqlast.CaseExpr) (compiledExpr, bool) {
+	var operand compiledExpr
+	if x.Operand != nil {
+		var ok bool
+		operand, ok = env.compile(x.Operand)
+		if !ok {
+			return nil, false
+		}
+	}
+	conds := make([]compiledExpr, len(x.Whens))
+	thens := make([]compiledExpr, len(x.Whens))
+	for i, w := range x.Whens {
+		var ok bool
+		if conds[i], ok = env.compile(w.Cond); !ok {
+			return nil, false
+		}
+		if thens[i], ok = env.compile(w.Then); !ok {
+			return nil, false
+		}
+	}
+	var elseFn compiledExpr
+	if x.Else != nil {
+		var ok bool
+		if elseFn, ok = env.compile(x.Else); !ok {
+			return nil, false
+		}
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		var opv sqltypes.Value
+		if operand != nil {
+			var err error
+			if opv, err = operand(row); err != nil {
+				return sqltypes.Null, err
+			}
+		}
+		for i, cond := range conds {
+			cv, err := cond(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			matched := false
+			if operand != nil {
+				eq, ok := sqltypes.Equal(opv, cv)
+				matched = ok && eq
+			} else {
+				matched, _ = sqltypes.Truthy(cv)
+			}
+			if matched {
+				return thens[i](row)
+			}
+		}
+		if elseFn != nil {
+			return elseFn(row)
+		}
+		return sqltypes.Null, nil
+	}, true
+}
+
+func (env *cenv) compileIn(x *sqlast.InExpr) (compiledExpr, bool) {
+	if x.Sub != nil {
+		return nil, false // subquery IN: interpreter caches the hash set
+	}
+	sub, ok := env.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	not := x.Not
+
+	// Literal-only lists (the common shape after rewrite, e.g. country-code
+	// predicates in Q22) collapse to one hash probe. AppendKey encodes
+	// integers as float64, so distinct huge integers can share a key; each
+	// bucket therefore keeps its values and a hit is confirmed with
+	// sqltypes.Equal, giving exact parity with the interpreter's list scan.
+	allLit := true
+	for _, item := range x.List {
+		if _, isLit := item.(*sqlast.Literal); !isLit {
+			allLit = false
+			break
+		}
+	}
+	if allLit {
+		set := make(map[string][]sqltypes.Value, len(x.List))
+		sawNull := false
+		var buf []byte
+		for _, item := range x.List {
+			v := item.(*sqlast.Literal).Val
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			buf = sqltypes.AppendKey(buf[:0], v)
+			set[string(buf)] = append(set[string(buf)], v)
+		}
+		var probe []byte
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			probe = sqltypes.AppendKey(probe[:0], v)
+			found := false
+			for _, lv := range set[string(probe)] {
+				if eq, ok := sqltypes.Equal(v, lv); ok && eq {
+					found = true
+					break
+				}
+			}
+			if !found && sawNull {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(found != not), nil
+		}, true
+	}
+
+	items := make([]compiledExpr, len(x.List))
+	for i, item := range x.List {
+		var ok bool
+		if items[i], ok = env.compile(item); !ok {
+			return nil, false
+		}
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+		sawNull := false
+		found := false
+		for _, item := range items {
+			iv, err := item(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if eq, ok := sqltypes.Equal(v, iv); ok && eq {
+				found = true
+				break
+			}
+		}
+		if !found && sawNull {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(found != not), nil
+	}, true
+}
+
+func (env *cenv) compileBetween(x *sqlast.BetweenExpr) (compiledExpr, bool) {
+	sub, ok := env.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	lo, ok := env.compile(x.Lo)
+	if !ok {
+		return nil, false
+	}
+	hi, ok := env.compile(x.Hi)
+	if !ok {
+		return nil, false
+	}
+	not := x.Not
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		lv, err := lo(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		hv, err := hi(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		c1, ok1 := sqltypes.Compare(v, lv)
+		c2, ok2 := sqltypes.Compare(v, hv)
+		if !ok1 || !ok2 {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool((c1 >= 0 && c2 <= 0) != not), nil
+	}, true
+}
+
+func (env *cenv) compileLike(x *sqlast.LikeExpr) (compiledExpr, bool) {
+	sub, ok := env.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	pat, ok := env.compile(x.Pattern)
+	if !ok {
+		return nil, false
+	}
+	not := x.Not
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		p, err := pat(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(likeMatch(v.AsString(), p.AsString()) != not), nil
+	}, true
+}
+
+func (env *cenv) compileExtract(x *sqlast.ExtractExpr) (compiledExpr, bool) {
+	sub, ok := env.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	field := x.Field
+	switch field {
+	case "YEAR", "MONTH", "DAY":
+	default:
+		return nil, false
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			return sqltypes.Null, nil
+		}
+		if v.K != sqltypes.KindDate {
+			return sqltypes.Null, errExtractNonDate(v.K)
+		}
+		t := sqltypes.DateToTime(v)
+		switch field {
+		case "YEAR":
+			return sqltypes.NewInt(int64(t.Year())), nil
+		case "MONTH":
+			return sqltypes.NewInt(int64(t.Month())), nil
+		}
+		return sqltypes.NewInt(int64(t.Day())), nil
+	}, true
+}
+
+func (env *cenv) compileSubstring(x *sqlast.SubstringExpr) (compiledExpr, bool) {
+	sub, ok := env.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	from, ok := env.compile(x.From)
+	if !ok {
+		return nil, false
+	}
+	var forFn compiledExpr
+	if x.For != nil {
+		if forFn, ok = env.compile(x.For); !ok {
+			return nil, false
+		}
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		fv, err := from(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() || fv.IsNull() {
+			return sqltypes.Null, nil
+		}
+		s := v.AsString()
+		start := int(fv.AsInt()) - 1
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		end := len(s)
+		if forFn != nil {
+			n, err := forFn(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if n.IsNull() {
+				return sqltypes.Null, nil
+			}
+			end = start + int(n.AsInt())
+			if end > len(s) {
+				end = len(s)
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return sqltypes.NewString(s[start:end]), nil
+	}, true
+}
+
+// ---------------------------------------------------------------- functions
+
+func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
+	upper := strings.ToUpper(x.Name)
+	if aggregateNames[upper] {
+		return nil, false // aggregates need the group context
+	}
+	switch upper {
+	case "CONCAT":
+		args, ok := env.compileArgs(x.Args)
+		if !ok {
+			return nil, false
+		}
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			var sb strings.Builder
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				if v.IsNull() {
+					return sqltypes.Null, nil
+				}
+				sb.WriteString(v.AsString())
+			}
+			return sqltypes.NewString(sb.String()), nil
+		}, true
+	case "CHAR_LENGTH":
+		return env.compileOneArg(x, func(v sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewInt(int64(len(v.AsString()))), nil
+		})
+	case "ABS":
+		return env.compileOneArg(x, func(v sqltypes.Value) (sqltypes.Value, error) {
+			if v.K == sqltypes.KindInt {
+				if v.I < 0 {
+					return sqltypes.NewInt(-v.I), nil
+				}
+				return v, nil
+			}
+			return sqltypes.NewFloat(math.Abs(v.AsFloat())), nil
+		})
+	case "ROUND":
+		return env.compileRound(x)
+	case "COALESCE":
+		args, ok := env.compileArgs(x.Args)
+		if !ok {
+			return nil, false
+		}
+		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return sqltypes.Null, nil
+		}, true
+	case "CAST_INTEGER", "CAST_INT", "CAST_BIGINT":
+		return env.compileOneArg(x, func(v sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewInt(v.AsInt()), nil
+		})
+	case "CAST_DECIMAL", "CAST_NUMERIC":
+		return env.compileOneArg(x, func(v sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewFloat(v.AsFloat()), nil
+		})
+	case "CAST_VARCHAR", "CAST_CHAR", "CAST_TEXT":
+		return env.compileOneArg(x, func(v sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewString(v.AsString()), nil
+		})
+	}
+	fn := env.ex.db.Function(x.Name)
+	if fn == nil {
+		return nil, false // interpreter raises "unknown function"
+	}
+	if len(x.Args) != fn.NumParams {
+		return nil, false // interpreter raises the arity error
+	}
+	args, ok := env.compileArgs(x.Args)
+	if !ok {
+		return nil, false
+	}
+	site := &udfSite{ex: env.ex, fn: fn, args: args, argv: make([]sqltypes.Value, len(args))}
+	if fn.Immutable && env.ex.db.mode == ModePostgres {
+		site.memo = make(map[string]sqltypes.Value)
+	}
+	return site.call, true
+}
+
+func (env *cenv) compileArgs(exprs []sqlast.Expr) ([]compiledExpr, bool) {
+	args := make([]compiledExpr, len(exprs))
+	for i, a := range exprs {
+		var ok bool
+		if args[i], ok = env.compile(a); !ok {
+			return nil, false
+		}
+	}
+	return args, true
+}
+
+// compileOneArg handles single-argument builtins with NULL propagation.
+// Arity mismatches fall back so the interpreter raises its usual error.
+func (env *cenv) compileOneArg(x *sqlast.FuncCall, f func(sqltypes.Value) (sqltypes.Value, error)) (compiledExpr, bool) {
+	if len(x.Args) != 1 {
+		return nil, false
+	}
+	sub, ok := env.compile(x.Args[0])
+	if !ok {
+		return nil, false
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		return f(v)
+	}, true
+}
+
+func (env *cenv) compileRound(x *sqlast.FuncCall) (compiledExpr, bool) {
+	if len(x.Args) == 0 || len(x.Args) > 2 {
+		return nil, false
+	}
+	sub, ok := env.compile(x.Args[0])
+	if !ok {
+		return nil, false
+	}
+	var digitsFn compiledExpr
+	if len(x.Args) == 2 {
+		if digitsFn, ok = env.compile(x.Args[1]); !ok {
+			return nil, false
+		}
+	}
+	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(row)
+		if err != nil || v.IsNull() {
+			return sqltypes.Null, err
+		}
+		digits := int64(0)
+		if digitsFn != nil {
+			d, err := digitsFn(row)
+			if err != nil || d.IsNull() {
+				return sqltypes.Null, err
+			}
+			digits = d.AsInt()
+		}
+		return roundTo(v.AsFloat(), digits), nil
+	}, true
+}
+
+// udfSite is one compiled call site of a SQL-bodied function. When the
+// function is IMMUTABLE and the engine emulates PostgreSQL, results are
+// memoized per argument tuple for the lifetime of the compiled expression
+// (at most one statement): the paper's conversion functions are
+// deterministic per (value, tenant) pair, so the Canonical/O1 levels' 2N
+// conversion calls collapse to |distinct inputs| body executions. The site
+// cache fronts the statement-wide cache in exec.callUDF — a hit here skips
+// re-encoding the function name and probing the shared map.
+type udfSite struct {
+	ex   *exec
+	fn   *Function
+	args []compiledExpr
+	memo map[string]sqltypes.Value // nil when caching is disallowed
+	buf  []byte
+	argv []sqltypes.Value
+}
+
+func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
+	for i, a := range s.args {
+		v, err := a(row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		s.argv[i] = v
+	}
+	if s.memo == nil {
+		return s.ex.callUDF(s.fn, s.argv)
+	}
+	buf := s.buf[:0]
+	for _, v := range s.argv {
+		buf = sqltypes.AppendKey(buf, v)
+	}
+	s.buf = buf
+	if v, ok := s.memo[string(buf)]; ok {
+		s.ex.db.Stats.UDFCacheHits++
+		return v, nil
+	}
+	v, err := s.ex.callUDF(s.fn, s.argv)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	s.memo[string(buf)] = v
+	return v, nil
+}
+
+// compileAggArgs walks the given expressions for single-argument aggregate
+// calls at this query level and compiles each argument against the
+// relation's bindings; evalAggregate then evaluates group members without
+// re-interpreting the argument per row. Subqueries are separate levels and
+// are not walked.
+func (ex *exec) compileAggArgs(bindings []*binding, exprs ...sqlast.Expr) map[sqlast.Expr]compiledExpr {
+	if ex.db.noCompile {
+		return nil
+	}
+	var m map[sqlast.Expr]compiledExpr
+	for _, e := range exprs {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			fc, ok := n.(*sqlast.FuncCall)
+			if !ok || !aggregateNames[strings.ToUpper(fc.Name)] || fc.Star || len(fc.Args) != 1 {
+				return true
+			}
+			if fn := ex.compile(fc.Args[0], bindings); fn != nil {
+				if m == nil {
+					m = make(map[sqlast.Expr]compiledExpr)
+				}
+				m[fc.Args[0]] = fn
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// ---------------------------------------------------------------- UDF plans
+
+// udfPlan is a once-per-statement lowering of a simple UDF body — the shape
+// the paper's conversion functions take:
+//
+//	SELECT <scalar expr over columns and $n> FROM <base tables>
+//	WHERE <conjuncts over columns and $n, no subqueries>
+//
+// The FROM/WHERE part depends only on the parameters the WHERE references
+// (the tenant key for conversion functions), so its materialized relation is
+// cached per distinct tuple of those parameters; the projection is compiled
+// once per cached relation. A conversion call then costs one hash probe plus
+// one compiled-closure evaluation instead of a full query plan-and-execute,
+// independent of the engine mode — like a prepared plan, it accelerates
+// ModeSystemC too without caching *results*, preserving the paper's
+// cached-vs-uncached distinction (Tables 3–5 vs 7–9).
+type udfPlan struct {
+	ok          bool
+	body        *sqlast.Select
+	proj        sqlast.Expr
+	whereParams []int // 1-based parameter indices the WHERE references
+	curArgs     []sqltypes.Value
+	entries     map[string]*udfPlanEntry
+	buf         []byte
+}
+
+// udfPlanEntry is the body's FROM/WHERE relation for one tuple of
+// WHERE-referenced arguments, with the projection compiled against it.
+type udfPlanEntry struct {
+	rows     [][]sqltypes.Value
+	bindings []*binding
+	projFn   compiledExpr // nil → interpret the projection
+}
+
+// planUDF analyses fn's body once per statement and returns its plan;
+// plan.ok is false when the body is not of the planable shape.
+func (ex *exec) planUDF(fn *Function) *udfPlan {
+	if plan, ok := ex.udfPlans[fn]; ok {
+		return plan
+	}
+	plan := buildUDFPlan(fn.Body)
+	if ex.db.noCompile {
+		plan = &udfPlan{}
+	}
+	ex.udfPlans[fn] = plan
+	return plan
+}
+
+func buildUDFPlan(body *sqlast.Select) *udfPlan {
+	if body.Distinct || len(body.GroupBy) > 0 || body.Having != nil ||
+		len(body.OrderBy) > 0 || body.Limit >= 0 || len(body.Items) != 1 {
+		return &udfPlan{}
+	}
+	it := body.Items[0]
+	if it.Star || hasAggregate(it.Expr) {
+		return &udfPlan{}
+	}
+	for _, te := range body.From {
+		if _, isName := te.(*sqlast.TableName); !isName {
+			return &udfPlan{}
+		}
+	}
+	if len(sqlast.SubqueriesOf(body.Where)) > 0 || len(sqlast.SubqueriesOf(it.Expr)) > 0 {
+		return &udfPlan{}
+	}
+	seen := map[int]bool{}
+	var params []int
+	sqlast.WalkExpr(body.Where, func(n sqlast.Expr) bool {
+		if p, ok := n.(*sqlast.Param); ok && !seen[p.N] {
+			seen[p.N] = true
+			params = append(params, p.N)
+		}
+		return true
+	})
+	return &udfPlan{
+		ok:          true,
+		body:        body,
+		proj:        it.Expr,
+		whereParams: params,
+		entries:     make(map[string]*udfPlanEntry),
+	}
+}
+
+// run executes one call through the plan. Behaviour matches
+// runQuery(body, scope-with-params) followed by taking the first row's only
+// column (NULL over an empty result), the contract of callUDF.
+func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Value, error) {
+	buf := plan.buf[:0]
+	for _, n := range plan.whereParams {
+		if n >= 1 && n <= len(args) {
+			buf = sqltypes.AppendKey(buf, args[n-1])
+		} else {
+			buf = append(buf, 'x')
+		}
+	}
+	plan.buf = buf
+	entry, ok := plan.entries[string(buf)]
+	if !ok {
+		psc := rootScope()
+		psc.params = args
+		rel, err := ex.buildFromWhere(plan.body, psc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		entry = &udfPlanEntry{rows: rel.rows, bindings: rel.bindings}
+		env := &cenv{ex: ex, bindings: rel.bindings, params: &plan.curArgs}
+		if fn, ok := env.compile(plan.proj); ok {
+			entry.projFn = fn
+		}
+		plan.entries[string(buf)] = entry
+	}
+
+	// The interpreter projects every row and returns the first; evaluating
+	// all rows keeps error behaviour identical when later rows fail.
+	// curArgs must be a copy: args is typically a call site's reused argv
+	// slice, and a recursive call through the same site would overwrite it
+	// while the enclosing call's $n closures still read it.
+	savedArgs := plan.curArgs
+	plan.curArgs = append([]sqltypes.Value(nil), args...)
+	defer func() { plan.curArgs = savedArgs }()
+
+	out := sqltypes.Null
+	if entry.projFn != nil {
+		for i, row := range entry.rows {
+			v, err := entry.projFn(row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if i == 0 {
+				out = v
+			}
+		}
+		return out, nil
+	}
+	psc := rootScope()
+	psc.params = args
+	sc := &scope{parent: psc, bindings: entry.bindings}
+	for i, row := range entry.rows {
+		sc.row = row
+		v, err := ex.eval(plan.proj, sc)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if i == 0 {
+			out = v
+		}
+	}
+	return out, nil
+}

@@ -4,6 +4,19 @@
 // functions (UDFs). It stands in for PostgreSQL / "System C" in the paper's
 // evaluation; the Mode knob reproduces the one behavioural difference the
 // paper leans on — whether results of IMMUTABLE UDFs are cached.
+//
+// Execution is compile-then-execute: before iterating rows, every per-row
+// expression site (WHERE conjuncts, projections, join/group-by/sort keys,
+// aggregate arguments, DML predicates) is lowered by compile.go into a
+// closure with column references resolved to flat row offsets; constructs
+// outside the compiled subset fall back to the tree-walking interpreter in
+// eval.go per expression. Simple UDF bodies — the paper's conversion
+// functions — are additionally planned once per statement: the tenant-keyed
+// FROM/WHERE relation is cached per distinct parameter tuple and the
+// projection compiled against it, so a conversion call costs a hash probe
+// plus a closure invocation. DB.SetCompileExprs(false) forces the
+// interpreter everywhere; the differential property test relies on both
+// paths producing identical results.
 package engine
 
 import (
@@ -104,9 +117,19 @@ type DB struct {
 	views  map[string]*sqlast.Select
 	funcs  map[string]*Function
 
+	// noCompile forces the tree-walking interpreter for every expression.
+	// The differential property test uses it to prove the compiled and
+	// interpreted paths agree.
+	noCompile bool
+
 	// Stats accumulates counters across statements; benchmarks reset it.
 	Stats Stats
 }
+
+// SetCompileExprs toggles the compiled-expression fast path (on by
+// default). Turning it off forces the tree-walking interpreter; results
+// must be identical either way.
+func (db *DB) SetCompileExprs(on bool) { db.noCompile = !on }
 
 // Stats counts interesting engine events.
 type Stats struct {
@@ -416,11 +439,25 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 	}
 	ex := db.newExec()
 	sc := tableScope(t)
+	var pred compiledExpr
+	if up.Where != nil {
+		pred = ex.compile(up.Where, sc.bindings)
+	}
+	setFns := make([]compiledExpr, len(up.Sets))
+	for i, a := range up.Sets {
+		setFns[i] = ex.compile(a.Expr, sc.bindings)
+	}
 	affected := 0
 	for _, row := range t.Rows {
 		sc.row = row
 		if up.Where != nil {
-			v, err := ex.eval(up.Where, sc)
+			var v sqltypes.Value
+			var err error
+			if pred != nil {
+				v, err = pred(row)
+			} else {
+				v, err = ex.eval(up.Where, sc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -431,7 +468,13 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 		// Evaluate all assignments against the pre-update row.
 		newVals := make([]sqltypes.Value, len(up.Sets))
 		for i, a := range up.Sets {
-			v, err := ex.eval(a.Expr, sc)
+			var v sqltypes.Value
+			var err error
+			if setFns[i] != nil {
+				v, err = setFns[i](row)
+			} else {
+				v, err = ex.eval(a.Expr, sc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -463,13 +506,23 @@ func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
 	}
 	ex := db.newExec()
 	sc := tableScope(t)
+	var pred compiledExpr
+	if del.Where != nil {
+		pred = ex.compile(del.Where, sc.bindings)
+	}
 	kept := t.Rows[:0]
 	affected := 0
 	for _, row := range t.Rows {
 		sc.row = row
 		drop := del.Where == nil
 		if del.Where != nil {
-			v, err := ex.eval(del.Where, sc)
+			var v sqltypes.Value
+			var err error
+			if pred != nil {
+				v, err = pred(row)
+			} else {
+				v, err = ex.eval(del.Where, sc)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqltypes"
@@ -16,7 +17,8 @@ import (
 type exec struct {
 	db       *DB
 	udfCache map[string]sqltypes.Value
-	depth    int // subquery/UDF nesting guard
+	keyBuf   []byte // scratch for UDF cache keys; reused across calls
+	depth    int    // subquery/UDF nesting guard
 
 	// subqCache memoizes results of subqueries that did not touch any
 	// enclosing scope during execution (uncorrelated subqueries) — the
@@ -24,6 +26,10 @@ type exec struct {
 	// statement. inSetCache additionally hashes IN-subquery results.
 	subqCache  map[*sqlast.Select]*Result
 	inSetCache map[*sqlast.Select]*inSet
+
+	// udfPlans caches per-statement lowerings of simple UDF bodies (see
+	// udfPlan in compile.go); conversion functions hit this on every call.
+	udfPlans map[*Function]*udfPlan
 }
 
 // inSet is a hashed IN-subquery result.
@@ -38,6 +44,7 @@ func (db *DB) newExec() *exec {
 		udfCache:   make(map[string]sqltypes.Value),
 		subqCache:  make(map[*sqlast.Select]*Result),
 		inSetCache: make(map[*sqlast.Select]*inSet),
+		udfPlans:   make(map[*Function]*udfPlan),
 	}
 }
 
@@ -73,9 +80,12 @@ type scope struct {
 	crossed *bool
 }
 
-// groupCtx holds the rows of the current group during aggregate evaluation.
+// groupCtx holds the rows of the current group during aggregate evaluation,
+// plus aggregate arguments precompiled against the grouped relation (shared
+// by every group of one grouped projection).
 type groupCtx struct {
-	rows [][]sqltypes.Value
+	rows   [][]sqltypes.Value
+	aggArg map[sqlast.Expr]compiledExpr
 }
 
 func rootScope() *scope { return &scope{} }
@@ -218,6 +228,21 @@ func (ex *exec) eval(e sqlast.Expr, sc *scope) (sqltypes.Value, error) {
 	return sqltypes.Null, fmt.Errorf("engine: cannot evaluate %T", e)
 }
 
+// Errors shared between the interpreter and the compiled closures so both
+// paths fail identically.
+var errModuloZero = fmt.Errorf("engine: modulo by zero")
+
+func errExtractNonDate(k sqltypes.Kind) error {
+	return fmt.Errorf("engine: EXTRACT from non-date %s", k)
+}
+
+// roundTo rounds f to the given number of decimal digits, shared by the
+// interpreted and compiled ROUND.
+func roundTo(f float64, digits int64) sqltypes.Value {
+	scale := math.Pow(10, float64(digits))
+	return sqltypes.NewFloat(math.Round(f*scale) / scale)
+}
+
 func (ex *exec) evalBinary(x *sqlast.BinaryExpr, sc *scope) (sqltypes.Value, error) {
 	switch x.Op {
 	case "AND":
@@ -281,7 +306,7 @@ func (ex *exec) evalBinary(x *sqlast.BinaryExpr, sc *scope) (sqltypes.Value, err
 			return sqltypes.Null, nil
 		}
 		if r.AsInt() == 0 {
-			return sqltypes.Null, fmt.Errorf("engine: modulo by zero")
+			return sqltypes.Null, errModuloZero
 		}
 		return sqltypes.NewInt(l.AsInt() % r.AsInt()), nil
 	case "||":
@@ -509,23 +534,30 @@ func (ex *exec) evalLike(x *sqlast.LikeExpr, sc *scope) (sqltypes.Value, error) 
 	return sqltypes.NewBool(likeMatch(v.AsString(), p.AsString()) != x.Not), nil
 }
 
-// likeMatch implements SQL LIKE with % (any run) and _ (any single byte)
-// using the classic two-pointer wildcard algorithm.
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// character) using the classic two-pointer wildcard algorithm. The subject
+// is treated as UTF-8: _ consumes one rune, not one byte, and backtracking
+// after % advances rune-wise, so multi-byte characters never match half-way.
 func likeMatch(s, pattern string) bool {
 	si, pi := 0, 0
 	star, match := -1, 0
 	for si < len(s) {
 		switch {
-		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
-			si++
-			pi++
 		case pi < len(pattern) && pattern[pi] == '%':
 			star = pi
 			match = si
 			pi++
+		case pi < len(pattern) && pattern[pi] == '_':
+			_, size := utf8.DecodeRuneInString(s[si:])
+			si += size
+			pi++
+		case pi < len(pattern) && pattern[pi] == s[si]:
+			si++
+			pi++
 		case star >= 0:
 			pi = star + 1
-			match++
+			_, size := utf8.DecodeRuneInString(s[match:])
+			match += size
 			si = match
 		default:
 			return false
@@ -563,7 +595,7 @@ func (ex *exec) evalExtract(x *sqlast.ExtractExpr, sc *scope) (sqltypes.Value, e
 		return sqltypes.Null, nil
 	}
 	if v.K != sqltypes.KindDate {
-		return sqltypes.Null, fmt.Errorf("engine: EXTRACT from non-date %s", v.K)
+		return sqltypes.Null, errExtractNonDate(v.K)
 	}
 	t := sqltypes.DateToTime(v)
 	switch x.Field {
@@ -673,8 +705,7 @@ func (ex *exec) evalFunc(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, error) 
 			}
 			digits = d.AsInt()
 		}
-		scale := math.Pow(10, float64(digits))
-		return sqltypes.NewFloat(math.Round(v.AsFloat()*scale) / scale), nil
+		return roundTo(v.AsFloat(), digits), nil
 	case "COALESCE":
 		for _, a := range x.Args {
 			v, err := ex.eval(a, sc)
@@ -739,32 +770,42 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 	}
 	var key string
 	if fn.Immutable && ex.db.mode == ModePostgres {
-		buf := make([]byte, 0, 32)
-		buf = append(buf, fn.Name...)
+		buf := append(ex.keyBuf[:0], fn.Name...)
 		for _, a := range args {
 			buf = sqltypes.AppendKey(buf, a)
 		}
-		key = string(buf)
-		if v, ok := ex.udfCache[key]; ok {
+		ex.keyBuf = buf
+		if v, ok := ex.udfCache[string(buf)]; ok {
 			ex.db.Stats.UDFCacheHits++
 			return v, nil
 		}
+		key = string(buf)
 	}
 	ex.db.Stats.UDFCalls++
 	if ex.depth > 64 {
 		return sqltypes.Null, fmt.Errorf("engine: UDF recursion too deep in %s", fn.Name)
 	}
 	ex.depth++
-	sc := rootScope()
-	sc.params = args
-	res, err := ex.runQuery(fn.Body, sc)
+	var out sqltypes.Value
+	var err error
+	if plan := ex.planUDF(fn); plan.ok {
+		// Planned body: cached FROM/WHERE relation + compiled projection.
+		out, err = ex.runPlannedUDF(plan, args)
+	} else {
+		sc := rootScope()
+		sc.params = args
+		var res *Result
+		res, err = ex.runQuery(fn.Body, sc)
+		if err == nil {
+			out = sqltypes.Null
+			if len(res.Rows) > 0 {
+				out = res.Rows[0][0]
+			}
+		}
+	}
 	ex.depth--
 	if err != nil {
 		return sqltypes.Null, fmt.Errorf("engine: in function %s: %w", fn.Name, err)
-	}
-	out := sqltypes.Null
-	if len(res.Rows) > 0 {
-		out = res.Rows[0][0]
 	}
 	if key != "" {
 		ex.udfCache[key] = out
@@ -787,6 +828,7 @@ func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, er
 		return sqltypes.Null, fmt.Errorf("engine: %s takes exactly one argument", x.Name)
 	}
 	arg := x.Args[0]
+	argFn := g.aggArg[arg] // nil → interpret per row
 
 	savedRow, savedGroup := sc.row, sc.group
 	sc.group = nil // nested aggregates are invalid
@@ -805,8 +847,14 @@ func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, er
 		seen = make(map[string]bool)
 	}
 	for _, row := range g.rows {
-		sc.row = row
-		v, err := ex.eval(arg, sc)
+		var v sqltypes.Value
+		var err error
+		if argFn != nil {
+			v, err = argFn(row)
+		} else {
+			sc.row = row
+			v, err = ex.eval(arg, sc)
+		}
 		if err != nil {
 			return sqltypes.Null, err
 		}

@@ -231,10 +231,12 @@ func (ex *exec) outputShape(sel *sqlast.Select, rel *relation) ([]string, error)
 }
 
 // orderPlan decides, per ORDER BY item, whether to reuse an output column
-// or evaluate an expression in the row/group context.
+// or evaluate an expression in the row/group context. In the ungrouped path
+// fn holds the expression compiled against the source relation.
 type orderPlan struct {
 	outCol int         // >= 0: sort by this output column
 	expr   sqlast.Expr // else: evaluate this
+	fn     compiledExpr
 	desc   bool
 }
 
@@ -258,6 +260,42 @@ func buildOrderPlan(sel *sqlast.Select, outCols []string, sc *scope, aliases map
 	return plans
 }
 
+// projector is one SELECT item resolved against the source relation once
+// per query: star items become row-slice segments, expressions are compiled
+// where possible (expr retained as the interpreter fallback).
+type projector struct {
+	star bool
+	segs [][2]int // star: (offset, length) segments of the source row
+	fn   compiledExpr
+	expr sqlast.Expr
+}
+
+// buildProjectors lowers the SELECT list; width is the output row length.
+func (ex *exec) buildProjectors(sel *sqlast.Select, rel *relation) ([]projector, int) {
+	projs := make([]projector, len(sel.Items))
+	width := 0
+	for i, it := range sel.Items {
+		switch {
+		case it.Star && it.StarTable == "":
+			projs[i] = projector{star: true, segs: [][2]int{{0, rel.width}}}
+			width += rel.width
+		case it.Star:
+			var segs [][2]int
+			for _, b := range rel.bindings {
+				if b.name == strings.ToLower(it.StarTable) {
+					segs = append(segs, [2]int{b.off, len(b.cols)})
+					width += len(b.cols)
+				}
+			}
+			projs[i] = projector{star: true, segs: segs}
+		default:
+			projs[i] = projector{fn: ex.compile(it.Expr, rel.bindings), expr: it.Expr}
+			width++
+		}
+	}
+	return projs, width
+}
+
 func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, aliases map[string]sqlast.Expr) (*execResult, error) {
 	sc := rel.scopeFor(parent)
 	outCols, err := ex.outputShape(sel, rel)
@@ -265,24 +303,44 @@ func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, al
 		return nil, err
 	}
 	plans := buildOrderPlan(sel, outCols, sc, aliases)
+	for i := range plans {
+		if plans[i].expr != nil {
+			plans[i].fn = ex.compile(plans[i].expr, rel.bindings)
+		}
+	}
+	projs, width := ex.buildProjectors(sel, rel)
 
 	res := &execResult{Cols: outCols}
-	for range plans {
-		res.desc = append(res.desc, false)
-	}
-	for i, p := range plans {
-		res.desc[i] = p.desc
+	for _, p := range plans {
+		res.desc = append(res.desc, p.desc)
 	}
 
 	for _, row := range rel.rows {
 		sc.row = row
-		out, err := ex.projectOne(sel, rel, sc, row)
-		if err != nil {
-			return nil, err
+		out := make([]sqltypes.Value, 0, width)
+		for i := range projs {
+			p := &projs[i]
+			if p.star {
+				for _, seg := range p.segs {
+					out = append(out, row[seg[0]:seg[0]+seg[1]]...)
+				}
+				continue
+			}
+			var v sqltypes.Value
+			var err error
+			if p.fn != nil {
+				v, err = p.fn(row)
+			} else {
+				v, err = ex.eval(p.expr, sc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
 		}
 		res.Rows = append(res.Rows, out)
 		if len(plans) > 0 {
-			keys, err := ex.sortKeysFor(plans, out, sc)
+			keys, err := ex.sortKeysFor(plans, out, sc, row)
 			if err != nil {
 				return nil, err
 			}
@@ -292,37 +350,24 @@ func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, al
 	return res, nil
 }
 
-func (ex *exec) projectOne(sel *sqlast.Select, rel *relation, sc *scope, row []sqltypes.Value) ([]sqltypes.Value, error) {
-	var out []sqltypes.Value
-	for _, it := range sel.Items {
-		switch {
-		case it.Star && it.StarTable == "":
-			out = append(out, row...)
-		case it.Star:
-			for _, b := range rel.bindings {
-				if b.name == strings.ToLower(it.StarTable) {
-					out = append(out, row[b.off:b.off+len(b.cols)]...)
-				}
-			}
-		default:
-			v, err := ex.eval(it.Expr, sc)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-		}
-	}
-	return out, nil
-}
-
-func (ex *exec) sortKeysFor(plans []orderPlan, out []sqltypes.Value, sc *scope) ([]sqltypes.Value, error) {
+// sortKeysFor evaluates the ORDER BY keys for one output row. row is the
+// source tuple for compiled plans; grouped callers pass nil and rely on the
+// interpreted path (which sees the group context through sc).
+func (ex *exec) sortKeysFor(plans []orderPlan, out []sqltypes.Value, sc *scope, row []sqltypes.Value) ([]sqltypes.Value, error) {
 	keys := make([]sqltypes.Value, len(plans))
-	for i, p := range plans {
+	for i := range plans {
+		p := &plans[i]
 		if p.outCol >= 0 {
 			keys[i] = out[p.outCol]
 			continue
 		}
-		v, err := ex.eval(p.expr, sc)
+		var v sqltypes.Value
+		var err error
+		if p.fn != nil && row != nil {
+			v, err = p.fn(row)
+		} else {
+			v, err = ex.eval(p.expr, sc)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -347,11 +392,13 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 	plans := buildOrderPlan(sel, outCols, sc, aliases)
 
 	groupExprs := make([]sqlast.Expr, len(sel.GroupBy))
+	groupFns := make([]compiledExpr, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		groupExprs[i] = substituteAlias(sqlast.CloneExpr(g), sc, aliases)
 		if hasAggregate(groupExprs[i]) {
 			return nil, fmt.Errorf("engine: aggregate in GROUP BY")
 		}
+		groupFns[i] = ex.compile(groupExprs[i], rel.bindings)
 	}
 
 	type group struct {
@@ -363,8 +410,14 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 	for _, row := range rel.rows {
 		sc.row = row
 		buf = buf[:0]
-		for _, g := range groupExprs {
-			v, err := ex.eval(g, sc)
+		for i, g := range groupExprs {
+			var v sqltypes.Value
+			var err error
+			if groupFns[i] != nil {
+				v, err = groupFns[i](row)
+			} else {
+				v, err = ex.eval(g, sc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -392,6 +445,22 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		})
 	}
 
+	// Precompile every aggregate argument once; each group's evaluation then
+	// runs the compiled closure over its member rows.
+	aggExprs := make([]sqlast.Expr, 0, len(sel.Items)+1+len(plans))
+	for _, it := range sel.Items {
+		aggExprs = append(aggExprs, it.Expr)
+	}
+	if having != nil {
+		aggExprs = append(aggExprs, having)
+	}
+	for _, p := range plans {
+		if p.expr != nil {
+			aggExprs = append(aggExprs, p.expr)
+		}
+	}
+	aggArg := ex.compileAggArgs(rel.bindings, aggExprs...)
+
 	res := &execResult{Cols: outCols}
 	for _, p := range plans {
 		res.desc = append(res.desc, p.desc)
@@ -403,7 +472,7 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		} else {
 			sc.row = nil
 		}
-		sc.group = &groupCtx{rows: gr.rows}
+		sc.group = &groupCtx{rows: gr.rows, aggArg: aggArg}
 		if having != nil {
 			hv, err := ex.eval(having, sc)
 			if err != nil {
@@ -426,7 +495,7 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		}
 		res.Rows = append(res.Rows, out)
 		if len(plans) > 0 {
-			keys, err := ex.sortKeysFor(plans, out, sc)
+			keys, err := ex.sortKeysFor(plans, out, sc, nil)
 			if err != nil {
 				sc.group = nil
 				return nil, err
@@ -741,12 +810,22 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 	}
 
 	sc := r.scopeFor(parent)
+	preds := make([]compiledExpr, len(rest))
+	for i, c := range rest {
+		preds[i] = ex.compile(c.expr, r.bindings) // nil → interpret
+	}
 	out := &relation{bindings: r.bindings, width: r.width}
 	for _, row := range rows {
-		sc.row = row
 		keep := true
-		for _, c := range rest {
-			v, err := ex.eval(c.expr, sc)
+		for i, c := range rest {
+			var v sqltypes.Value
+			var err error
+			if preds[i] != nil {
+				v, err = preds[i](row)
+			} else {
+				sc.row = row
+				v, err = ex.eval(c.expr, sc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -905,12 +984,20 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 				return nil, err
 			}
 			lsc := l.scopeFor(parent)
+			leftFns := ex.compileKeys(pairs, l.bindings, false)
 			vals := make([]sqltypes.Value, len(pairs))
+			var buf []byte
 			for _, lr := range l.rows {
-				lsc.row = lr
 				null := false
 				for i, p := range pairs {
-					v, err := ex.eval(p.left, lsc)
+					var v sqltypes.Value
+					var err error
+					if leftFns != nil && leftFns[i] != nil {
+						v, err = leftFns[i](lr)
+					} else {
+						lsc.row = lr
+						v, err = ex.eval(p.left, lsc)
+					}
 					if err != nil {
 						return nil, err
 					}
@@ -923,7 +1010,9 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 				if null {
 					continue
 				}
-				for _, id := range idx.probe(vals) {
+				var ids []int
+				ids, buf = idx.probeBuf(buf, vals)
+				for _, id := range ids {
 					out.rows = append(out.rows, concatRows(lr, r.base.Rows[id], out.width))
 				}
 			}
@@ -931,36 +1020,25 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 		}
 	}
 	// build on R
-	rsc := r.scopeFor(parent)
-	build := make(map[string][]int, len(r.rows))
-	var buf []byte
-	for i, row := range r.rows {
-		rsc.row = row
-		buf = buf[:0]
-		null := false
-		for _, p := range pairs {
-			v, err := ex.eval(p.right, rsc)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			buf = sqltypes.AppendKey(buf, v)
-		}
-		if null {
-			continue
-		}
-		build[string(buf)] = append(build[string(buf)], i)
+	build, err := ex.buildJoinHash(r, pairs, parent)
+	if err != nil {
+		return nil, err
 	}
 	lsc := l.scopeFor(parent)
+	leftFns := ex.compileKeys(pairs, l.bindings, false)
+	var buf []byte
 	for _, lr := range l.rows {
-		lsc.row = lr
 		buf = buf[:0]
 		null := false
-		for _, p := range pairs {
-			v, err := ex.eval(p.left, lsc)
+		for i, p := range pairs {
+			var v sqltypes.Value
+			var err error
+			if leftFns != nil && leftFns[i] != nil {
+				v, err = leftFns[i](lr)
+			} else {
+				lsc.row = lr
+				v, err = ex.eval(p.left, lsc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -978,6 +1056,59 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 		}
 	}
 	return out, nil
+}
+
+// compileKeys compiles the join-key expressions of one side of an equi
+// pair set; entries fall back to nil (interpreted) individually.
+func (ex *exec) compileKeys(pairs []equiPair, bindings []*binding, right bool) []compiledExpr {
+	if ex.db.noCompile {
+		return nil
+	}
+	fns := make([]compiledExpr, len(pairs))
+	for i, p := range pairs {
+		e := p.left
+		if right {
+			e = p.right
+		}
+		fns[i] = ex.compile(e, bindings)
+	}
+	return fns
+}
+
+// buildJoinHash hashes relation r on the right-side key expressions;
+// NULL keys never participate in an equi join.
+func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map[string][]int, error) {
+	rsc := r.scopeFor(parent)
+	rightFns := ex.compileKeys(pairs, r.bindings, true)
+	build := make(map[string][]int, len(r.rows))
+	var buf []byte
+	for i, row := range r.rows {
+		buf = buf[:0]
+		null := false
+		for j, p := range pairs {
+			var v sqltypes.Value
+			var err error
+			if rightFns != nil && rightFns[j] != nil {
+				v, err = rightFns[j](row)
+			} else {
+				rsc.row = row
+				v, err = ex.eval(p.right, rsc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			continue
+		}
+		build[string(buf)] = append(build[string(buf)], i)
+	}
+	return build, nil
 }
 
 func concatRows(l, r []sqltypes.Value, width int) []sqltypes.Value {
@@ -1124,39 +1255,32 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 	}
 
 	// Build hash on R over the equi keys (or a single bucket when none).
-	rsc := r.scopeFor(parent)
-	build := make(map[string][]int, len(r.rows))
-	var buf []byte
-	for i, row := range r.rows {
-		rsc.row = row
-		buf = buf[:0]
-		null := false
-		for _, p := range pairs {
-			v, err := ex.eval(p.right, rsc)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			buf = sqltypes.AppendKey(buf, v)
-		}
-		if null {
-			continue
-		}
-		build[string(buf)] = append(build[string(buf)], i)
+	build, err := ex.buildJoinHash(r, pairs, parent)
+	if err != nil {
+		return nil, err
 	}
 
 	nulls := make([]sqltypes.Value, r.width)
 	osc := out.scopeFor(parent)
 	lsc := l.scopeFor(parent)
+	leftFns := ex.compileKeys(pairs, l.bindings, false)
+	resFns := make([]compiledExpr, len(residual))
+	for i, c := range residual {
+		resFns[i] = ex.compile(c.expr, out.bindings)
+	}
+	var buf []byte
 	for _, lr := range l.rows {
-		lsc.row = lr
 		buf = buf[:0]
 		null := false
-		for _, p := range pairs {
-			v, err := ex.eval(p.left, lsc)
+		for i, p := range pairs {
+			var v sqltypes.Value
+			var err error
+			if leftFns != nil && leftFns[i] != nil {
+				v, err = leftFns[i](lr)
+			} else {
+				lsc.row = lr
+				v, err = ex.eval(p.left, lsc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -1171,9 +1295,15 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 			for _, ri := range build[string(buf)] {
 				combined := concatRows(lr, r.rows[ri], out.width)
 				ok := true
-				osc.row = combined
-				for _, c := range residual {
-					v, err := ex.eval(c.expr, osc)
+				for i, c := range residual {
+					var v sqltypes.Value
+					var err error
+					if resFns[i] != nil {
+						v, err = resFns[i](combined)
+					} else {
+						osc.row = combined
+						v, err = ex.eval(c.expr, osc)
+					}
 					if err != nil {
 						return nil, err
 					}

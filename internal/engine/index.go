@@ -54,12 +54,20 @@ func (t *Table) index(cols []string) (*hashIndex, error) {
 
 // probe returns the row ordinals matching the given key values.
 func (ix *hashIndex) probe(vals []sqltypes.Value) []int {
-	var buf []byte
+	ids, _ := ix.probeBuf(nil, vals)
+	return ids
+}
+
+// probeBuf is probe with a caller-owned scratch buffer, so per-row probe
+// loops (the hash-join index fast path) encode keys without allocating.
+// It returns the matching ordinals and the possibly grown buffer.
+func (ix *hashIndex) probeBuf(buf []byte, vals []sqltypes.Value) ([]int, []byte) {
+	buf = buf[:0]
 	for _, v := range vals {
 		if v.IsNull() {
-			return nil
+			return nil, buf
 		}
 		buf = sqltypes.AppendKey(buf, v)
 	}
-	return ix.m[string(buf)]
+	return ix.m[string(buf)], buf
 }

@@ -12,14 +12,15 @@ import (
 )
 
 // TestLikeMatchesRegexpOracle checks the LIKE matcher against a regexp
-// translation on random inputs.
+// translation on random inputs, including multi-byte runes in the subject:
+// _ must consume one character, not one byte.
 func TestLikeMatchesRegexpOracle(t *testing.T) {
-	alphabet := []rune{'a', 'b', 'c', '%', '_'}
+	alphabet := []rune{'a', 'b', 'é', '☃', '%', '_'}
 	r := rand.New(rand.NewSource(11))
 	randomWord := func(n int, withWild bool) string {
 		var sb strings.Builder
 		for i := 0; i < n; i++ {
-			max := 3
+			max := 4
 			if withWild {
 				max = len(alphabet)
 			}
@@ -49,6 +50,29 @@ func TestLikeMatchesRegexpOracle(t *testing.T) {
 		want := toRegexp(p).MatchString(s)
 		if got := likeMatch(s, p); got != want {
 			t.Fatalf("likeMatch(%q, %q) = %v, regexp says %v", s, p, got, want)
+		}
+	}
+}
+
+// TestLikeMatchUTF8 pins the rune semantics of _ on multi-byte strings
+// (regression: _ used to consume a single byte).
+func TestLikeMatchUTF8(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"héllo", "h_llo", true},
+		{"héllo", "h__llo", false},
+		{"é", "_", true},
+		{"☃☃", "__", true},
+		{"☃☃", "_", false},
+		{"prix: 10€", "prix%€", true},
+		{"naïve", "na_ve", true},
+		{"naïve", "%_ve", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
 		}
 	}
 }
@@ -291,5 +315,233 @@ func TestConcurrentReads(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------- differential
+
+// diffDB builds a small two-table schema with NULLs, a rates meta table and
+// a conversion-style UDF, mirroring the shapes the MTSQL rewrite emits.
+func diffDB(t testing.TB, mode Mode) *DB {
+	t.Helper()
+	db := Open(mode)
+	script := `
+		CREATE TABLE t (a INTEGER, b INTEGER, s VARCHAR, f DECIMAL, d DATE);
+		CREATE TABLE u (k INTEGER, v INTEGER, w VARCHAR);
+		CREATE TABLE rates (tid INTEGER, r DECIMAL);
+		CREATE FUNCTION conv (DECIMAL, INTEGER) RETURNS DECIMAL
+			AS 'SELECT r * $1 FROM rates WHERE tid = $2' LANGUAGE SQL IMMUTABLE`
+	if _, err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	words := []string{"alpha", "beta", "gamma", "héllo", "a%b", "x_y", ""}
+	tt := db.Table("t")
+	for i := 0; i < 120; i++ {
+		row := []sqltypes.Value{
+			sqltypes.NewInt(int64(r.Intn(20))),
+			sqltypes.NewInt(int64(r.Intn(6))),
+			sqltypes.NewString(words[r.Intn(len(words))]),
+			sqltypes.NewFloat(float64(r.Intn(1000)) / 10),
+			sqltypes.NewDate(int64(10000 + r.Intn(400))),
+		}
+		for j := range row {
+			if r.Intn(10) == 0 {
+				row[j] = sqltypes.Null
+			}
+		}
+		tt.AppendRow(row)
+	}
+	ut := db.Table("u")
+	for i := 0; i < 40; i++ {
+		ut.AppendRow([]sqltypes.Value{
+			sqltypes.NewInt(int64(r.Intn(20))),
+			sqltypes.NewInt(int64(r.Intn(50))),
+			sqltypes.NewString(words[r.Intn(len(words))]),
+		})
+	}
+	rt := db.Table("rates")
+	for tid := 0; tid < 6; tid++ {
+		rt.AppendRow([]sqltypes.Value{
+			sqltypes.NewInt(int64(tid)), sqltypes.NewFloat(1 + float64(tid)/4),
+		})
+	}
+	return db
+}
+
+// genDiffExpr builds a random scalar expression over table t's columns,
+// covering every construct the compiler lowers.
+func genDiffExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(6) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return "f"
+		case 3:
+			return fmt.Sprintf("%d", r.Intn(25))
+		case 4:
+			return "s"
+		default:
+			return "d"
+		}
+	}
+	sub := func() string { return genDiffExpr(r, depth-1) }
+	switch r.Intn(16) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", sub(), sub())
+	case 1:
+		return fmt.Sprintf("(%s * %s)", sub(), sub())
+	case 2:
+		return fmt.Sprintf("(%s - %s)", sub(), sub())
+	case 3:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		return fmt.Sprintf("(%s %s %s)", sub(), ops[r.Intn(len(ops))], sub())
+	case 4:
+		return fmt.Sprintf("(%s AND %s)", sub(), sub())
+	case 5:
+		return fmt.Sprintf("(%s OR %s)", sub(), sub())
+	case 6:
+		return fmt.Sprintf("(NOT %s)", sub())
+	case 7:
+		return fmt.Sprintf("(%s BETWEEN %d AND %d)", sub(), r.Intn(10), 10+r.Intn(10))
+	case 8:
+		return fmt.Sprintf("(a IN (%d, %d, %d))", r.Intn(20), r.Intn(20), r.Intn(20))
+	case 9:
+		pats := []string{"'a%'", "'%a'", "'h_llo'", "'%é%'", "'x%y'"}
+		return fmt.Sprintf("(s LIKE %s)", pats[r.Intn(len(pats))])
+	case 10:
+		return fmt.Sprintf("(%s IS NULL)", sub())
+	case 11:
+		return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", sub(), sub(), sub())
+	case 12:
+		return fmt.Sprintf("COALESCE(%s, %s)", sub(), sub())
+	case 13:
+		return fmt.Sprintf("ABS(%s)", sub())
+	case 14:
+		return "conv(f, b)"
+	case 15:
+		return "SUBSTRING(s FROM 2 FOR 3)"
+	}
+	return "a"
+}
+
+// runBothPaths executes sql with the compiled path forced off and on,
+// returning both outcomes.
+func runBothPaths(db *DB, sql string) (interp, compiled *Result, interpErr, compiledErr error) {
+	db.SetCompileExprs(false)
+	interp, interpErr = db.QuerySQL(sql)
+	db.SetCompileExprs(true)
+	compiled, compiledErr = db.QuerySQL(sql)
+	return
+}
+
+func sameResult(a, b *Result) bool {
+	if len(a.Rows) != len(b.Rows) || len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCompiledMatchesInterpreter is the differential property test for the
+// compiled-expression subsystem: every generated query must produce the
+// identical result (or the identical error) through the compiled closures
+// and the tree-walking interpreter, in both engine modes.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	for _, mode := range []Mode{ModePostgres, ModeSystemC} {
+		db := diffDB(t, mode)
+		r := rand.New(rand.NewSource(int64(99 + mode)))
+		for i := 0; i < 400; i++ {
+			var sql string
+			switch i % 5 {
+			case 0: // filtered projection with ORDER BY
+				sql = fmt.Sprintf("SELECT %s, %s FROM t WHERE %s ORDER BY %s, a, b, s",
+					genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 1))
+			case 1: // grouped aggregation incl. compiled aggregate args
+				sql = fmt.Sprintf("SELECT b, SUM(%s), COUNT(*), MIN(%s) FROM t WHERE %s GROUP BY b HAVING COUNT(*) > %d ORDER BY b",
+					genDiffExpr(r, 2), genDiffExpr(r, 1), genDiffExpr(r, 2), r.Intn(3))
+			case 2: // hash join with compiled keys + residual
+				sql = fmt.Sprintf("SELECT a, v FROM t, u WHERE a = k AND %s ORDER BY a, v, w",
+					genDiffExpr(r, 2))
+			case 3: // conversion UDF through the body plan
+				sql = fmt.Sprintf("SELECT conv(%s, b) FROM t WHERE %s ORDER BY a, b, s, f",
+					genDiffExpr(r, 1), genDiffExpr(r, 2))
+			case 4: // DISTINCT + expression projection
+				sql = fmt.Sprintf("SELECT DISTINCT %s FROM t ORDER BY 1 LIMIT 20",
+					genDiffExpr(r, 2))
+			}
+			ir, cr, ierr, cerr := runBothPaths(db, sql)
+			if (ierr == nil) != (cerr == nil) {
+				t.Fatalf("mode %s query %q: interpreter err %v, compiled err %v", mode, sql, ierr, cerr)
+			}
+			if ierr != nil {
+				if ierr.Error() != cerr.Error() {
+					t.Fatalf("mode %s query %q: error mismatch:\n  interp:   %v\n  compiled: %v", mode, sql, ierr, cerr)
+				}
+				continue
+			}
+			if !sameResult(ir, cr) {
+				t.Fatalf("mode %s query %q: result mismatch:\n  interp:   %v rows\n  compiled: %v rows", mode, sql, ir.Rows, cr.Rows)
+			}
+		}
+		db.SetCompileExprs(true)
+	}
+}
+
+// TestRecursiveUDFCompiledParity pins the fix for argument clobbering in
+// recursive UDFs: a call site's reused argv slice must not serve as the
+// enclosing call's parameter frame while a nested call overwrites it.
+func TestRecursiveUDFCompiledParity(t *testing.T) {
+	for _, mode := range []Mode{ModePostgres, ModeSystemC} {
+		db := Open(mode)
+		if _, err := db.ExecScript(`
+			CREATE TABLE one (x INTEGER);
+			CREATE FUNCTION f (INTEGER, INTEGER) RETURNS INTEGER
+				AS 'SELECT CASE WHEN $1 <= 0 THEN $2 ELSE f($2 - 1, $1) END FROM one'
+				LANGUAGE SQL IMMUTABLE`); err != nil {
+			t.Fatal(err)
+		}
+		db.Table("one").AppendRow([]sqltypes.Value{sqltypes.NewInt(1)})
+		ir, cr, ierr, cerr := runBothPaths(db, "SELECT f(2, 5) FROM one")
+		if ierr != nil || cerr != nil {
+			t.Fatalf("mode %s: errors %v / %v", mode, ierr, cerr)
+		}
+		if !sameResult(ir, cr) {
+			t.Fatalf("mode %s: interpreter %v, compiled %v", mode, ir.Rows, cr.Rows)
+		}
+		if got := cr.Rows[0][0].I; got != 3 {
+			t.Fatalf("mode %s: f(2,5) = %d, want 3", mode, got)
+		}
+	}
+}
+
+// TestCompiledInListLargeInts pins the fix for hash-key collisions in the
+// compiled literal IN set: integers beyond 2^53 share float-encoded keys,
+// so membership must be confirmed with exact equality.
+func TestCompiledInListLargeInts(t *testing.T) {
+	db := Open(ModePostgres)
+	if _, err := db.ExecSQL("CREATE TABLE big (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	db.Table("big").AppendRow([]sqltypes.Value{sqltypes.NewInt(9007199254740993)}) // 2^53 + 1
+	sql := "SELECT a FROM big WHERE a IN (9007199254740992)"                       // 2^53
+	ir, cr, ierr, cerr := runBothPaths(db, sql)
+	if ierr != nil || cerr != nil {
+		t.Fatalf("errors %v / %v", ierr, cerr)
+	}
+	if !sameResult(ir, cr) {
+		t.Fatalf("interpreter %d rows, compiled %d rows", len(ir.Rows), len(cr.Rows))
+	}
+	if len(cr.Rows) != 0 {
+		t.Fatalf("2^53+1 IN (2^53) matched: %v", cr.Rows)
 	}
 }

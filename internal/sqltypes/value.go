@@ -202,14 +202,17 @@ func (v Value) SQLLiteral() string {
 // Compare orders two values. ok is false when either side is NULL or the
 // kinds are incomparable; then the comparison result is SQL unknown.
 func Compare(a, b Value) (cmp int, ok bool) {
+	// Fast path for the dominant case in join keys and filters; KindInt
+	// implies non-NULL.
+	if a.K == KindInt && b.K == KindInt {
+		return cmpInt(a.I, b.I), true
+	}
 	if a.IsNull() || b.IsNull() {
 		return 0, false
 	}
 	switch {
 	case a.IsNumeric() && b.IsNumeric():
-		if a.K == KindInt && b.K == KindInt {
-			return cmpInt(a.I, b.I), true
-		}
+		// int-int was handled by the fast path above.
 		return cmpFloat(a.AsFloat(), b.AsFloat()), true
 	case a.K == KindString && b.K == KindString:
 		return strings.Compare(a.S, b.S), true
@@ -379,10 +382,10 @@ func appendFloatKey(key []byte, f float64) []byte {
 	if f == 0 { // normalize -0 and +0
 		bits = 0
 	}
-	for i := 0; i < 8; i++ {
-		key = append(key, byte(bits>>(8*i)))
-	}
-	return key
+	// Single append keeps this inlinable in the key-building hot loops.
+	return append(key,
+		byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 }
 
 // Truthy converts a value used in a WHERE/HAVING context to (true, known).

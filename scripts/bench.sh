@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the per-query micro benchmarks and emits BENCH_<date>.json in the
+# repo root, so successive perf PRs have a machine-readable trajectory to
+# compare against. Usage: scripts/bench.sh [benchtime, default 2x]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+stamp="$(date -u +%Y-%m-%d)"
+out="BENCH_${stamp}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3' \
+	-benchtime="$benchtime" -benchmem | tee "$raw"
+
+awk -v date="$stamp" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
+/^Benchmark/ {
+	name = $1
+	nsop = ""; bop = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     nsop   = $(i - 1)
+		if ($(i) == "B/op")      bop    = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (nsop == "") next
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
+	if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
