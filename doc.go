@@ -6,12 +6,16 @@
 //
 //   - sqltypes, sqllex, sqlast, sqlparse — the SQL/MTSQL frontend
 //   - engine — the substrate in-memory DBMS (PostgreSQL / "System C" roles).
-//     Queries run compile-then-execute: expression trees are lowered once
-//     per query into closures over flat row offsets (engine/compile.go),
-//     conversion-UDF bodies are planned once per statement with their
-//     tenant-keyed meta-table lookups cached, and pure conversion results
-//     are memoized per call site; the tree-walking interpreter remains as
-//     the fallback for subqueries, aggregates and correlated references.
+//     Queries run compile-then-execute, batch-at-a-time: operators exchange
+//     fixed-size windows of tuples with selection vectors (engine/batch.go),
+//     expressions are lowered into vectorized kernels looping over those
+//     vectors (engine/vector.go) with row-compiled closures
+//     (engine/compile.go) as the lifted fallback, ORDER BY sorts over
+//     precomputed key columns, conversion-UDF bodies are planned once per
+//     statement with their tenant-keyed meta-table lookups cached, and pure
+//     conversion results are cached per statement; the tree-walking
+//     interpreter remains the row-at-a-time fallback behind the same
+//     operator interface (DB.SetCompileExprs(false) selects it).
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)

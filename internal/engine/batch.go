@@ -1,0 +1,344 @@
+package engine
+
+// This file implements the batch-at-a-time execution infrastructure. The
+// compiled path no longer pulls one row at a time through closures: operators
+// exchange fixed-size windows of tuples (a batch) together with a selection
+// vector of surviving row indices, and expressions run as tight loops over
+// those vectors (vector.go). Filters refine the selection vector instead of
+// copying rows; join, group-by and sort keys are computed into per-batch key
+// columns and encoded from there.
+//
+// Error discipline: batched evaluation must abort with exactly the error the
+// row-at-a-time interpreter would raise — the one belonging to the first
+// failing row in row order, with later conjuncts/projectors of that row
+// short-circuited exactly as the interpreter short-circuits them. Kernels
+// therefore never return an error directly; they poison the failing row in
+// batch.errs and drop it from subsequent evaluation, and the driving operator
+// picks the first poisoned row of the batch once the batch is complete. The
+// differential property test (property_test.go) holds the two paths to
+// identical results and identical errors.
+
+import (
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// BatchSize is the number of rows operators exchange per step in batched
+// execution. Benchmark artifacts record it so BENCH_*.json files stay
+// comparable across configurations.
+const BatchSize = 1024
+
+const batchSize = BatchSize
+
+// identSel is the shared identity selection vector; operators slice it to
+// the window length for freshly scanned batches. It must never be written.
+var identSel = func() []int32 {
+	s := make([]int32, batchSize)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}()
+
+// batch is one unit of work flowing between operators: a window of up to
+// batchSize tuples, the selection vector of still-live local row indices
+// (always ascending), and per-row error slots for poisoned rows.
+type batch struct {
+	rows   [][]sqltypes.Value // window into the source relation
+	base   int                // ordinal of rows[0] within the source
+	sel    []int32            // selected local row indices
+	errs   []error            // errs[i] poisons local row i
+	anyErr bool               // fast check: any errs entry non-nil
+}
+
+// reset prepares the batch for a new window of n rows.
+func (b *batch) reset(n int) {
+	if cap(b.errs) < n {
+		b.errs = make([]error, n)
+	}
+	e := b.errs[:n]
+	if b.anyErr {
+		for i := range e {
+			e[i] = nil
+		}
+	}
+	b.errs = e
+	b.anyErr = false
+}
+
+// firstErr returns the error of the first poisoned row in row order — the
+// error row-at-a-time execution would have raised.
+func (b *batch) firstErr() error {
+	if !b.anyErr {
+		return nil
+	}
+	for _, e := range b.errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// poison marks local row i failed.
+func (b *batch) poison(i int32, err error) {
+	b.errs[i] = err
+	b.anyErr = true
+}
+
+// compactSel drops poisoned rows from sel, writing into dst (dst may alias
+// sel; compaction never writes ahead of its read position). When the batch is
+// clean, sel is returned untouched — the common case costs one flag check.
+func (b *batch) compactSel(dst, sel []int32) []int32 {
+	if !b.anyErr {
+		return sel
+	}
+	dst = dst[:0]
+	for _, i := range sel {
+		if b.errs[i] == nil {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// growVals returns a value column of length n, reusing buf when possible.
+// Contents are not preserved; callers only read indices they wrote this
+// batch. Allocation is exact: windows are already batchSize-capped, and
+// small relations (correlated subqueries re-plan per execution) must not pay
+// full-batch scratch.
+func growVals(buf []sqltypes.Value, n int) []sqltypes.Value {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]sqltypes.Value, n)
+}
+
+// growSel returns a selection scratch buffer with capacity for n entries.
+func growSel(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:0]
+	}
+	return make([]int32, 0, n)
+}
+
+// encodeKeyCols appends the canonical encoding of the i-th entry of each key
+// column to buf — the batched replacement for per-row key evaluation in hash
+// join builds, group-by bucketing and index probes.
+func encodeKeyCols(buf []byte, cols [][]sqltypes.Value, i int32) []byte {
+	for _, c := range cols {
+		buf = sqltypes.AppendKey(buf, c[i])
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------- operators
+
+// batchOp is the pull-based operator interface of the batched executor:
+// next fills b with the operator's next batch and reports whether one was
+// produced. Both execution modes run behind it — the compiled path refines
+// selection vectors with vectorized kernels, the interpreter fallback
+// evaluates row-at-a-time inside the same batches.
+type batchOp interface {
+	next(b *batch) bool
+}
+
+// scanOp streams a materialized row set in fixed-size windows.
+type scanOp struct {
+	rows [][]sqltypes.Value
+	pos  int
+}
+
+func (s *scanOp) next(b *batch) bool {
+	if s.pos >= len(s.rows) {
+		return false
+	}
+	n := len(s.rows) - s.pos
+	if n > batchSize {
+		n = batchSize
+	}
+	b.rows = s.rows[s.pos : s.pos+n]
+	b.base = s.pos
+	s.pos += n
+	b.sel = identSel[:n]
+	b.reset(n)
+	return true
+}
+
+// filterOp refines each input batch's selection vector with a conjunct list.
+// In compiled mode every conjunct is a vectorized program looping over the
+// selection vector; with compilation disabled the same operator evaluates the
+// conjuncts through the tree-walking interpreter one row at a time. A batch
+// is only surfaced when rows survive; on a poisoned row the operator stops
+// and exposes the first failing row's error via failed.
+type filterOp struct {
+	src    batchOp
+	ex     *exec
+	sc     *scope        // row context for interpreted conjuncts
+	progs  []vecExpr     // compiled mode: one program per conjunct
+	exprs  []sqlast.Expr // interpreter mode: the conjunct expressions
+	out    []sqltypes.Value
+	selBuf []int32
+	failed error
+}
+
+func (f *filterOp) next(b *batch) bool {
+	if f.failed != nil {
+		return false
+	}
+	for f.src.next(b) {
+		if f.progs != nil {
+			f.applyVec(b)
+		} else {
+			f.applyInterp(b)
+		}
+		if f.failed != nil {
+			return false
+		}
+		if len(b.sel) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *filterOp) applyVec(b *batch) {
+	sel := b.sel
+	for _, prog := range f.progs {
+		if len(sel) == 0 {
+			break
+		}
+		f.out = growVals(f.out, len(b.rows))
+		prog(b, sel, f.out)
+		f.selBuf = growSel(f.selBuf, len(sel))
+		kept := f.selBuf[:0]
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			if truth, _ := sqltypes.Truthy(f.out[i]); truth {
+				kept = append(kept, i)
+			}
+		}
+		sel = kept
+	}
+	b.sel = sel
+	f.failed = b.firstErr()
+}
+
+func (f *filterOp) applyInterp(b *batch) {
+	f.selBuf = growSel(f.selBuf, len(b.sel))
+	kept := f.selBuf[:0]
+	for _, i := range b.sel {
+		f.sc.row = b.rows[i]
+		keep := true
+		for _, e := range f.exprs {
+			v, err := f.ex.eval(e, f.sc)
+			if err != nil {
+				f.failed = err
+				return
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			kept = append(kept, i)
+		}
+	}
+	b.sel = kept
+}
+
+// ---------------------------------------------------------------- row chunks
+
+// rowChunk hands out fixed-width result tuples from one pre-sized
+// allocation. Batch drivers count their output rows before materializing
+// (projection emits the selection vector, joins sum their hash buckets), so
+// a batch's tuples cost exactly one allocation with zero slack — replacing
+// the one-make-per-row pattern of row-at-a-time execution.
+type rowChunk struct {
+	buf []sqltypes.Value
+}
+
+func newRowChunk(rows, width int) rowChunk {
+	return rowChunk{buf: make([]sqltypes.Value, 0, rows*width)}
+}
+
+func (c *rowChunk) alloc(width int) []sqltypes.Value {
+	if width == 0 {
+		return nil
+	}
+	off := len(c.buf)
+	c.buf = c.buf[:off+width]
+	return c.buf[off : off+width : off+width]
+}
+
+// concat appends the concatenation of l and r as one output tuple.
+func (c *rowChunk) concat(l, r []sqltypes.Value) []sqltypes.Value {
+	off := len(c.buf)
+	c.buf = append(append(c.buf, l...), r...)
+	return c.buf[off:len(c.buf):len(c.buf)]
+}
+
+// concatRows is the row-at-a-time counterpart used by the interpreter paths.
+func concatRows(l, r []sqltypes.Value, width int) []sqltypes.Value {
+	row := make([]sqltypes.Value, 0, width)
+	row = append(row, l...)
+	return append(row, r...)
+}
+
+// ---------------------------------------------------------------- sorting
+
+// stableSortIdx stably sorts a permutation vector with an explicit
+// comparator: bottom-up merge sort over insertion-sorted runs. It replaces
+// sort.SliceStable in ORDER BY, whose reflection-based swapper and per-row
+// key slices showed up in the Q1/Q22 profiles; keys now live in precomputed
+// key columns indexed by the permutation.
+func stableSortIdx(idx []int32, less func(a, b int32) bool) {
+	n := len(idx)
+	if n < 2 {
+		return
+	}
+	const run = 32
+	for lo := 0; lo < n; lo += run {
+		hi := lo + run
+		if hi > n {
+			hi = n
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+	}
+	if n <= run {
+		return
+	}
+	tmp := make([]int32, n)
+	for width := run; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			// merge idx[lo:mid] and idx[mid:hi] into tmp, left wins ties
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if less(idx[j], idx[i]) {
+					tmp[k] = idx[j]
+					j++
+				} else {
+					tmp[k] = idx[i]
+					i++
+				}
+				k++
+			}
+			copy(tmp[k:], idx[i:mid])
+			k += mid - i
+			copy(tmp[k:], idx[j:hi])
+			copy(idx[lo:hi], tmp[lo:hi])
+		}
+	}
+}

@@ -709,7 +709,8 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 	}
 	site := &udfSite{ex: env.ex, fn: fn, args: args, argv: make([]sqltypes.Value, len(args))}
 	if fn.Immutable && env.ex.db.mode == ModePostgres {
-		site.memo = make(map[string]sqltypes.Value)
+		site.cached = true
+		site.prefix = []byte(fn.Name)
 	}
 	return site.call, true
 }
@@ -776,20 +777,22 @@ func (env *cenv) compileRound(x *sqlast.FuncCall) (compiledExpr, bool) {
 }
 
 // udfSite is one compiled call site of a SQL-bodied function. When the
-// function is IMMUTABLE and the engine emulates PostgreSQL, results are
-// memoized per argument tuple for the lifetime of the compiled expression
-// (at most one statement): the paper's conversion functions are
-// deterministic per (value, tenant) pair, so the Canonical/O1 levels' 2N
-// conversion calls collapse to |distinct inputs| body executions. The site
-// cache fronts the statement-wide cache in exec.callUDF — a hit here skips
-// re-encoding the function name and probing the shared map.
+// function is IMMUTABLE and the engine emulates PostgreSQL, the site probes
+// the statement-wide result cache directly with a pre-encoded function-name
+// prefix: the paper's conversion functions are deterministic per
+// (value, tenant) pair, so the Canonical/O1 levels' 2N conversion calls
+// collapse to |distinct inputs| body executions — and sharing the statement
+// cache (instead of fronting it with a per-site memo) means a miss pays one
+// map probe and one insert, not two of each, while results stay visible
+// across call sites of the same function.
 type udfSite struct {
-	ex   *exec
-	fn   *Function
-	args []compiledExpr
-	memo map[string]sqltypes.Value // nil when caching is disallowed
-	buf  []byte
-	argv []sqltypes.Value
+	ex     *exec
+	fn     *Function
+	args   []compiledExpr
+	cached bool   // IMMUTABLE + ModePostgres: probe the statement cache
+	prefix []byte // fn.Name, encoded once; must match callUDF's key shape
+	buf    []byte
+	argv   []sqltypes.Value
 }
 
 func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
@@ -800,52 +803,30 @@ func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
 		}
 		s.argv[i] = v
 	}
-	if s.memo == nil {
+	if !s.cached {
 		return s.ex.callUDF(s.fn, s.argv)
 	}
-	buf := s.buf[:0]
+	buf := append(s.buf[:0], s.prefix...)
 	for _, v := range s.argv {
 		buf = sqltypes.AppendKey(buf, v)
 	}
 	s.buf = buf
-	if v, ok := s.memo[string(buf)]; ok {
+	if v, ok := s.ex.udfCache[string(buf)]; ok {
 		s.ex.db.Stats.UDFCacheHits++
 		return v, nil
 	}
-	v, err := s.ex.callUDF(s.fn, s.argv)
+	// Materialize the key before executing the body: a recursive function
+	// re-enters this site, and the nested call's key encoding reuses the
+	// same scratch backing array. Storing under string(buf) after the call
+	// would record this result under the *innermost* call's key, poisoning
+	// the cache for every later lookup (TestRecursiveMemoPoison2).
+	key := string(buf)
+	v, err := s.ex.execUDFBody(s.fn, s.argv)
 	if err != nil {
 		return sqltypes.Null, err
 	}
-	s.memo[string(buf)] = v
+	s.ex.udfCache[key] = v
 	return v, nil
-}
-
-// compileAggArgs walks the given expressions for single-argument aggregate
-// calls at this query level and compiles each argument against the
-// relation's bindings; evalAggregate then evaluates group members without
-// re-interpreting the argument per row. Subqueries are separate levels and
-// are not walked.
-func (ex *exec) compileAggArgs(bindings []*binding, exprs ...sqlast.Expr) map[sqlast.Expr]compiledExpr {
-	if ex.db.noCompile {
-		return nil
-	}
-	var m map[sqlast.Expr]compiledExpr
-	for _, e := range exprs {
-		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
-			fc, ok := n.(*sqlast.FuncCall)
-			if !ok || !aggregateNames[strings.ToUpper(fc.Name)] || fc.Star || len(fc.Args) != 1 {
-				return true
-			}
-			if fn := ex.compile(fc.Args[0], bindings); fn != nil {
-				if m == nil {
-					m = make(map[sqlast.Expr]compiledExpr)
-				}
-				m[fc.Args[0]] = fn
-			}
-			return true
-		})
-	}
-	return m
 }
 
 // ---------------------------------------------------------------- UDF plans

@@ -444,8 +444,20 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 		pred = ex.compile(up.Where, sc.bindings)
 	}
 	setFns := make([]compiledExpr, len(up.Sets))
+	allCompiled := (up.Where == nil || pred != nil) && !db.hasUDFCall(up.Where)
 	for i, a := range up.Sets {
 		setFns[i] = ex.compile(a.Expr, sc.bindings)
+		if setFns[i] == nil || db.hasUDFCall(a.Expr) {
+			allCompiled = false
+		}
+	}
+	// Batched path: only when the predicate and every assignment are in the
+	// compiled subset *and* call no SQL-bodied functions — then they are
+	// pure row functions (nothing that could observe earlier rows' in-place
+	// updates), so evaluating a batch ahead of applying it is
+	// indistinguishable from the row loop.
+	if allCompiled && !db.noCompile {
+		return db.updateBatched(ex, t, up, sc)
 	}
 	affected := 0
 	for _, row := range t.Rows {
@@ -499,6 +511,100 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
+// hasUDFCall reports whether e calls a SQL-bodied function. UDF bodies are
+// full queries that may read the table a DML statement is mutating, so the
+// batched paths must not evaluate them a batch ahead of applying updates.
+func (db *DB) hasUDFCall(e sqlast.Expr) bool {
+	found := false
+	sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+		if fc, ok := n.(*sqlast.FuncCall); ok && db.Function(fc.Name) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// updateBatched evaluates the UPDATE predicate and assignments column-wise
+// per batch and applies the new values in row order afterwards, aborting at
+// the first poisoned row exactly where the row loop would have stopped.
+func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*Result, error) {
+	var vpred vecExpr
+	if up.Where != nil {
+		vpred = ex.vecCompile(up.Where, sc.bindings, sc)
+	}
+	vsets := make([]vecExpr, len(up.Sets))
+	colIdx := make([]int, len(up.Sets))
+	for i, a := range up.Sets {
+		vsets[i] = ex.vecCompile(a.Expr, sc.bindings, sc)
+		// Resolution is hoisted; the "no column" error stays at apply time so
+		// a non-matching UPDATE succeeds exactly like the row loop.
+		colIdx[i] = t.ColIndex(a.Column)
+	}
+	newVals := make([]sqltypes.Value, len(up.Sets))
+	affected := 0
+	src := scanOp{rows: t.Rows}
+	var b batch
+	for src.next(&b) {
+		n := len(b.rows)
+		m := ex.vs.mark()
+		sel := b.sel
+		if vpred != nil {
+			predCol := ex.vs.takeVals(n)
+			vpred(&b, sel, predCol)
+			matched := ex.vs.takeSel(len(sel))
+			for _, i := range sel {
+				if b.errs[i] != nil {
+					continue
+				}
+				if truth, _ := sqltypes.Truthy(predCol[i]); truth {
+					matched = append(matched, i)
+				}
+			}
+			sel = matched
+		}
+		setCols := make([][]sqltypes.Value, len(vsets))
+		selBuf := ex.vs.takeSel(len(sel))
+		for j, vs := range vsets {
+			setCols[j] = ex.vs.takeVals(n)
+			vs(&b, sel, setCols[j])
+			sel = b.compactSel(selBuf, sel)
+		}
+		// Apply in row order; a poisoned row aborts with rows before it
+		// already updated, matching the row loop's partial application.
+		si := 0
+		for i := 0; i < n; i++ {
+			if b.errs[i] != nil {
+				return nil, b.errs[i]
+			}
+			if si >= len(sel) || sel[si] != int32(i) {
+				continue
+			}
+			si++
+			row := b.rows[i]
+			for j, a := range up.Sets {
+				if colIdx[j] < 0 {
+					return nil, fmt.Errorf("engine: no column %s in %s", a.Column, t.Name)
+				}
+				cv, err := coerce(setCols[j][i], t.Cols[colIdx[j]].Type)
+				if err != nil {
+					return nil, err
+				}
+				newVals[j] = cv
+			}
+			for j := range up.Sets {
+				row[colIdx[j]] = newVals[j]
+			}
+			affected++
+		}
+		ex.vs.release(m)
+	}
+	if affected > 0 {
+		t.invalidate()
+	}
+	return &Result{Affected: affected}, nil
+}
+
 func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
 	t := db.tables[strings.ToLower(del.Table)]
 	if t == nil {
@@ -506,11 +612,46 @@ func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
 	}
 	ex := db.newExec()
 	sc := tableScope(t)
+	// Both paths stage the kept rows in a fresh slice: the table is pristine
+	// for the whole scan — predicates with subqueries over the same table
+	// observe identical state row-at-a-time and batch-ahead, and an erroring
+	// predicate leaves the table untouched instead of half-compacted.
+	if del.Where != nil && !db.noCompile {
+		// Batched path: the predicate runs column-wise per batch; the
+		// keep/drop walk then follows row order, so the first poisoned row
+		// aborts exactly where the row loop would have stopped.
+		vpred := ex.vecCompile(del.Where, sc.bindings, sc)
+		kept := make([][]sqltypes.Value, 0, len(t.Rows))
+		affected := 0
+		src := scanOp{rows: t.Rows}
+		var b batch
+		for src.next(&b) {
+			m := ex.vs.mark()
+			predCol := ex.vs.takeVals(len(b.rows))
+			vpred(&b, b.sel, predCol)
+			for i := range b.rows {
+				if b.errs[i] != nil {
+					return nil, b.errs[i]
+				}
+				if truth, _ := sqltypes.Truthy(predCol[i]); truth {
+					affected++
+				} else {
+					kept = append(kept, b.rows[i])
+				}
+			}
+			ex.vs.release(m)
+		}
+		t.Rows = kept
+		if affected > 0 {
+			t.invalidate()
+		}
+		return &Result{Affected: affected}, nil
+	}
 	var pred compiledExpr
 	if del.Where != nil {
 		pred = ex.compile(del.Where, sc.bindings)
 	}
-	kept := t.Rows[:0]
+	kept := make([][]sqltypes.Value, 0, len(t.Rows))
 	affected := 0
 	for _, row := range t.Rows {
 		sc.row = row

@@ -30,6 +30,10 @@ type exec struct {
 	// udfPlans caches per-statement lowerings of simple UDF bodies (see
 	// udfPlan in compile.go); conversion functions hit this on every call.
 	udfPlans map[*Function]*udfPlan
+
+	// vs is the statement-wide scratch stack batch evaluation allocates its
+	// intermediate columns and selection buffers from (see vector.go).
+	vs vecStack
 }
 
 // inSet is a hashed IN-subquery result.
@@ -81,11 +85,18 @@ type scope struct {
 }
 
 // groupCtx holds the rows of the current group during aggregate evaluation,
-// plus aggregate arguments precompiled against the grouped relation (shared
-// by every group of one grouped projection).
+// plus aggregate arguments vectorized against the grouped relation (shared
+// by every group of one grouped projection, along with the batch scratch).
 type groupCtx struct {
 	rows   [][]sqltypes.Value
-	aggArg map[sqlast.Expr]compiledExpr
+	aggVec map[sqlast.Expr]vecExpr
+	scr    *aggScratch
+}
+
+// aggScratch is the reusable batch state aggregate evaluation streams group
+// rows through; one instance is shared by all groups of a projection.
+type aggScratch struct {
+	b batch
 }
 
 func rootScope() *scope { return &scope{} }
@@ -781,6 +792,19 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 		}
 		key = string(buf)
 	}
+	out, err := ex.execUDFBody(fn, args)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if key != "" {
+		ex.udfCache[key] = out
+	}
+	return out, nil
+}
+
+// execUDFBody runs a function body uncached — the shared tail of callUDF and
+// the compiled call sites, which probe the statement cache themselves.
+func (ex *exec) execUDFBody(fn *Function, args []sqltypes.Value) (sqltypes.Value, error) {
 	ex.db.Stats.UDFCalls++
 	if ex.depth > 64 {
 		return sqltypes.Null, fmt.Errorf("engine: UDF recursion too deep in %s", fn.Name)
@@ -793,7 +817,10 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 		out, err = ex.runPlannedUDF(plan, args)
 	} else {
 		sc := rootScope()
-		sc.params = args
+		// Copy: args is typically a compiled call site's reused argv slice,
+		// and a recursive call through the same site would overwrite it while
+		// the body still resolves $n through this frame.
+		sc.params = append([]sqltypes.Value(nil), args...)
 		var res *Result
 		res, err = ex.runQuery(fn.Body, sc)
 		if err == nil {
@@ -806,9 +833,6 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 	ex.depth--
 	if err != nil {
 		return sqltypes.Null, fmt.Errorf("engine: in function %s: %w", fn.Name, err)
-	}
-	if key != "" {
-		ex.udfCache[key] = out
 	}
 	return out, nil
 }
@@ -828,91 +852,122 @@ func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, er
 		return sqltypes.Null, fmt.Errorf("engine: %s takes exactly one argument", x.Name)
 	}
 	arg := x.Args[0]
-	argFn := g.aggArg[arg] // nil → interpret per row
 
 	savedRow, savedGroup := sc.row, sc.group
 	sc.group = nil // nested aggregates are invalid
 	defer func() { sc.row, sc.group = savedRow, savedGroup }()
 
-	var (
-		count   int64
-		sumI    int64
-		sumF    float64
-		isFloat bool
-		minV    = sqltypes.Null
-		maxV    = sqltypes.Null
-		seen    map[string]bool
-	)
-	if x.Distinct {
-		seen = make(map[string]bool)
-	}
-	for _, row := range g.rows {
-		var v sqltypes.Value
-		var err error
-		if argFn != nil {
-			v, err = argFn(row)
-		} else {
+	acc := aggAcc{op: upper, distinct: x.Distinct}
+	if vecFn := g.aggVec[arg]; vecFn != nil && g.scr != nil {
+		// Batched accumulation: the argument program fills a column per
+		// window of group rows; values accumulate from the column in row
+		// order, so sums, ties and DISTINCT sets match the row loop exactly.
+		scr := g.scr
+		src := scanOp{rows: g.rows}
+		for src.next(&scr.b) {
+			m := ex.vs.mark()
+			col := ex.vs.takeVals(len(scr.b.rows))
+			vecFn(&scr.b, scr.b.sel, col)
+			if err := scr.b.firstErr(); err != nil {
+				return sqltypes.Null, err
+			}
+			for _, i := range scr.b.sel {
+				acc.add(col[i])
+			}
+			ex.vs.release(m)
+		}
+	} else {
+		for _, row := range g.rows {
 			sc.row = row
-			v, err = ex.eval(arg, sc)
-		}
-		if err != nil {
-			return sqltypes.Null, err
-		}
-		if v.IsNull() {
-			continue
-		}
-		if x.Distinct {
-			k := string(sqltypes.AppendKey(nil, v))
-			if seen[k] {
-				continue
+			v, err := ex.eval(arg, sc)
+			if err != nil {
+				return sqltypes.Null, err
 			}
-			seen[k] = true
-		}
-		count++
-		switch upper {
-		case "SUM", "AVG":
-			if v.K == sqltypes.KindFloat {
-				isFloat = true
-				sumF += v.F
-			} else {
-				sumI += v.AsInt()
-			}
-		case "MIN":
-			if minV.IsNull() {
-				minV = v
-			} else if c, ok := sqltypes.Compare(v, minV); ok && c < 0 {
-				minV = v
-			}
-		case "MAX":
-			if maxV.IsNull() {
-				maxV = v
-			} else if c, ok := sqltypes.Compare(v, maxV); ok && c > 0 {
-				maxV = v
-			}
+			acc.add(v)
 		}
 	}
-	switch upper {
-	case "COUNT":
-		return sqltypes.NewInt(count), nil
-	case "SUM":
-		if count == 0 {
-			return sqltypes.Null, nil
+	res, ok := acc.result()
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", x.Name)
+	}
+	return res, nil
+}
+
+// aggAcc accumulates one aggregate over a group's argument values; both the
+// batched and the interpreted path feed it in row order.
+type aggAcc struct {
+	op       string
+	distinct bool
+	seen     map[string]bool
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	minV     sqltypes.Value
+	maxV     sqltypes.Value
+}
+
+func (a *aggAcc) add(v sqltypes.Value) {
+	if v.IsNull() {
+		return
+	}
+	if a.distinct {
+		if a.seen == nil {
+			a.seen = make(map[string]bool)
 		}
-		if isFloat {
-			return sqltypes.NewFloat(sumF + float64(sumI)), nil
+		k := string(sqltypes.AppendKey(nil, v))
+		if a.seen[k] {
+			return
 		}
-		return sqltypes.NewInt(sumI), nil
-	case "AVG":
-		if count == 0 {
-			return sqltypes.Null, nil
+		a.seen[k] = true
+	}
+	a.count++
+	switch a.op {
+	case "SUM", "AVG":
+		if v.K == sqltypes.KindFloat {
+			a.isFloat = true
+			a.sumF += v.F
+		} else {
+			a.sumI += v.AsInt()
 		}
-		return sqltypes.NewFloat((sumF + float64(sumI)) / float64(count)), nil
 	case "MIN":
-		return minV, nil
+		if a.minV.IsNull() {
+			a.minV = v
+		} else if c, ok := sqltypes.Compare(v, a.minV); ok && c < 0 {
+			a.minV = v
+		}
 	case "MAX":
-		return maxV, nil
+		if a.maxV.IsNull() {
+			a.maxV = v
+		} else if c, ok := sqltypes.Compare(v, a.maxV); ok && c > 0 {
+			a.maxV = v
+		}
 	}
-	return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", x.Name)
+}
+
+func (a *aggAcc) result() (sqltypes.Value, bool) {
+	switch a.op {
+	case "COUNT":
+		return sqltypes.NewInt(a.count), true
+	case "SUM":
+		if a.count == 0 {
+			return sqltypes.Null, true
+		}
+		if a.isFloat {
+			return sqltypes.NewFloat(a.sumF + float64(a.sumI)), true
+		}
+		return sqltypes.NewInt(a.sumI), true
+	case "AVG":
+		if a.count == 0 {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewFloat((a.sumF + float64(a.sumI)) / float64(a.count)), true
+	case "MIN":
+		return a.minV, true
+	case "MAX":
+		return a.maxV, true
+	}
+	return sqltypes.Null, false
 }
 
 // hasAggregate reports whether e contains an aggregate call at this query

@@ -79,17 +79,19 @@ func (ex *exec) runQuery(sel *sqlast.Select, parent *scope) (*Result, error) {
 }
 
 // execResult carries rows with their sort keys until ordering is applied.
+// Sort keys live in precomputed key columns (keyCols[k][i] is ORDER BY key k
+// of Rows[i]) rather than per-row key slices: one allocation per key instead
+// of one per row, and the sort comparator indexes flat columns.
 type execResult struct {
-	Cols     []string
-	Rows     [][]sqltypes.Value
-	sortKeys [][]sqltypes.Value
-	desc     []bool
+	Cols    []string
+	Rows    [][]sqltypes.Value
+	keyCols [][]sqltypes.Value
+	desc    []bool
 }
 
 func (r *execResult) dedupe() {
 	seen := make(map[string]bool, len(r.Rows))
-	outRows := r.Rows[:0]
-	outKeys := r.sortKeys[:0]
+	w := 0
 	var buf []byte
 	for i, row := range r.Rows {
 		buf = buf[:0]
@@ -100,28 +102,29 @@ func (r *execResult) dedupe() {
 			continue
 		}
 		seen[string(buf)] = true
-		outRows = append(outRows, row)
-		if r.sortKeys != nil {
-			outKeys = append(outKeys, r.sortKeys[i])
+		r.Rows[w] = row
+		for k := range r.keyCols {
+			r.keyCols[k][w] = r.keyCols[k][i]
 		}
+		w++
 	}
-	r.Rows = outRows
-	if r.sortKeys != nil {
-		r.sortKeys = outKeys
+	r.Rows = r.Rows[:w]
+	for k := range r.keyCols {
+		r.keyCols[k] = r.keyCols[k][:w]
 	}
 }
 
 func (r *execResult) sortAndTrim(limit int64) {
-	if len(r.desc) > 0 {
-		idx := make([]int, len(r.Rows))
+	if len(r.desc) > 0 && len(r.Rows) > 1 {
+		idx := make([]int32, len(r.Rows))
 		for i := range idx {
-			idx[i] = i
+			idx[i] = int32(i)
 		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			ka, kb := r.sortKeys[idx[a]], r.sortKeys[idx[b]]
-			for k := range r.desc {
-				c := compareNullsFirst(ka[k], kb[k])
-				if r.desc[k] {
+		keys, desc := r.keyCols, r.desc
+		stableSortIdx(idx, func(a, b int32) bool {
+			for k := range desc {
+				c := compareNullsFirst(keys[k][a], keys[k][b])
+				if desc[k] {
 					c = -c
 				}
 				if c != 0 {
@@ -139,6 +142,27 @@ func (r *execResult) sortAndTrim(limit int64) {
 	if limit >= 0 && int64(len(r.Rows)) > limit {
 		r.Rows = r.Rows[:limit]
 	}
+}
+
+// appendKeys evaluates the ORDER BY keys of one output row into the key
+// columns; expression keys are interpreted against sc, whose current row (or
+// group context) the caller has set.
+func (r *execResult) appendKeys(ex *exec, plans []orderPlan, out []sqltypes.Value, sc *scope) error {
+	for k := range plans {
+		p := &plans[k]
+		var v sqltypes.Value
+		var err error
+		if p.outCol >= 0 {
+			v = out[p.outCol]
+		} else {
+			v, err = ex.eval(p.expr, sc)
+		}
+		if err != nil {
+			return err
+		}
+		r.keyCols[k] = append(r.keyCols[k], v)
+	}
+	return nil
 }
 
 func (r *execResult) finish() *Result {
@@ -231,12 +255,11 @@ func (ex *exec) outputShape(sel *sqlast.Select, rel *relation) ([]string, error)
 }
 
 // orderPlan decides, per ORDER BY item, whether to reuse an output column
-// or evaluate an expression in the row/group context. In the ungrouped path
-// fn holds the expression compiled against the source relation.
+// or evaluate an expression in the row/group context. In the ungrouped
+// batched path the expression is vectorized against the source relation.
 type orderPlan struct {
 	outCol int         // >= 0: sort by this output column
 	expr   sqlast.Expr // else: evaluate this
-	fn     compiledExpr
 	desc   bool
 }
 
@@ -303,18 +326,24 @@ func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, al
 		return nil, err
 	}
 	plans := buildOrderPlan(sel, outCols, sc, aliases)
-	for i := range plans {
-		if plans[i].expr != nil {
-			plans[i].fn = ex.compile(plans[i].expr, rel.bindings)
-		}
-	}
 	projs, width := ex.buildProjectors(sel, rel)
 
 	res := &execResult{Cols: outCols}
 	for _, p := range plans {
 		res.desc = append(res.desc, p.desc)
 	}
+	if len(plans) > 0 {
+		res.keyCols = make([][]sqltypes.Value, len(plans))
+	}
 
+	if !ex.db.noCompile {
+		if err := ex.projectRowsBatched(rel, sc, projs, plans, width, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	// Interpreter fallback: row-at-a-time projection.
 	for _, row := range rel.rows {
 		sc.row = row
 		out := make([]sqltypes.Value, 0, width)
@@ -326,54 +355,93 @@ func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, al
 				}
 				continue
 			}
-			var v sqltypes.Value
-			var err error
-			if p.fn != nil {
-				v, err = p.fn(row)
-			} else {
-				v, err = ex.eval(p.expr, sc)
-			}
+			v, err := ex.eval(p.expr, sc)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, v)
 		}
 		res.Rows = append(res.Rows, out)
-		if len(plans) > 0 {
-			keys, err := ex.sortKeysFor(plans, out, sc, row)
-			if err != nil {
-				return nil, err
-			}
-			res.sortKeys = append(res.sortKeys, keys)
+		if err := res.appendKeys(ex, plans, out, sc); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
 }
 
-// sortKeysFor evaluates the ORDER BY keys for one output row. row is the
-// source tuple for compiled plans; grouped callers pass nil and rely on the
-// interpreted path (which sees the group context through sc).
-func (ex *exec) sortKeysFor(plans []orderPlan, out []sqltypes.Value, sc *scope, row []sqltypes.Value) ([]sqltypes.Value, error) {
-	keys := make([]sqltypes.Value, len(plans))
-	for i := range plans {
-		p := &plans[i]
-		if p.outCol >= 0 {
-			keys[i] = out[p.outCol]
-			continue
+// projectRowsBatched is the compiled projection pipeline: SELECT items and
+// ORDER BY keys are vectorized and evaluated column-wise per batch, output
+// tuples are carved from one exactly-sized chunk per batch (the selection
+// vector's length is known before materializing), and sort keys land
+// directly in the result's key columns.
+func (ex *exec) projectRowsBatched(rel *relation, sc *scope, projs []projector, plans []orderPlan, width int, res *execResult) error {
+	vprojs := make([]vecExpr, len(projs))
+	for i := range projs {
+		if !projs[i].star {
+			vprojs[i] = ex.vecCompile(projs[i].expr, rel.bindings, sc)
 		}
-		var v sqltypes.Value
-		var err error
-		if p.fn != nil && row != nil {
-			v, err = p.fn(row)
-		} else {
-			v, err = ex.eval(p.expr, sc)
-		}
-		if err != nil {
-			return nil, err
-		}
-		keys[i] = v
 	}
-	return keys, nil
+	vkeys := make([]vecExpr, len(plans))
+	for k := range plans {
+		if plans[k].outCol < 0 {
+			vkeys[k] = ex.vecCompile(plans[k].expr, rel.bindings, sc)
+		}
+	}
+	cols := make([][]sqltypes.Value, len(projs))
+	keyBuf := make([][]sqltypes.Value, len(plans))
+	src := scanOp{rows: rel.rows}
+	var b batch
+	for src.next(&b) {
+		n := len(b.rows)
+		sel := b.sel
+		m := ex.vs.mark()
+		selBuf := ex.vs.takeSel(len(sel))
+		for i, vp := range vprojs {
+			if vp == nil {
+				continue
+			}
+			cols[i] = ex.vs.takeVals(n)
+			vp(&b, sel, cols[i])
+			sel = b.compactSel(selBuf, sel)
+		}
+		for k, vk := range vkeys {
+			if vk == nil {
+				continue
+			}
+			keyBuf[k] = ex.vs.takeVals(n)
+			vk(&b, sel, keyBuf[k])
+			sel = b.compactSel(selBuf, sel)
+		}
+		if err := b.firstErr(); err != nil {
+			return err
+		}
+		ck := newRowChunk(len(sel), width)
+		for _, i := range sel {
+			row := ck.alloc(width)
+			pos := 0
+			for j := range projs {
+				p := &projs[j]
+				if p.star {
+					for _, seg := range p.segs {
+						pos += copy(row[pos:pos+seg[1]], b.rows[i][seg[0]:seg[0]+seg[1]])
+					}
+					continue
+				}
+				row[pos] = cols[j][i]
+				pos++
+			}
+			res.Rows = append(res.Rows, row)
+			for k := range plans {
+				if plans[k].outCol >= 0 {
+					res.keyCols[k] = append(res.keyCols[k], row[plans[k].outCol])
+				} else {
+					res.keyCols[k] = append(res.keyCols[k], keyBuf[k][i])
+				}
+			}
+		}
+		ex.vs.release(m)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- grouping
@@ -392,13 +460,11 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 	plans := buildOrderPlan(sel, outCols, sc, aliases)
 
 	groupExprs := make([]sqlast.Expr, len(sel.GroupBy))
-	groupFns := make([]compiledExpr, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		groupExprs[i] = substituteAlias(sqlast.CloneExpr(g), sc, aliases)
 		if hasAggregate(groupExprs[i]) {
 			return nil, fmt.Errorf("engine: aggregate in GROUP BY")
 		}
-		groupFns[i] = ex.compile(groupExprs[i], rel.bindings)
 	}
 
 	type group struct {
@@ -407,23 +473,8 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 	var order []string
 	groups := make(map[string]*group)
 	var buf []byte
-	for _, row := range rel.rows {
-		sc.row = row
-		buf = buf[:0]
-		for i, g := range groupExprs {
-			var v sqltypes.Value
-			var err error
-			if groupFns[i] != nil {
-				v, err = groupFns[i](row)
-			} else {
-				v, err = ex.eval(g, sc)
-			}
-			if err != nil {
-				return nil, err
-			}
-			buf = sqltypes.AppendKey(buf, v)
-		}
-		k := string(buf)
+	bucket := func(key []byte, row []sqltypes.Value) {
+		k := string(key)
 		gr, ok := groups[k]
 		if !ok {
 			gr = &group{}
@@ -431,6 +482,37 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 			order = append(order, k)
 		}
 		gr.rows = append(gr.rows, row)
+	}
+	if gks := ex.vecKeys(groupExprs, rel.bindings, sc); gks != nil {
+		// Batched grouping: key expressions run column-wise per batch, rows
+		// are bucketed from the precomputed key columns in row order.
+		src := scanOp{rows: rel.rows}
+		var b batch
+		for src.next(&b) {
+			m := ex.vs.mark()
+			gsel := gks.compute(&b, false, nil)
+			if err := b.firstErr(); err != nil {
+				return nil, err
+			}
+			for _, i := range gsel {
+				buf = encodeKeyCols(buf[:0], gks.cols, i)
+				bucket(buf, b.rows[i])
+			}
+			ex.vs.release(m)
+		}
+	} else {
+		for _, row := range rel.rows {
+			sc.row = row
+			buf = buf[:0]
+			for _, g := range groupExprs {
+				v, err := ex.eval(g, sc)
+				if err != nil {
+					return nil, err
+				}
+				buf = sqltypes.AppendKey(buf, v)
+			}
+			bucket(buf, row)
+		}
 	}
 	// A global aggregate (no GROUP BY) over zero rows still yields one group.
 	if len(sel.GroupBy) == 0 && len(order) == 0 {
@@ -445,8 +527,8 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		})
 	}
 
-	// Precompile every aggregate argument once; each group's evaluation then
-	// runs the compiled closure over its member rows.
+	// Vectorize every aggregate argument once; each group's evaluation then
+	// streams its member rows through the batch program.
 	aggExprs := make([]sqlast.Expr, 0, len(sel.Items)+1+len(plans))
 	for _, it := range sel.Items {
 		aggExprs = append(aggExprs, it.Expr)
@@ -459,11 +541,18 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 			aggExprs = append(aggExprs, p.expr)
 		}
 	}
-	aggArg := ex.compileAggArgs(rel.bindings, aggExprs...)
+	aggVec := ex.vecAggArgs(rel.bindings, sc, aggExprs...)
+	var aggScr *aggScratch
+	if aggVec != nil {
+		aggScr = &aggScratch{}
+	}
 
 	res := &execResult{Cols: outCols}
 	for _, p := range plans {
 		res.desc = append(res.desc, p.desc)
+	}
+	if len(plans) > 0 {
+		res.keyCols = make([][]sqltypes.Value, len(plans))
 	}
 	for _, k := range order {
 		gr := groups[k]
@@ -472,7 +561,7 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		} else {
 			sc.row = nil
 		}
-		sc.group = &groupCtx{rows: gr.rows, aggArg: aggArg}
+		sc.group = &groupCtx{rows: gr.rows, aggVec: aggVec, scr: aggScr}
 		if having != nil {
 			hv, err := ex.eval(having, sc)
 			if err != nil {
@@ -494,13 +583,9 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 			out = append(out, v)
 		}
 		res.Rows = append(res.Rows, out)
-		if len(plans) > 0 {
-			keys, err := ex.sortKeysFor(plans, out, sc, nil)
-			if err != nil {
-				sc.group = nil
-				return nil, err
-			}
-			res.sortKeys = append(res.sortKeys, keys)
+		if err := res.appendKeys(ex, plans, out, sc); err != nil {
+			sc.group = nil
+			return nil, err
 		}
 		sc.group = nil
 	}
@@ -809,37 +894,35 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 		}
 	}
 
-	sc := r.scopeFor(parent)
-	preds := make([]compiledExpr, len(rest))
-	for i, c := range rest {
-		preds[i] = ex.compile(c.expr, r.bindings) // nil → interpret
-	}
 	out := &relation{bindings: r.bindings, width: r.width}
-	for _, row := range rows {
-		keep := true
-		for i, c := range rest {
-			var v sqltypes.Value
-			var err error
-			if preds[i] != nil {
-				v, err = preds[i](row)
-			} else {
-				sc.row = row
-				v, err = ex.eval(c.expr, sc)
-			}
-			if err != nil {
-				return nil, err
-			}
-			if truth, _ := sqltypes.Truthy(v); !truth {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out.rows = append(out.rows, row)
-		}
-	}
 	for _, c := range conjs {
 		c.used = true
+	}
+	if len(rest) == 0 {
+		out.rows = rows
+		return out, nil
+	}
+	sc := r.scopeFor(parent)
+	f := &filterOp{src: &scanOp{rows: rows}, ex: ex, sc: sc}
+	if !ex.db.noCompile {
+		f.progs = make([]vecExpr, len(rest))
+		for i, c := range rest {
+			f.progs[i] = ex.vecCompile(c.expr, r.bindings, sc)
+		}
+	} else {
+		f.exprs = make([]sqlast.Expr, len(rest))
+		for i, c := range rest {
+			f.exprs[i] = c.expr
+		}
+	}
+	var b batch
+	for f.next(&b) {
+		for _, i := range b.sel {
+			out.rows = append(out.rows, b.rows[i])
+		}
+	}
+	if f.failed != nil {
+		return nil, f.failed
 	}
 	return out, nil
 }
@@ -944,8 +1027,25 @@ func resolvesOnlyIn(refs []*sqlast.ColumnRef, a, b *relation) bool {
 	return true
 }
 
+// pairExprs extracts one side of an equi pair set.
+func pairExprs(pairs []equiPair, right bool) []sqlast.Expr {
+	exprs := make([]sqlast.Expr, len(pairs))
+	for i, p := range pairs {
+		if right {
+			exprs[i] = p.right
+		} else {
+			exprs[i] = p.left
+		}
+	}
+	return exprs
+}
+
 // hashJoin joins L and R on the equi pairs (inner). With no pairs it
-// degrades to the cross product.
+// degrades to the cross product. In compiled mode the probe side streams in
+// batches: key expressions fill per-batch key columns (NULL-key rows drop
+// out of the selection vector), keys are encoded from the columns, hash
+// buckets are counted first, and each batch's output tuples come from one
+// exactly-sized chunk.
 func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*relation, error) {
 	out := &relation{width: l.width + r.width}
 	out.bindings = append(out.bindings, l.bindings...)
@@ -955,13 +1055,16 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 		out.bindings = append(out.bindings, &nb)
 	}
 	if len(pairs) == 0 {
+		ck := newRowChunk(len(l.rows)*len(r.rows), out.width)
 		for _, lr := range l.rows {
 			for _, rr := range r.rows {
-				out.rows = append(out.rows, concatRows(lr, rr, out.width))
+				out.rows = append(out.rows, ck.concat(lr, rr))
 			}
 		}
 		return out, nil
 	}
+	lsc := l.scopeFor(parent)
+	lks := ex.vecKeys(pairExprs(pairs, false), l.bindings, lsc)
 	// Index fast path: when the build side is an unfiltered base table and
 	// every right key is a plain column, probe the table's persistent lazy
 	// index instead of building a transient hash table. This makes the
@@ -983,21 +1086,43 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 			if err != nil {
 				return nil, err
 			}
-			lsc := l.scopeFor(parent)
-			leftFns := ex.compileKeys(pairs, l.bindings, false)
-			vals := make([]sqltypes.Value, len(pairs))
 			var buf []byte
+			if lks != nil {
+				src := scanOp{rows: l.rows}
+				var b batch
+				var buckets [][]int
+				for src.next(&b) {
+					m := ex.vs.mark()
+					sel := lks.compute(&b, true, nil)
+					if err := b.firstErr(); err != nil {
+						return nil, err
+					}
+					if cap(buckets) < len(b.rows) {
+						buckets = make([][]int, len(b.rows))
+					}
+					total := 0
+					for _, i := range sel {
+						var ids []int
+						ids, buf = idx.probeKeyCols(buf, lks.cols, i)
+						buckets[i] = ids
+						total += len(ids)
+					}
+					ck := newRowChunk(total, out.width)
+					for _, i := range sel {
+						for _, id := range buckets[i] {
+							out.rows = append(out.rows, ck.concat(b.rows[i], r.base.Rows[id]))
+						}
+					}
+					ex.vs.release(m)
+				}
+				return out, nil
+			}
+			vals := make([]sqltypes.Value, len(pairs))
 			for _, lr := range l.rows {
 				null := false
 				for i, p := range pairs {
-					var v sqltypes.Value
-					var err error
-					if leftFns != nil && leftFns[i] != nil {
-						v, err = leftFns[i](lr)
-					} else {
-						lsc.row = lr
-						v, err = ex.eval(p.left, lsc)
-					}
+					lsc.row = lr
+					v, err := ex.eval(p.left, lsc)
 					if err != nil {
 						return nil, err
 					}
@@ -1024,21 +1149,42 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 	if err != nil {
 		return nil, err
 	}
-	lsc := l.scopeFor(parent)
-	leftFns := ex.compileKeys(pairs, l.bindings, false)
 	var buf []byte
+	if lks != nil {
+		src := scanOp{rows: l.rows}
+		var b batch
+		var buckets [][]int
+		for src.next(&b) {
+			m := ex.vs.mark()
+			sel := lks.compute(&b, true, nil)
+			if err := b.firstErr(); err != nil {
+				return nil, err
+			}
+			if cap(buckets) < len(b.rows) {
+				buckets = make([][]int, len(b.rows))
+			}
+			total := 0
+			for _, i := range sel {
+				buf = encodeKeyCols(buf[:0], lks.cols, i)
+				buckets[i] = build[string(buf)]
+				total += len(buckets[i])
+			}
+			ck := newRowChunk(total, out.width)
+			for _, i := range sel {
+				for _, ri := range buckets[i] {
+					out.rows = append(out.rows, ck.concat(b.rows[i], r.rows[ri]))
+				}
+			}
+			ex.vs.release(m)
+		}
+		return out, nil
+	}
 	for _, lr := range l.rows {
 		buf = buf[:0]
 		null := false
-		for i, p := range pairs {
-			var v sqltypes.Value
-			var err error
-			if leftFns != nil && leftFns[i] != nil {
-				v, err = leftFns[i](lr)
-			} else {
-				lsc.row = lr
-				v, err = ex.eval(p.left, lsc)
-			}
+		for _, p := range pairs {
+			lsc.row = lr
+			v, err := ex.eval(p.left, lsc)
 			if err != nil {
 				return nil, err
 			}
@@ -1058,42 +1204,36 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 	return out, nil
 }
 
-// compileKeys compiles the join-key expressions of one side of an equi
-// pair set; entries fall back to nil (interpreted) individually.
-func (ex *exec) compileKeys(pairs []equiPair, bindings []*binding, right bool) []compiledExpr {
-	if ex.db.noCompile {
-		return nil
-	}
-	fns := make([]compiledExpr, len(pairs))
-	for i, p := range pairs {
-		e := p.left
-		if right {
-			e = p.right
-		}
-		fns[i] = ex.compile(e, bindings)
-	}
-	return fns
-}
-
 // buildJoinHash hashes relation r on the right-side key expressions;
-// NULL keys never participate in an equi join.
+// NULL keys never participate in an equi join. Compiled mode computes the
+// keys column-wise per batch and encodes from the key columns.
 func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map[string][]int, error) {
 	rsc := r.scopeFor(parent)
-	rightFns := ex.compileKeys(pairs, r.bindings, true)
 	build := make(map[string][]int, len(r.rows))
 	var buf []byte
+	if rks := ex.vecKeys(pairExprs(pairs, true), r.bindings, rsc); rks != nil {
+		src := scanOp{rows: r.rows}
+		var b batch
+		for src.next(&b) {
+			m := ex.vs.mark()
+			sel := rks.compute(&b, true, nil)
+			if err := b.firstErr(); err != nil {
+				return nil, err
+			}
+			for _, i := range sel {
+				buf = encodeKeyCols(buf[:0], rks.cols, i)
+				build[string(buf)] = append(build[string(buf)], b.base+int(i))
+			}
+			ex.vs.release(m)
+		}
+		return build, nil
+	}
 	for i, row := range r.rows {
 		buf = buf[:0]
 		null := false
-		for j, p := range pairs {
-			var v sqltypes.Value
-			var err error
-			if rightFns != nil && rightFns[j] != nil {
-				v, err = rightFns[j](row)
-			} else {
-				rsc.row = row
-				v, err = ex.eval(p.right, rsc)
-			}
+		for _, p := range pairs {
+			rsc.row = row
+			v, err := ex.eval(p.right, rsc)
 			if err != nil {
 				return nil, err
 			}
@@ -1109,12 +1249,6 @@ func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map
 		build[string(buf)] = append(build[string(buf)], i)
 	}
 	return build, nil
-}
-
-func concatRows(l, r []sqltypes.Value, width int) []sqltypes.Value {
-	row := make([]sqltypes.Value, 0, width)
-	row = append(row, l...)
-	return append(row, r...)
 }
 
 // ---------------------------------------------------------------- FROM items
@@ -1263,24 +1397,94 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 	nulls := make([]sqltypes.Value, r.width)
 	osc := out.scopeFor(parent)
 	lsc := l.scopeFor(parent)
-	leftFns := ex.compileKeys(pairs, l.bindings, false)
 	resFns := make([]compiledExpr, len(residual))
 	for i, c := range residual {
 		resFns[i] = ex.compile(c.expr, out.bindings)
 	}
+	// matchResidual applies the non-equi ON conjuncts to one candidate.
+	matchResidual := func(combined []sqltypes.Value) (bool, error) {
+		for i, c := range residual {
+			var v sqltypes.Value
+			var err error
+			if resFns[i] != nil {
+				v, err = resFns[i](combined)
+			} else {
+				osc.row = combined
+				v, err = ex.eval(c.expr, osc)
+			}
+			if err != nil {
+				return false, err
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
 	var buf []byte
+	if lks := ex.vecKeys(pairExprs(pairs, false), l.bindings, lsc); lks != nil {
+		// Batched probe: after key-column computation every row of the batch
+		// is either in the selection vector (valid keys) or flagged in the
+		// null mask (NULL key: unmatched by definition, emitted null-extended).
+		var nullMask []bool
+		var buckets [][]int
+		src := scanOp{rows: l.rows}
+		var b batch
+		for src.next(&b) {
+			n := len(b.rows)
+			if cap(nullMask) < n {
+				nullMask = make([]bool, n)
+				buckets = make([][]int, n)
+			}
+			nullMask = nullMask[:n]
+			buckets = buckets[:n]
+			for i := range nullMask {
+				nullMask[i] = false
+			}
+			m := ex.vs.mark()
+			lks.compute(&b, true, nullMask)
+			if err := b.firstErr(); err != nil {
+				return nil, err
+			}
+			// Size the chunk before materializing: every candidate pair plus
+			// at most one null-extended tuple per left row.
+			total := n
+			for i := 0; i < n; i++ {
+				buckets[i] = nil
+				if !nullMask[i] {
+					buf = encodeKeyCols(buf[:0], lks.cols, int32(i))
+					buckets[i] = build[string(buf)]
+					total += len(buckets[i])
+				}
+			}
+			ck := newRowChunk(total, out.width)
+			for i := 0; i < n; i++ {
+				matched := false
+				for _, ri := range buckets[i] {
+					combined := ck.concat(b.rows[i], r.rows[ri])
+					ok, err := matchResidual(combined)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						out.rows = append(out.rows, combined)
+					}
+				}
+				if !matched {
+					out.rows = append(out.rows, ck.concat(b.rows[i], nulls))
+				}
+			}
+			ex.vs.release(m)
+		}
+		return out, nil
+	}
 	for _, lr := range l.rows {
 		buf = buf[:0]
 		null := false
-		for i, p := range pairs {
-			var v sqltypes.Value
-			var err error
-			if leftFns != nil && leftFns[i] != nil {
-				v, err = leftFns[i](lr)
-			} else {
-				lsc.row = lr
-				v, err = ex.eval(p.left, lsc)
-			}
+		for _, p := range pairs {
+			lsc.row = lr
+			v, err := ex.eval(p.left, lsc)
 			if err != nil {
 				return nil, err
 			}
@@ -1294,23 +1498,9 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 		if !null {
 			for _, ri := range build[string(buf)] {
 				combined := concatRows(lr, r.rows[ri], out.width)
-				ok := true
-				for i, c := range residual {
-					var v sqltypes.Value
-					var err error
-					if resFns[i] != nil {
-						v, err = resFns[i](combined)
-					} else {
-						osc.row = combined
-						v, err = ex.eval(c.expr, osc)
-					}
-					if err != nil {
-						return nil, err
-					}
-					if truth, _ := sqltypes.Truthy(v); !truth {
-						ok = false
-						break
-					}
+				ok, err := matchResidual(combined)
+				if err != nil {
+					return nil, err
 				}
 				if ok {
 					matched = true

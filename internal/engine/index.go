@@ -71,3 +71,12 @@ func (ix *hashIndex) probeBuf(buf []byte, vals []sqltypes.Value) ([]int, []byte)
 	}
 	return ix.m[string(buf)], buf
 }
+
+// probeKeyCols probes with the i-th entries of precomputed key columns —
+// the batched executor's probe form. Callers guarantee the entries are
+// non-NULL: batched key computation drops NULL-key rows from the selection
+// vector before any probing happens.
+func (ix *hashIndex) probeKeyCols(buf []byte, cols [][]sqltypes.Value, i int32) ([]int, []byte) {
+	buf = encodeKeyCols(buf[:0], cols, i)
+	return ix.m[string(buf)], buf
+}

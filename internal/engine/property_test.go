@@ -321,13 +321,17 @@ func TestConcurrentReads(t *testing.T) {
 // ---------------------------------------------------------------- differential
 
 // diffDB builds a small two-table schema with NULLs, a rates meta table and
-// a conversion-style UDF, mirroring the shapes the MTSQL rewrite emits.
+// a conversion-style UDF, mirroring the shapes the MTSQL rewrite emits. The
+// big table spans multiple execution batches (> 2×1024 rows) so the batched
+// pipeline's window and selection-vector handling is exercised across batch
+// boundaries, not just inside one window.
 func diffDB(t testing.TB, mode Mode) *DB {
 	t.Helper()
 	db := Open(mode)
 	script := `
 		CREATE TABLE t (a INTEGER, b INTEGER, s VARCHAR, f DECIMAL, d DATE);
 		CREATE TABLE u (k INTEGER, v INTEGER, w VARCHAR);
+		CREATE TABLE big (g INTEGER, h INTEGER, fl DECIMAL);
 		CREATE TABLE rates (tid INTEGER, r DECIMAL);
 		CREATE FUNCTION conv (DECIMAL, INTEGER) RETURNS DECIMAL
 			AS 'SELECT r * $1 FROM rates WHERE tid = $2' LANGUAGE SQL IMMUTABLE`
@@ -360,6 +364,18 @@ func diffDB(t testing.TB, mode Mode) *DB {
 			sqltypes.NewString(words[r.Intn(len(words))]),
 		})
 	}
+	bt := db.Table("big")
+	for i := 0; i < 2600; i++ {
+		row := []sqltypes.Value{
+			sqltypes.NewInt(int64(r.Intn(20))),
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewFloat(float64(r.Intn(500)) / 4),
+		}
+		if r.Intn(12) == 0 {
+			row[r.Intn(3)] = sqltypes.Null
+		}
+		bt.AppendRow(row)
+	}
 	rt := db.Table("rates")
 	for tid := 0; tid < 6; tid++ {
 		rt.AppendRow([]sqltypes.Value{
@@ -367,6 +383,43 @@ func diffDB(t testing.TB, mode Mode) *DB {
 		})
 	}
 	return db
+}
+
+// genBigExpr builds a random scalar expression over the big table's columns.
+func genBigExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return "g"
+		case 1:
+			return "h"
+		case 2:
+			return "fl"
+		default:
+			return fmt.Sprintf("%d", r.Intn(25))
+		}
+	}
+	sub := func() string { return genBigExpr(r, depth-1) }
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", sub(), sub())
+	case 1:
+		return fmt.Sprintf("(%s * %s)", sub(), sub())
+	case 2:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		return fmt.Sprintf("(%s %s %s)", sub(), ops[r.Intn(len(ops))], sub())
+	case 3:
+		return fmt.Sprintf("(%s AND %s)", sub(), sub())
+	case 4:
+		return fmt.Sprintf("(%s OR %s)", sub(), sub())
+	case 5:
+		return fmt.Sprintf("(%s BETWEEN %d AND %d)", sub(), r.Intn(800), 800+r.Intn(1800))
+	case 6:
+		return fmt.Sprintf("(g IN (%d, %d, %d))", r.Intn(20), r.Intn(20), r.Intn(20))
+	case 7:
+		return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", sub(), sub(), sub())
+	}
+	return "g"
 }
 
 // genDiffExpr builds a random scalar expression over table t's columns,
@@ -453,23 +506,26 @@ func sameResult(a, b *Result) bool {
 }
 
 // TestCompiledMatchesInterpreter is the differential property test for the
-// compiled-expression subsystem: every generated query must produce the
-// identical result (or the identical error) through the compiled closures
-// and the tree-walking interpreter, in both engine modes.
+// compiled subsystem, now batch-at-a-time: every generated query must
+// produce the identical result (or the identical error) through the batched
+// pipeline and the row-at-a-time tree-walking interpreter, in both engine
+// modes. The big-table shapes cross multiple execution batches, driving
+// selection-vector refinement, batched grouping, join key columns and the
+// key-column sort over batch boundaries.
 func TestCompiledMatchesInterpreter(t *testing.T) {
 	for _, mode := range []Mode{ModePostgres, ModeSystemC} {
 		db := diffDB(t, mode)
 		r := rand.New(rand.NewSource(int64(99 + mode)))
 		for i := 0; i < 400; i++ {
 			var sql string
-			switch i % 5 {
+			switch i % 8 {
 			case 0: // filtered projection with ORDER BY
 				sql = fmt.Sprintf("SELECT %s, %s FROM t WHERE %s ORDER BY %s, a, b, s",
 					genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 1))
-			case 1: // grouped aggregation incl. compiled aggregate args
+			case 1: // grouped aggregation incl. batched aggregate args
 				sql = fmt.Sprintf("SELECT b, SUM(%s), COUNT(*), MIN(%s) FROM t WHERE %s GROUP BY b HAVING COUNT(*) > %d ORDER BY b",
 					genDiffExpr(r, 2), genDiffExpr(r, 1), genDiffExpr(r, 2), r.Intn(3))
-			case 2: // hash join with compiled keys + residual
+			case 2: // hash join with batched keys + residual
 				sql = fmt.Sprintf("SELECT a, v FROM t, u WHERE a = k AND %s ORDER BY a, v, w",
 					genDiffExpr(r, 2))
 			case 3: // conversion UDF through the body plan
@@ -478,6 +534,15 @@ func TestCompiledMatchesInterpreter(t *testing.T) {
 			case 4: // DISTINCT + expression projection
 				sql = fmt.Sprintf("SELECT DISTINCT %s FROM t ORDER BY 1 LIMIT 20",
 					genDiffExpr(r, 2))
+			case 5: // multi-batch filter + projection + expression sort keys
+				sql = fmt.Sprintf("SELECT g, h, %s FROM big WHERE %s ORDER BY %s, h LIMIT 600",
+					genBigExpr(r, 2), genBigExpr(r, 2), genBigExpr(r, 1))
+			case 6: // multi-batch grouping with NULL group keys
+				sql = fmt.Sprintf("SELECT g, COUNT(*), SUM(%s), MAX(h) FROM big WHERE %s GROUP BY g ORDER BY g",
+					genBigExpr(r, 2), genBigExpr(r, 2))
+			case 7: // multi-batch probe side of a hash join
+				sql = fmt.Sprintf("SELECT a, h FROM t, big WHERE a = g AND %s ORDER BY a, h LIMIT 500",
+					genBigExpr(r, 2))
 			}
 			ir, cr, ierr, cerr := runBothPaths(db, sql)
 			if (ierr == nil) != (cerr == nil) {

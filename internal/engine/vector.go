@@ -1,0 +1,669 @@
+package engine
+
+// This file lowers expressions into batch evaluators (vecExpr): tight loops
+// over a batch's selection vector, the vectorized counterpart of the per-row
+// closures in compile.go. Compilation is total in compiled mode — constructs
+// without a native batch kernel are lifted, either as a loop over the
+// row-compiled closure (UDF call sites, builtins, EXTRACT/SUBSTRING) or, for
+// constructs outside the row-compiled subset too (subqueries, correlated
+// references, aggregates misused outside a group), as a loop over the
+// tree-walking interpreter. Lifting preserves exact per-row value and error
+// semantics by construction, so mixing native kernels with lifted subtrees
+// stays behaviourally identical to full interpretation.
+//
+// Contract for every vecExpr fn(b, sel, out):
+//   - on entry b.errs[i] == nil for every i in sel;
+//   - fn writes out[i] for each i in sel, or poisons row i instead;
+//   - fn never modifies sel, and never reads rows outside sel;
+//   - value/error per row equals interpreter evaluation of that row, with
+//     short-circuits (AND/OR/CASE) expressed as selection-vector refinement
+//     so short-circuited subtrees are not evaluated for those rows.
+//
+// Intermediate columns come from the statement-wide scratch stack
+// (exec.vs): a kernel marks the stack, takes its operand columns, evaluates
+// its children (whose frames push and pop above), combines, and releases.
+// Scratch memory is therefore bounded by expression depth × batch size, not
+// node count × batch size — crucial because correlated subqueries and UDF
+// bodies recompile per execution.
+
+import (
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// vecExpr evaluates an expression for the selected rows of a batch.
+type vecExpr func(b *batch, sel []int32, out []sqltypes.Value)
+
+// ---------------------------------------------------------------- scratch
+
+// vecStack is the statement-wide stack allocator for batch scratch: value
+// columns and selection vectors live exactly as long as the kernel
+// invocation that took them. Nested queries (lifted subtrees) push frames on
+// the same stack, so one statement reuses one arena throughout.
+type vecStack struct {
+	vals []sqltypes.Value
+	sel  []int32
+}
+
+// vmark remembers a stack position for release.
+type vmark struct{ v, s int }
+
+func (st *vecStack) mark() vmark { return vmark{len(st.vals), len(st.sel)} }
+
+func (st *vecStack) release(m vmark) {
+	st.vals = st.vals[:m.v]
+	st.sel = st.sel[:m.s]
+}
+
+// takeVals returns an uninitialized value column of length n on the stack.
+func (st *vecStack) takeVals(n int) []sqltypes.Value {
+	off := len(st.vals)
+	if off+n > cap(st.vals) {
+		grown := make([]sqltypes.Value, off, 2*(off+n))
+		copy(grown, st.vals)
+		st.vals = grown
+	}
+	st.vals = st.vals[:off+n]
+	return st.vals[off : off+n : off+n]
+}
+
+// takeSel returns an empty selection buffer with capacity n on the stack.
+func (st *vecStack) takeSel(n int) []int32 {
+	off := len(st.sel)
+	if off+n > cap(st.sel) {
+		grown := make([]int32, off, 2*(off+n))
+		copy(grown, st.sel)
+		st.sel = grown
+	}
+	st.sel = st.sel[:off+n]
+	return st.sel[off : off : off+n]
+}
+
+// ---------------------------------------------------------------- compile
+
+// venv is the vectorizing compilation environment: the row-compile
+// environment over the same bindings plus the scope used by interpreter
+// lifting for constructs outside the compiled subset.
+type venv struct {
+	env *cenv
+	sc  *scope
+	vs  *vecStack
+}
+
+// vecCompile lowers e into a batch evaluator over the flat row layout of
+// bindings; sc is the evaluation scope lifted interpretation runs in. It
+// returns nil only when compilation is disabled (SetCompileExprs(false)) —
+// operators then stay on their row-at-a-time loops.
+func (ex *exec) vecCompile(e sqlast.Expr, bindings []*binding, sc *scope) vecExpr {
+	if ex.db.noCompile {
+		return nil
+	}
+	ve := &venv{env: &cenv{ex: ex, bindings: bindings}, sc: sc, vs: &ex.vs}
+	return ve.compile(e)
+}
+
+func (ve *venv) compile(e sqlast.Expr) vecExpr {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		return vecConst(x.Val)
+	case *sqlast.ColumnRef:
+		idx, ok := resolveLocal(ve.env.bindings, x.Table, x.Name)
+		if !ok {
+			break // ambiguous or correlated: interpreter semantics via lift
+		}
+		return func(b *batch, sel []int32, out []sqltypes.Value) {
+			rows := b.rows
+			for _, i := range sel {
+				out[i] = rows[i][idx]
+			}
+		}
+	case *sqlast.BinaryExpr:
+		if fn := ve.compileBinary(x); fn != nil {
+			return fn
+		}
+	case *sqlast.UnaryExpr:
+		return ve.compileUnary(x)
+	case *sqlast.IsNullExpr:
+		sub := ve.compile(x.X)
+		not := x.Not
+		return func(b *batch, sel []int32, out []sqltypes.Value) {
+			sub(b, sel, out)
+			for _, i := range sel {
+				if b.errs[i] != nil {
+					continue
+				}
+				out[i] = sqltypes.NewBool(out[i].IsNull() != not)
+			}
+		}
+	case *sqlast.BetweenExpr:
+		return ve.compileBetween(x)
+	case *sqlast.InExpr:
+		if fn := ve.compileIn(x); fn != nil {
+			return fn
+		}
+	case *sqlast.LikeExpr:
+		return ve.compileLike(x)
+	case *sqlast.CaseExpr:
+		return ve.compileCase(x)
+	case *sqlast.IntervalExpr:
+		switch x.Unit {
+		case "DAY":
+			return vecConst(sqltypes.NewInterval(x.N, 0))
+		case "MONTH":
+			return vecConst(sqltypes.NewInterval(0, x.N))
+		case "YEAR":
+			return vecConst(sqltypes.NewInterval(0, 12*x.N))
+		}
+	}
+	return ve.lift(e)
+}
+
+// vecConst broadcasts a constant.
+func vecConst(v sqltypes.Value) vecExpr {
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		for _, i := range sel {
+			out[i] = v
+		}
+	}
+}
+
+// lift wraps non-native constructs: the row-compiled closure when the
+// expression is in the compiled subset (so UDF call sites keep their
+// statement-cache probes and planned bodies), the interpreter otherwise.
+func (ve *venv) lift(e sqlast.Expr) vecExpr {
+	if fn, ok := ve.env.compile(e); ok {
+		return func(b *batch, sel []int32, out []sqltypes.Value) {
+			rows := b.rows
+			for _, i := range sel {
+				v, err := fn(rows[i])
+				if err != nil {
+					b.poison(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}
+	}
+	ex, sc := ve.env.ex, ve.sc
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		rows := b.rows
+		for _, i := range sel {
+			sc.row = rows[i]
+			v, err := ex.eval(e, sc)
+			if err != nil {
+				b.poison(i, err)
+				continue
+			}
+			out[i] = v
+		}
+	}
+}
+
+// ---------------------------------------------------------------- binary
+
+func (ve *venv) compileBinary(x *sqlast.BinaryExpr) vecExpr {
+	switch x.Op {
+	case "AND", "OR":
+		return ve.compileLogical(x)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return ve.compileCompare(x)
+	case "+":
+		return ve.binOp(x, sqltypes.Add)
+	case "-":
+		return ve.binOp(x, sqltypes.Sub)
+	case "*":
+		return ve.binOp(x, sqltypes.Mul)
+	case "/":
+		return ve.binOp(x, sqltypes.Div)
+	case "%":
+		return ve.binOp(x, func(lv, rv sqltypes.Value) (sqltypes.Value, error) {
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			if rv.AsInt() == 0 {
+				return sqltypes.Null, errModuloZero
+			}
+			return sqltypes.NewInt(lv.AsInt() % rv.AsInt()), nil
+		})
+	case "||":
+		return ve.binOp(x, func(lv, rv sqltypes.Value) (sqltypes.Value, error) {
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewString(lv.AsString() + rv.AsString()), nil
+		})
+	}
+	return nil
+}
+
+// compareWant encodes which comparison outcomes satisfy an operator as a
+// bitmask over cmp+1 ∈ {0,1,2}, turning the per-row operator dispatch into
+// one shift-and-test.
+func compareWant(op string) uint8 {
+	switch op {
+	case "=":
+		return 1 << 1
+	case "<>":
+		return 1<<0 | 1<<2
+	case "<":
+		return 1 << 0
+	case "<=":
+		return 1<<0 | 1<<1
+	case ">":
+		return 1 << 2
+	default: // ">="
+		return 1<<1 | 1<<2
+	}
+}
+
+func (ve *venv) compileCompare(x *sqlast.BinaryExpr) vecExpr {
+	l, r := ve.compile(x.L), ve.compile(x.R)
+	want := compareWant(x.Op)
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		lbuf := st.takeVals(n)
+		l(b, sel, lbuf)
+		sel = b.compactSel(st.takeSel(len(sel)), sel)
+		rbuf := st.takeVals(n)
+		r(b, sel, rbuf)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			cmp, ok := sqltypes.Compare(lbuf[i], rbuf[i])
+			if !ok {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(want&(1<<uint(cmp+1)) != 0)
+		}
+		st.release(m)
+	}
+}
+
+// binOp evaluates both sides column-wise and combines them per selected row.
+func (ve *venv) binOp(x *sqlast.BinaryExpr, op func(a, b sqltypes.Value) (sqltypes.Value, error)) vecExpr {
+	l, r := ve.compile(x.L), ve.compile(x.R)
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		lbuf := st.takeVals(n)
+		l(b, sel, lbuf)
+		sel = b.compactSel(st.takeSel(len(sel)), sel)
+		rbuf := st.takeVals(n)
+		r(b, sel, rbuf)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			v, err := op(lbuf[i], rbuf[i])
+			if err != nil {
+				b.poison(i, err)
+				continue
+			}
+			out[i] = v
+		}
+		st.release(m)
+	}
+}
+
+// compileLogical vectorizes AND/OR with the interpreter's short-circuit:
+// rows decided by the left side drop out of the right side's selection
+// vector, so the right operand (and any error it would raise) is only
+// evaluated for rows the interpreter would evaluate it for.
+func (ve *venv) compileLogical(x *sqlast.BinaryExpr) vecExpr {
+	l, r := ve.compile(x.L), ve.compile(x.R)
+	isAnd := x.Op == "AND"
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		lbuf := st.takeVals(n)
+		l(b, sel, lbuf)
+		need := st.takeSel(len(sel))
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			lt, known := sqltypes.Truthy(lbuf[i])
+			if known && lt != isAnd { // AND: false decides; OR: true decides
+				out[i] = sqltypes.NewBool(!isAnd)
+				continue
+			}
+			need = append(need, i)
+		}
+		rbuf := st.takeVals(n)
+		r(b, need, rbuf)
+		for _, i := range need {
+			if b.errs[i] != nil {
+				continue
+			}
+			rv := rbuf[i]
+			if rt, known := sqltypes.Truthy(rv); known && rt != isAnd {
+				out[i] = sqltypes.NewBool(!isAnd)
+				continue
+			}
+			if lbuf[i].IsNull() || rv.IsNull() {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(isAnd)
+		}
+		st.release(m)
+	}
+}
+
+// ---------------------------------------------------------------- unary &co
+
+func (ve *venv) compileUnary(x *sqlast.UnaryExpr) vecExpr {
+	sub := ve.compile(x.X)
+	if x.Op == "-" {
+		return func(b *batch, sel []int32, out []sqltypes.Value) {
+			sub(b, sel, out)
+			for _, i := range sel {
+				if b.errs[i] != nil {
+					continue
+				}
+				v, err := sqltypes.Neg(out[i])
+				if err != nil {
+					b.poison(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}
+	}
+	// NOT with three-valued logic
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		sub(b, sel, out)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			if out[i].IsNull() {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(!out[i].Bool())
+		}
+	}
+}
+
+func (ve *venv) compileBetween(x *sqlast.BetweenExpr) vecExpr {
+	sub, lo, hi := ve.compile(x.X), ve.compile(x.Lo), ve.compile(x.Hi)
+	not := x.Not
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		vbuf := st.takeVals(n)
+		sub(b, sel, vbuf)
+		selScratch := st.takeSel(len(sel))
+		sel = b.compactSel(selScratch, sel)
+		lbuf := st.takeVals(n)
+		lo(b, sel, lbuf)
+		sel = b.compactSel(selScratch, sel)
+		hbuf := st.takeVals(n)
+		hi(b, sel, hbuf)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			c1, ok1 := sqltypes.Compare(vbuf[i], lbuf[i])
+			c2, ok2 := sqltypes.Compare(vbuf[i], hbuf[i])
+			if !ok1 || !ok2 {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool((c1 >= 0 && c2 <= 0) != not)
+		}
+		st.release(m)
+	}
+}
+
+// compileIn vectorizes IN over literal-only lists as one hash probe per
+// selected row (collision buckets confirmed with exact equality, matching
+// compile.go). Other list shapes and subqueries lift.
+func (ve *venv) compileIn(x *sqlast.InExpr) vecExpr {
+	if x.Sub != nil {
+		return nil
+	}
+	for _, item := range x.List {
+		if _, isLit := item.(*sqlast.Literal); !isLit {
+			return nil
+		}
+	}
+	sub := ve.compile(x.X)
+	not := x.Not
+	set := make(map[string][]sqltypes.Value, len(x.List))
+	sawNull := false
+	var kb []byte
+	for _, item := range x.List {
+		v := item.(*sqlast.Literal).Val
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		kb = sqltypes.AppendKey(kb[:0], v)
+		set[string(kb)] = append(set[string(kb)], v)
+	}
+	var probe []byte
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		sub(b, sel, out)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			v := out[i]
+			if v.IsNull() {
+				out[i] = sqltypes.Null
+				continue
+			}
+			probe = sqltypes.AppendKey(probe[:0], v)
+			found := false
+			for _, lv := range set[string(probe)] {
+				if eq, ok := sqltypes.Equal(v, lv); ok && eq {
+					found = true
+					break
+				}
+			}
+			if !found && sawNull {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(found != not)
+		}
+	}
+}
+
+func (ve *venv) compileLike(x *sqlast.LikeExpr) vecExpr {
+	sub, pat := ve.compile(x.X), ve.compile(x.Pattern)
+	not := x.Not
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		sub(b, sel, out)
+		sel = b.compactSel(st.takeSel(len(sel)), sel)
+		pbuf := st.takeVals(n)
+		pat(b, sel, pbuf)
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			if out[i].IsNull() || pbuf[i].IsNull() {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(likeMatch(out[i].AsString(), pbuf[i].AsString()) != not)
+		}
+		st.release(m)
+	}
+}
+
+// compileCase vectorizes CASE by refining a pending-rows vector through the
+// WHEN ladder: each condition is evaluated only for still-undecided rows and
+// each THEN only for the rows its condition matched, mirroring the
+// interpreter's per-row control flow.
+func (ve *venv) compileCase(x *sqlast.CaseExpr) vecExpr {
+	var operand vecExpr
+	if x.Operand != nil {
+		operand = ve.compile(x.Operand)
+	}
+	conds := make([]vecExpr, len(x.Whens))
+	thens := make([]vecExpr, len(x.Whens))
+	for i, w := range x.Whens {
+		conds[i] = ve.compile(w.Cond)
+		thens[i] = ve.compile(w.Then)
+	}
+	var elseFn vecExpr
+	if x.Else != nil {
+		elseFn = ve.compile(x.Else)
+	}
+	st := ve.vs
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		var opbuf []sqltypes.Value
+		pending := append(st.takeSel(len(sel)), sel...)
+		if operand != nil {
+			opbuf = st.takeVals(n)
+			operand(b, pending, opbuf)
+			pending = b.compactSel(pending, pending)
+		}
+		other := st.takeSel(len(sel))
+		matchBuf := st.takeSel(len(sel))
+		cbuf := st.takeVals(n)
+		for k := range conds {
+			if len(pending) == 0 {
+				break
+			}
+			conds[k](b, pending, cbuf)
+			matched := matchBuf[:0]
+			still := other[:0]
+			for _, i := range pending {
+				if b.errs[i] != nil {
+					continue
+				}
+				var hit bool
+				if operand != nil {
+					eq, ok := sqltypes.Equal(opbuf[i], cbuf[i])
+					hit = ok && eq
+				} else {
+					hit, _ = sqltypes.Truthy(cbuf[i])
+				}
+				if hit {
+					matched = append(matched, i)
+				} else {
+					still = append(still, i)
+				}
+			}
+			thens[k](b, matched, out)
+			pending, other = still, pending[:0]
+		}
+		switch {
+		case elseFn != nil:
+			elseFn(b, pending, out)
+		default:
+			for _, i := range pending {
+				if b.errs[i] == nil {
+					out[i] = sqltypes.Null
+				}
+			}
+		}
+		st.release(m)
+	}
+}
+
+// ---------------------------------------------------------------- key sets
+
+// vecKeySet computes a set of key expressions (join or group-by keys) into
+// per-batch key columns, dropping poisoned and NULL-key rows from the
+// selection vector exactly where the row-at-a-time loops skip them. The key
+// columns live on the scratch stack: callers mark before compute and release
+// once the batch's keys have been consumed.
+type vecKeySet struct {
+	ex    *exec
+	progs []vecExpr
+	cols  [][]sqltypes.Value
+}
+
+// vecKeys compiles one batch program per expression; nil when compilation
+// is disabled.
+func (ex *exec) vecKeys(exprs []sqlast.Expr, bindings []*binding, sc *scope) *vecKeySet {
+	if ex.db.noCompile {
+		return nil
+	}
+	ks := &vecKeySet{ex: ex, progs: make([]vecExpr, len(exprs)), cols: make([][]sqltypes.Value, len(exprs))}
+	for i, e := range exprs {
+		ks.progs[i] = ex.vecCompile(e, bindings, sc)
+	}
+	return ks
+}
+
+// compute fills the key columns for b and returns the surviving selection.
+// With dropNulls (join keys) rows with a NULL key are dropped — NULL never
+// matches an equi key — and their remaining key expressions skipped, exactly
+// like the row loops' per-row short-circuit; a non-nil nullMask additionally
+// flags them so outer joins can emit them null-extended. Group-by callers
+// pass dropNulls=false: NULL is a valid group key.
+func (ks *vecKeySet) compute(b *batch, dropNulls bool, nullMask []bool) []int32 {
+	st := &ks.ex.vs
+	sel := b.sel
+	for j, prog := range ks.progs {
+		ks.cols[j] = st.takeVals(len(b.rows))
+		prog(b, sel, ks.cols[j])
+		kept := st.takeSel(len(sel))
+		col := ks.cols[j]
+		for _, i := range sel {
+			if b.errs[i] != nil {
+				continue
+			}
+			if dropNulls && col[i].IsNull() {
+				if nullMask != nil {
+					nullMask[i] = true
+				}
+				continue
+			}
+			kept = append(kept, i)
+		}
+		sel = kept
+	}
+	return sel
+}
+
+// ---------------------------------------------------------------- agg args
+
+// vecAggArgs builds batch programs for single-argument aggregate calls, the
+// vectorized counterpart the grouped projection hands to evalAggregate,
+// which streams each group's rows through them batch-at-a-time.
+func (ex *exec) vecAggArgs(bindings []*binding, sc *scope, exprs ...sqlast.Expr) map[sqlast.Expr]vecExpr {
+	if ex.db.noCompile {
+		return nil
+	}
+	var m map[sqlast.Expr]vecExpr
+	for _, e := range exprs {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			fc, ok := n.(*sqlast.FuncCall)
+			if !ok || !aggregateNames[strings.ToUpper(fc.Name)] || fc.Star || len(fc.Args) != 1 {
+				return true
+			}
+			if _, done := m[fc.Args[0]]; done {
+				return true
+			}
+			if fn := ex.vecCompile(fc.Args[0], bindings, sc); fn != nil {
+				if m == nil {
+					m = make(map[sqlast.Expr]vecExpr)
+				}
+				m[fc.Args[0]] = fn
+			}
+			return true
+		})
+	}
+	return m
+}

@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
 # Runs the per-query micro benchmarks and emits BENCH_<date>.json in the
 # repo root, so successive perf PRs have a machine-readable trajectory to
-# compare against. Usage: scripts/bench.sh [benchtime, default 2x]
+# compare against. Existing files are never overwritten: a numeric suffix
+# is appended when the day's file already exists. The JSON records the
+# engine's execution batch size alongside the measurements.
+# Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
 stamp="$(date -u +%Y-%m-%d)"
 out="BENCH_${stamp}.json"
+n=2
+while [ -e "$out" ]; do
+	out="BENCH_${stamp}.${n}.json"
+	n=$((n + 1))
+done
+batch_size="$(go run ./cmd/mtbench -print-batch-size)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3' \
 	-benchtime="$benchtime" -benchmem | tee "$raw"
 
-awk -v date="$stamp" '
-BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date }
+awk -v date="$stamp" -v batch="$batch_size" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"benchmarks\": [\n", date, batch }
 /^Benchmark/ {
 	name = $1
 	nsop = ""; bop = ""; allocs = ""
