@@ -114,6 +114,95 @@ func BenchmarkQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryPlanCache isolates per-statement planning cost on the
+// conversion-heavy Q1 at the canonical level (the worst-case statement
+// text the rewrite emits). "cold" drops the middleware statement caches and
+// the engine plan cache before every execution, so each iteration pays
+// parse + rewrite + optimize + serialize + reparse + lowering; "warm" reuses
+// the cached plan and reports the plan-cache hit rate as a custom metric so
+// BENCH_*.json records that the cache actually served the runs.
+func BenchmarkQueryPlanCache(b *testing.B) {
+	cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.Canonical)
+	q, err := mth.QueryByID(cfg.SF, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := inst.Srv.DB()
+	// Planning only — no execution: client parse + rewrite + optimize +
+	// serialize + engine parse + lowering analysis. The cold/warm delta IS
+	// the per-statement planning cost the cache eliminates.
+	rewritten, err := conn.RewriteSQL(q.SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txt := rewritten.String()
+	b.Run("q1-canonical-plan-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inst.Srv.InvalidateStatementCaches()
+			rw, err := conn.RewriteSQL(q.SQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Prepare(rw.String()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("q1-canonical-plan-warm", func(b *testing.B) {
+		if _, err := db.Prepare(txt); err != nil {
+			b.Fatal(err)
+		}
+		db.Stats = engine.Stats{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Prepare(txt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "plan_hits/op")
+		b.ReportMetric(float64(db.Stats.PlanCacheMisses)/float64(b.N), "plan_misses/op")
+	})
+	// End-to-end: the same statement with execution included.
+	b.Run("q1-canonical-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inst.Srv.InvalidateStatementCaches()
+			if _, err := mth.RunOnMT(conn, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("q1-canonical-warm", func(b *testing.B) {
+		if _, err := mth.RunOnMT(conn, q); err != nil {
+			b.Fatal(err)
+		}
+		db.Stats = engine.Stats{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mth.RunOnMT(conn, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "plan_hits/op")
+		b.ReportMetric(float64(db.Stats.PlanCacheMisses)/float64(b.N), "plan_misses/op")
+	})
+}
+
 // BenchmarkRewrite isolates the middleware's own cost: parse + canonical
 // rewrite + optimization of Q1 without execution (the paper argues this
 // overhead is negligible compared to execution).

@@ -26,17 +26,18 @@ import (
 
 func main() {
 	var (
-		tables     = flag.String("table", "", "comma-separated paper table numbers (3,4,5,7,8,9)")
-		figures    = flag.String("figure", "", "comma-separated paper figure numbers (5,6)")
-		all        = flag.Bool("all", false, "run every table and figure")
-		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		tenants    = flag.Int("T", 10, "number of tenants for the tables")
-		tcounts    = flag.String("tenants", "1,10,100,1000", "tenant counts for the figures")
-		dist       = flag.String("dist", "", "override tenant share distribution (uniform|zipf)")
-		repeats    = flag.Int("repeats", 2, "measurement repetitions; the last is reported")
-		queries    = flag.String("queries", "", "restrict to comma-separated query ids")
-		progress   = flag.Bool("progress", false, "print per-measurement progress")
-		printBatch = flag.Bool("print-batch-size", false, "print the engine's execution batch size and exit")
+		tables      = flag.String("table", "", "comma-separated paper table numbers (3,4,5,7,8,9)")
+		figures     = flag.String("figure", "", "comma-separated paper figure numbers (5,6)")
+		all         = flag.Bool("all", false, "run every table and figure")
+		sf          = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		tenants     = flag.Int("T", 10, "number of tenants for the tables")
+		tcounts     = flag.String("tenants", "1,10,100,1000", "tenant counts for the figures")
+		dist        = flag.String("dist", "", "override tenant share distribution (uniform|zipf)")
+		repeats     = flag.Int("repeats", 2, "measurement repetitions; the last is reported")
+		queries     = flag.String("queries", "", "restrict to comma-separated query ids")
+		progress    = flag.Bool("progress", false, "print per-measurement progress")
+		printBatch  = flag.Bool("print-batch-size", false, "print the engine's execution batch size and exit")
+		noPlanCache = flag.Bool("no-plan-cache", false, "disable the statement plan caches (A/B the pre-cache behaviour)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 		}
 		spec.Repeats = *repeats
 		spec.Queries = queryIDs
+		spec.NoPlanCache = *noPlanCache
 		if *dist != "" {
 			spec.Dist = mth.Distribution(*dist)
 		}

@@ -12,10 +12,13 @@
 //     vectors (engine/vector.go) with row-compiled closures
 //     (engine/compile.go) as the lifted fallback, ORDER BY sorts over
 //     precomputed key columns, conversion-UDF bodies are planned once per
-//     statement with their tenant-keyed meta-table lookups cached, and pure
-//     conversion results are cached per statement; the tree-walking
-//     interpreter remains the row-at-a-time fallback behind the same
-//     operator interface (DB.SetCompileExprs(false) selects it).
+//     cached statement plan with their tenant-keyed meta-table lookups
+//     cached, and pure conversion results are cached per statement; whole
+//     statement plans are cached on the DB keyed by SQL text and
+//     invalidated by referenced-table versions and DDL (engine/plan.go);
+//     the tree-walking interpreter remains the row-at-a-time fallback
+//     behind the same operator interface (DB.SetCompileExprs(false)
+//     selects it).
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)

@@ -30,6 +30,10 @@ type OptSpec struct {
 	BaseSF  float64 // plain TPC-H baseline scale factor
 	Repeats int     // measurement runs; the last one is reported (§6.2)
 	Queries []int   // query ids; nil = all 22
+
+	// NoPlanCache disables the statement plan caches (middleware and
+	// engine), restoring per-execution lowering for A/B comparison.
+	NoPlanCache bool
 }
 
 // Levels evaluated in every table (Table 6 of the paper).
@@ -40,12 +44,14 @@ var levels = []optimizer.Level{
 
 // OptResult holds measured response times in seconds.
 type OptResult struct {
-	Spec     OptSpec
-	QueryIDs []int
-	Baseline []float64                     // plain TPC-H per query
-	Times    map[optimizer.Level][]float64 // per level, per query
-	UDFCalls map[optimizer.Level][]int64   // ablation metric
-	Allocs   map[optimizer.Level][]uint64  // heap allocations of the measured run
+	Spec       OptSpec
+	QueryIDs   []int
+	Baseline   []float64                     // plain TPC-H per query
+	Times      map[optimizer.Level][]float64 // per level, per query
+	UDFCalls   map[optimizer.Level][]int64   // ablation metric
+	Allocs     map[optimizer.Level][]uint64  // heap allocations of the measured run
+	PlanHits   map[optimizer.Level][]int64   // engine plan-cache hits across the runs
+	PlanMisses map[optimizer.Level][]int64   // engine plan-cache misses (builds)
 }
 
 func (s OptSpec) repeats() int {
@@ -80,6 +86,9 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 	if err := inst.GrantReadTo(spec.C); err != nil {
 		return nil, err
 	}
+	if spec.NoPlanCache {
+		inst.Srv.SetStatementCaching(false)
+	}
 	conn, err := inst.Connect(spec.C, spec.Scope)
 	if err != nil {
 		return nil, err
@@ -93,11 +102,13 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 
 	ids := spec.queryIDs()
 	res := &OptResult{
-		Spec:     spec,
-		QueryIDs: ids,
-		Times:    make(map[optimizer.Level][]float64),
-		UDFCalls: make(map[optimizer.Level][]int64),
-		Allocs:   make(map[optimizer.Level][]uint64),
+		Spec:       spec,
+		QueryIDs:   ids,
+		Times:      make(map[optimizer.Level][]float64),
+		UDFCalls:   make(map[optimizer.Level][]int64),
+		Allocs:     make(map[optimizer.Level][]uint64),
+		PlanHits:   make(map[optimizer.Level][]int64),
+		PlanMisses: make(map[optimizer.Level][]int64),
 	}
 
 	for _, id := range ids {
@@ -128,9 +139,12 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 			res.Times[level] = append(res.Times[level], secs)
 			res.UDFCalls[level] = append(res.UDFCalls[level], db.Stats.UDFCalls)
 			res.Allocs[level] = append(res.Allocs[level], allocs)
+			res.PlanHits[level] = append(res.PlanHits[level], db.Stats.PlanCacheHits)
+			res.PlanMisses[level] = append(res.PlanMisses[level], db.Stats.PlanCacheMisses)
 			if progress != nil {
-				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls)\n",
-					spec.Label, level, id, secs, db.Stats.UDFCalls)
+				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls, plan cache %d/%d hit/miss)\n",
+					spec.Label, level, id, secs, db.Stats.UDFCalls,
+					db.Stats.PlanCacheHits, db.Stats.PlanCacheMisses)
 			}
 		}
 	}
@@ -211,6 +225,14 @@ func (r *OptResult) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "%-10s", level.String())
 		for _, n := range r.Allocs[level] {
 			fmt.Fprintf(w, " %8d", n)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "plan cache hits/misses per level (across all runs of a query):")
+	for _, level := range levels {
+		fmt.Fprintf(w, "%-10s", level.String())
+		for i := range r.PlanHits[level] {
+			fmt.Fprintf(w, " %8s", fmt.Sprintf("%d/%d", r.PlanHits[level][i], r.PlanMisses[level][i]))
 		}
 		fmt.Fprintln(w)
 	}

@@ -30,12 +30,16 @@ import (
 
 // compiledExpr evaluates an expression against a row laid out according to
 // the bindings the expression was compiled with.
-type compiledExpr func(row []sqltypes.Value) (sqltypes.Value, error)
+type compiledExpr func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error)
 
 // cenv is the compilation environment: the flat row layout plus, inside a
 // UDF body plan, the slot the plan stores the current call's arguments in.
+// It deliberately holds no *exec — compiled closures take the executing
+// exec as a parameter, so a closure cached on a shared plan (a UDF body
+// projection, the call sites inside it) runs against whichever execution
+// invokes it instead of the one that happened to build it.
 type cenv struct {
-	ex       *exec
+	db       *DB
 	bindings []*binding
 	params   *[]sqltypes.Value // non-nil only inside UDF body plans
 }
@@ -47,7 +51,7 @@ func (ex *exec) compile(e sqlast.Expr, bindings []*binding) compiledExpr {
 	if ex.db.noCompile {
 		return nil
 	}
-	env := &cenv{ex: ex, bindings: bindings}
+	env := &cenv{db: ex.db, bindings: bindings}
 	fn, ok := env.compile(e)
 	if !ok {
 		return nil
@@ -83,20 +87,20 @@ func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
 	switch x := e.(type) {
 	case *sqlast.Literal:
 		v := x.Val
-		return func([]sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
+		return func(*exec, []sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
 	case *sqlast.ColumnRef:
 		idx, ok := resolveLocal(env.bindings, x.Table, x.Name)
 		if !ok {
 			return nil, false
 		}
-		return func(row []sqltypes.Value) (sqltypes.Value, error) { return row[idx], nil }, true
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) { return row[idx], nil }, true
 	case *sqlast.Param:
 		if env.params == nil {
 			return nil, false
 		}
 		n := x.N
 		slot := env.params
-		return func([]sqltypes.Value) (sqltypes.Value, error) {
+		return func(*exec, []sqltypes.Value) (sqltypes.Value, error) {
 			ps := *slot
 			if n < 1 || n > len(ps) {
 				return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", n)
@@ -111,16 +115,16 @@ func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
 			return nil, false
 		}
 		if x.Op == "-" {
-			return func(row []sqltypes.Value) (sqltypes.Value, error) {
-				v, err := sub(row)
+			return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+				v, err := sub(ex, row)
 				if err != nil {
 					return sqltypes.Null, err
 				}
 				return sqltypes.Neg(v)
 			}, true
 		}
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			v, err := sub(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -145,8 +149,8 @@ func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
 			return nil, false
 		}
 		not := x.Not
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			v, err := sub(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -168,7 +172,7 @@ func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
 		default:
 			return nil, false
 		}
-		return func([]sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
+		return func(*exec, []sqltypes.Value) (sqltypes.Value, error) { return v, nil }, true
 	}
 	// Subqueries, EXISTS, row values: interpreter territory.
 	return nil, false
@@ -185,15 +189,15 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 	}
 	switch x.Op {
 	case "AND":
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			lv, err := l(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
 			if lt, known := sqltypes.Truthy(lv); known && !lt {
 				return sqltypes.NewBool(false), nil
 			}
-			rv, err := r(row)
+			rv, err := r(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -206,15 +210,15 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 			return sqltypes.NewBool(true), nil
 		}, true
 	case "OR":
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			lv, err := l(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
 			if lt, known := sqltypes.Truthy(lv); known && lt {
 				return sqltypes.NewBool(true), nil
 			}
-			rv, err := r(row)
+			rv, err := r(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -228,12 +232,12 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 		}, true
 	case "=", "<>", "<", "<=", ">", ">=":
 		op := x.Op
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			lv, err := l(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
-			rv, err := r(row)
+			rv, err := r(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -267,12 +271,12 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 	case "/":
 		return compileArith(l, r, sqltypes.Div), true
 	case "%":
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			lv, err := l(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
-			rv, err := r(row)
+			rv, err := r(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -285,12 +289,12 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 			return sqltypes.NewInt(lv.AsInt() % rv.AsInt()), nil
 		}, true
 	case "||":
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			lv, err := l(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			lv, err := l(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
-			rv, err := r(row)
+			rv, err := r(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -304,12 +308,12 @@ func (env *cenv) compileBinary(x *sqlast.BinaryExpr) (compiledExpr, bool) {
 }
 
 func compileArith(l, r compiledExpr, op func(a, b sqltypes.Value) (sqltypes.Value, error)) compiledExpr {
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		lv, err := l(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		lv, err := l(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		rv, err := r(row)
+		rv, err := r(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -344,16 +348,16 @@ func (env *cenv) compileCase(x *sqlast.CaseExpr) (compiledExpr, bool) {
 			return nil, false
 		}
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 		var opv sqltypes.Value
 		if operand != nil {
 			var err error
-			if opv, err = operand(row); err != nil {
+			if opv, err = operand(ex, row); err != nil {
 				return sqltypes.Null, err
 			}
 		}
 		for i, cond := range conds {
-			cv, err := cond(row)
+			cv, err := cond(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -365,11 +369,11 @@ func (env *cenv) compileCase(x *sqlast.CaseExpr) (compiledExpr, bool) {
 				matched, _ = sqltypes.Truthy(cv)
 			}
 			if matched {
-				return thens[i](row)
+				return thens[i](ex, row)
 			}
 		}
 		if elseFn != nil {
-			return elseFn(row)
+			return elseFn(ex, row)
 		}
 		return sqltypes.Null, nil
 	}, true
@@ -411,8 +415,8 @@ func (env *cenv) compileIn(x *sqlast.InExpr) (compiledExpr, bool) {
 			set[string(buf)] = append(set[string(buf)], v)
 		}
 		var probe []byte
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
-			v, err := sub(row)
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+			v, err := sub(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -441,8 +445,8 @@ func (env *cenv) compileIn(x *sqlast.InExpr) (compiledExpr, bool) {
 			return nil, false
 		}
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -452,7 +456,7 @@ func (env *cenv) compileIn(x *sqlast.InExpr) (compiledExpr, bool) {
 		sawNull := false
 		found := false
 		for _, item := range items {
-			iv, err := item(row)
+			iv, err := item(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -486,16 +490,16 @@ func (env *cenv) compileBetween(x *sqlast.BetweenExpr) (compiledExpr, bool) {
 		return nil, false
 	}
 	not := x.Not
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		lv, err := lo(row)
+		lv, err := lo(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		hv, err := hi(row)
+		hv, err := hi(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -518,12 +522,12 @@ func (env *cenv) compileLike(x *sqlast.LikeExpr) (compiledExpr, bool) {
 		return nil, false
 	}
 	not := x.Not
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		p, err := pat(row)
+		p, err := pat(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -545,8 +549,8 @@ func (env *cenv) compileExtract(x *sqlast.ExtractExpr) (compiledExpr, bool) {
 	default:
 		return nil, false
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -582,12 +586,12 @@ func (env *cenv) compileSubstring(x *sqlast.SubstringExpr) (compiledExpr, bool) 
 			return nil, false
 		}
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
-		fv, err := from(row)
+		fv, err := from(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -604,7 +608,7 @@ func (env *cenv) compileSubstring(x *sqlast.SubstringExpr) (compiledExpr, bool) 
 		}
 		end := len(s)
 		if forFn != nil {
-			n, err := forFn(row)
+			n, err := forFn(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}
@@ -636,10 +640,10 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 		if !ok {
 			return nil, false
 		}
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 			var sb strings.Builder
 			for _, a := range args {
-				v, err := a(row)
+				v, err := a(ex, row)
 				if err != nil {
 					return sqltypes.Null, err
 				}
@@ -671,9 +675,9 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 		if !ok {
 			return nil, false
 		}
-		return func(row []sqltypes.Value) (sqltypes.Value, error) {
+		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 			for _, a := range args {
-				v, err := a(row)
+				v, err := a(ex, row)
 				if err != nil {
 					return sqltypes.Null, err
 				}
@@ -696,7 +700,7 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 			return sqltypes.NewString(v.AsString()), nil
 		})
 	}
-	fn := env.ex.db.Function(x.Name)
+	fn := env.db.Function(x.Name)
 	if fn == nil {
 		return nil, false // interpreter raises "unknown function"
 	}
@@ -707,8 +711,8 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 	if !ok {
 		return nil, false
 	}
-	site := &udfSite{ex: env.ex, fn: fn, args: args, argv: make([]sqltypes.Value, len(args))}
-	if fn.Immutable && env.ex.db.mode == ModePostgres {
+	site := &udfSite{fn: fn, args: args, argv: make([]sqltypes.Value, len(args))}
+	if fn.Immutable && env.db.mode == ModePostgres {
 		site.cached = true
 		site.prefix = []byte(fn.Name)
 	}
@@ -736,8 +740,8 @@ func (env *cenv) compileOneArg(x *sqlast.FuncCall, f func(sqltypes.Value) (sqlty
 	if !ok {
 		return nil, false
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil || v.IsNull() {
 			return sqltypes.Null, err
 		}
@@ -759,14 +763,14 @@ func (env *cenv) compileRound(x *sqlast.FuncCall) (compiledExpr, bool) {
 			return nil, false
 		}
 	}
-	return func(row []sqltypes.Value) (sqltypes.Value, error) {
-		v, err := sub(row)
+	return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
+		v, err := sub(ex, row)
 		if err != nil || v.IsNull() {
 			return sqltypes.Null, err
 		}
 		digits := int64(0)
 		if digitsFn != nil {
-			d, err := digitsFn(row)
+			d, err := digitsFn(ex, row)
 			if err != nil || d.IsNull() {
 				return sqltypes.Null, err
 			}
@@ -785,8 +789,13 @@ func (env *cenv) compileRound(x *sqlast.FuncCall) (compiledExpr, bool) {
 // cache (instead of fronting it with a per-site memo) means a miss pays one
 // map probe and one insert, not two of each, while results stay visible
 // across call sites of the same function.
+//
+// The site carries no exec: the executing exec arrives per call, so sites
+// inside plan-cached UDF body projections serve every execution of the plan.
+// The buf/argv scratch is shared mutable state, which is safe because DB.mu
+// serializes statement execution and recursive re-entry copies argv before
+// the body resolves $n (execUDFBody).
 type udfSite struct {
-	ex     *exec
 	fn     *Function
 	args   []compiledExpr
 	cached bool   // IMMUTABLE + ModePostgres: probe the statement cache
@@ -795,24 +804,24 @@ type udfSite struct {
 	argv   []sqltypes.Value
 }
 
-func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
+func (s *udfSite) call(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 	for i, a := range s.args {
-		v, err := a(row)
+		v, err := a(ex, row)
 		if err != nil {
 			return sqltypes.Null, err
 		}
 		s.argv[i] = v
 	}
 	if !s.cached {
-		return s.ex.callUDF(s.fn, s.argv)
+		return ex.callUDF(s.fn, s.argv)
 	}
 	buf := append(s.buf[:0], s.prefix...)
 	for _, v := range s.argv {
 		buf = sqltypes.AppendKey(buf, v)
 	}
 	s.buf = buf
-	if v, ok := s.ex.udfCache[string(buf)]; ok {
-		s.ex.db.Stats.UDFCacheHits++
+	if v, ok := ex.udfCache[string(buf)]; ok {
+		ex.db.Stats.UDFCacheHits++
 		return v, nil
 	}
 	// Materialize the key before executing the body: a recursive function
@@ -821,17 +830,17 @@ func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
 	// would record this result under the *innermost* call's key, poisoning
 	// the cache for every later lookup (TestRecursiveMemoPoison2).
 	key := string(buf)
-	v, err := s.ex.execUDFBody(s.fn, s.argv)
+	v, err := ex.execUDFBody(s.fn, s.argv)
 	if err != nil {
 		return sqltypes.Null, err
 	}
-	s.ex.udfCache[key] = v
+	ex.udfCache[key] = v
 	return v, nil
 }
 
 // ---------------------------------------------------------------- UDF plans
 
-// udfPlan is a once-per-statement lowering of a simple UDF body — the shape
+// udfPlan is a once-per-plan lowering of a simple UDF body — the shape
 // the paper's conversion functions take:
 //
 //	SELECT <scalar expr over columns and $n> FROM <base tables>
@@ -845,6 +854,12 @@ func (s *udfSite) call(row []sqltypes.Value) (sqltypes.Value, error) {
 // independent of the engine mode — like a prepared plan, it accelerates
 // ModeSystemC too without caching *results*, preserving the paper's
 // cached-vs-uncached distinction (Tables 3–5 vs 7–9).
+//
+// udfPlans live on the statement Plan and survive across executions; the
+// entries derive exclusively from dep-pinned tables, so plan validation
+// doubles as their invalidation. curArgs/buf are scratch serialized by
+// DB.mu and save/restored around recursion — they never carry state between
+// statements.
 type udfPlan struct {
 	ok          bool
 	body        *sqlast.Select
@@ -855,6 +870,13 @@ type udfPlan struct {
 	buf         []byte
 }
 
+// udfPlanEntryCap bounds the relations a udfPlan accumulates: conversion
+// functions are keyed by tenant (entries ≤ tenant count), but a body whose
+// WHERE references a value parameter would otherwise grow one materialized
+// relation per distinct argument for the life of the cached plan. On
+// overflow the memo restarts empty; entries rebuild on demand.
+const udfPlanEntryCap = 4096
+
 // udfPlanEntry is the body's FROM/WHERE relation for one tuple of
 // WHERE-referenced arguments, with the projection compiled against it.
 type udfPlanEntry struct {
@@ -863,17 +885,23 @@ type udfPlanEntry struct {
 	projFn   compiledExpr // nil → interpret the projection
 }
 
-// planUDF analyses fn's body once per statement and returns its plan;
-// plan.ok is false when the body is not of the planable shape.
+// planUDF analyses fn's body once per *plan* and returns its lowering. The
+// plan owns the memo, so a cached statement pays the analysis — and the
+// per-parameter-tuple relations its entries accumulate — once across all of
+// its executions; version-based plan invalidation (plan.go) discards them
+// the moment any table a body reads changes.
 func (ex *exec) planUDF(fn *Function) *udfPlan {
-	if plan, ok := ex.udfPlans[fn]; ok {
+	if plan, ok := ex.plan.udfPlans[fn]; ok {
 		return plan
 	}
 	plan := buildUDFPlan(fn.Body)
 	if ex.db.noCompile {
 		plan = &udfPlan{}
 	}
-	ex.udfPlans[fn] = plan
+	if ex.plan.udfPlans == nil {
+		ex.plan.udfPlans = make(map[*Function]*udfPlan)
+	}
+	ex.plan.udfPlans[fn] = plan
 	return plan
 }
 
@@ -927,6 +955,9 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 	plan.buf = buf
 	entry, ok := plan.entries[string(buf)]
 	if !ok {
+		if len(plan.entries) >= udfPlanEntryCap {
+			plan.entries = make(map[string]*udfPlanEntry)
+		}
 		psc := rootScope()
 		psc.params = args
 		rel, err := ex.buildFromWhere(plan.body, psc)
@@ -934,7 +965,7 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 			return sqltypes.Null, err
 		}
 		entry = &udfPlanEntry{rows: rel.rows, bindings: rel.bindings}
-		env := &cenv{ex: ex, bindings: rel.bindings, params: &plan.curArgs}
+		env := &cenv{db: ex.db, bindings: rel.bindings, params: &plan.curArgs}
 		if fn, ok := env.compile(plan.proj); ok {
 			entry.projFn = fn
 		}
@@ -953,7 +984,7 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 	out := sqltypes.Null
 	if entry.projFn != nil {
 		for i, row := range entry.rows {
-			v, err := entry.projFn(row)
+			v, err := entry.projFn(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}

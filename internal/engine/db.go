@@ -11,12 +11,15 @@
 // closure with column references resolved to flat row offsets; constructs
 // outside the compiled subset fall back to the tree-walking interpreter in
 // eval.go per expression. Simple UDF bodies — the paper's conversion
-// functions — are additionally planned once per statement: the tenant-keyed
-// FROM/WHERE relation is cached per distinct parameter tuple and the
-// projection compiled against it, so a conversion call costs a hash probe
-// plus a closure invocation. DB.SetCompileExprs(false) forces the
-// interpreter everywhere; the differential property test relies on both
-// paths producing identical results.
+// functions — are additionally planned once per statement plan: the
+// tenant-keyed FROM/WHERE relation is cached per distinct parameter tuple
+// and the projection compiled against it, so a conversion call costs a hash
+// probe plus a closure invocation. Statement plans themselves are cached on
+// the DB keyed by SQL text and invalidated by referenced-table versions and
+// DDL (plan.go), so repeated texts skip parsing and lowering entirely.
+// DB.SetCompileExprs(false) forces the interpreter everywhere; the
+// differential property test relies on both paths producing identical
+// results.
 package engine
 
 import (
@@ -122,6 +125,12 @@ type DB struct {
 	// interpreted paths agree.
 	noCompile bool
 
+	// plans is the statement plan cache (plan.go): SQL text + compile mode
+	// → immutable Plan, validated against dependency versions per lookup.
+	plans       map[planKey]*Plan
+	planClock   uint64
+	noPlanCache bool
+
 	// Stats accumulates counters across statements; benchmarks reset it.
 	Stats Stats
 }
@@ -135,6 +144,13 @@ func (db *DB) SetCompileExprs(on bool) { db.noCompile = !on }
 type Stats struct {
 	UDFCalls     int64 // UDF body executions (cache misses in ModePostgres)
 	UDFCacheHits int64
+
+	// Plan cache counters: hits serve a validated cached plan, misses build
+	// one (cold or after invalidation), invalidations count dependency
+	// version/DDL mismatches detected on lookup.
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheInvalidations int64
 }
 
 // Open returns an empty database in the given mode.
@@ -166,13 +182,17 @@ func (db *DB) TableNames() []string {
 // Function returns a registered function by name (case-insensitive) or nil.
 func (db *DB) Function(name string) *Function { return db.funcs[strings.ToLower(name)] }
 
-// ExecSQL parses and executes a single statement.
+// ExecSQL parses and executes a single statement through the plan cache:
+// repeated texts reuse the cached lowering as long as every referenced
+// table, view and function is unchanged.
 func (db *DB) ExecSQL(sql string) (*Result, error) {
-	stmt, err := sqlparse.ParseStatement(sql)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, err := db.planForLocked(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.Exec(stmt)
+	return db.execPlanLocked(p)
 }
 
 // ExecScript executes a ;-separated script, returning the last result.
@@ -191,13 +211,21 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 	return res, nil
 }
 
-// Exec executes a parsed statement.
+// Exec executes a parsed statement through an ephemeral (uncached) plan.
 func (db *DB) Exec(stmt sqlast.Statement) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	switch s := stmt.(type) {
+	return db.execPlanLocked(db.buildPlanLocked("", stmt))
+}
+
+// execPlanLocked dispatches one statement execution under db.mu.
+func (db *DB) execPlanLocked(p *Plan) (*Result, error) {
+	if p.arityErr != nil {
+		return nil, p.arityErr
+	}
+	switch s := p.stmt.(type) {
 	case *sqlast.Select:
-		ex := db.newExec()
+		ex := db.newExec(p)
 		return ex.runQuery(s, rootScope())
 	case *sqlast.CreateTable:
 		return db.createTable(s)
@@ -220,30 +248,41 @@ func (db *DB) Exec(stmt sqlast.Statement) (*Result, error) {
 		delete(db.views, key)
 		return &Result{}, nil
 	case *sqlast.Insert:
-		return db.insert(s)
+		return db.insert(p, s)
 	case *sqlast.Update:
-		return db.update(s)
+		return db.update(p, s)
 	case *sqlast.Delete:
-		return db.delete(s)
+		return db.delete(p, s)
 	}
-	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	return nil, fmt.Errorf("engine: unsupported statement %T", p.stmt)
 }
 
-// Query executes a SELECT.
+// Query executes a SELECT through an ephemeral plan.
 func (db *DB) Query(sel *sqlast.Select) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ex := db.newExec()
-	return ex.runQuery(sel, rootScope())
+	return db.execPlanLocked(db.buildPlanLocked("", sel))
 }
 
-// QuerySQL parses and executes a SELECT.
+// QuerySQL parses and executes a SELECT through the plan cache.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
-	sel, err := sqlparse.ParseQuery(sql)
+	db.mu.Lock()
+	p, err := db.planForLocked(sql)
+	if err == nil {
+		if _, isSel := p.stmt.(*sqlast.Select); isSel {
+			defer db.mu.Unlock()
+			return db.execPlanLocked(p)
+		}
+	}
+	db.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return db.Query(sel)
+	// Not a query: reparse through ParseQuery for its precise error.
+	if _, qerr := sqlparse.ParseQuery(sql); qerr != nil {
+		return nil, qerr
+	}
+	return nil, fmt.Errorf("engine: not a query: %s", sql)
 }
 
 // ---------------------------------------------------------------- DDL
@@ -348,7 +387,7 @@ func (db *DB) createFunction(cf *sqlast.CreateFunction) (*Result, error) {
 
 // ---------------------------------------------------------------- DML
 
-func (db *DB) insert(ins *sqlast.Insert) (*Result, error) {
+func (db *DB) insert(p *Plan, ins *sqlast.Insert) (*Result, error) {
 	t := db.tables[strings.ToLower(ins.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", ins.Table)
@@ -370,14 +409,14 @@ func (db *DB) insert(ins *sqlast.Insert) (*Result, error) {
 
 	var srcRows [][]sqltypes.Value
 	if ins.Sub != nil {
-		ex := db.newExec()
+		ex := db.newExec(p)
 		res, err := ex.runQuery(ins.Sub, rootScope())
 		if err != nil {
 			return nil, err
 		}
 		srcRows = res.Rows
 	} else {
-		ex := db.newExec()
+		ex := db.newExec(p)
 		for _, exprRow := range ins.Rows {
 			row := make([]sqltypes.Value, len(exprRow))
 			for i, e := range exprRow {
@@ -432,12 +471,12 @@ func coerce(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
 	return sqltypes.Null, fmt.Errorf("cannot store %s as %s", v.K, kind)
 }
 
-func (db *DB) update(up *sqlast.Update) (*Result, error) {
+func (db *DB) update(p *Plan, up *sqlast.Update) (*Result, error) {
 	t := db.tables[strings.ToLower(up.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", up.Table)
 	}
-	ex := db.newExec()
+	ex := db.newExec(p)
 	sc := tableScope(t)
 	var pred compiledExpr
 	if up.Where != nil {
@@ -466,7 +505,7 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 			var v sqltypes.Value
 			var err error
 			if pred != nil {
-				v, err = pred(row)
+				v, err = pred(ex, row)
 			} else {
 				v, err = ex.eval(up.Where, sc)
 			}
@@ -483,7 +522,7 @@ func (db *DB) update(up *sqlast.Update) (*Result, error) {
 			var v sqltypes.Value
 			var err error
 			if setFns[i] != nil {
-				v, err = setFns[i](row)
+				v, err = setFns[i](ex, row)
 			} else {
 				v, err = ex.eval(a.Expr, sc)
 			}
@@ -605,12 +644,12 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 	return &Result{Affected: affected}, nil
 }
 
-func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
+func (db *DB) delete(p *Plan, del *sqlast.Delete) (*Result, error) {
 	t := db.tables[strings.ToLower(del.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", del.Table)
 	}
-	ex := db.newExec()
+	ex := db.newExec(p)
 	sc := tableScope(t)
 	// Both paths stage the kept rows in a fresh slice: the table is pristine
 	// for the whole scan — predicates with subqueries over the same table
@@ -660,7 +699,7 @@ func (db *DB) delete(del *sqlast.Delete) (*Result, error) {
 			var v sqltypes.Value
 			var err error
 			if pred != nil {
-				v, err = pred(row)
+				v, err = pred(ex, row)
 			} else {
 				v, err = ex.eval(del.Where, sc)
 			}
@@ -752,7 +791,7 @@ func (db *DB) validateConstraint(t *Table, con sqlast.Constraint) error {
 			}
 		}
 	case sqlast.ConstraintCheck:
-		ex := db.newExec()
+		ex := db.newExec(db.buildPlanLocked("", nil))
 		v, err := ex.eval(con.Check, rootScope())
 		if err != nil {
 			return fmt.Errorf("engine: CHECK %s: %w", con.Name, err)

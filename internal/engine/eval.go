@@ -13,9 +13,12 @@ import (
 // exec carries per-statement execution state: the UDF result cache
 // (ModePostgres) lives exactly as long as one statement, mirroring how
 // PostgreSQL caches IMMUTABLE function results "for the rest of the query
-// execution" (§4.2.1).
+// execution" (§4.2.1). The immutable side of the statement — the AST,
+// subquery IDs, UDF body lowerings — lives in the Plan (plan.go), which the
+// exec only reads, so one cached plan serves any number of executions.
 type exec struct {
 	db       *DB
+	plan     *Plan
 	udfCache map[string]sqltypes.Value
 	keyBuf   []byte // scratch for UDF cache keys; reused across calls
 	depth    int    // subquery/UDF nesting guard
@@ -23,13 +26,18 @@ type exec struct {
 	// subqCache memoizes results of subqueries that did not touch any
 	// enclosing scope during execution (uncorrelated subqueries) — the
 	// engine's equivalent of PostgreSQL's InitPlan, evaluated once per
-	// statement. inSetCache additionally hashes IN-subquery results.
-	subqCache  map[*sqlast.Select]*Result
-	inSetCache map[*sqlast.Select]*inSet
+	// statement. inSetCache additionally hashes IN-subquery results. Both
+	// are keyed by plan-stable subquery IDs, not node pointers: the AST is
+	// shared by every execution of a cached plan, so pointer keys would tie
+	// the memo's identity to object identity the exec does not own.
+	subqCache  map[int32]*Result
+	inSetCache map[int32]*inSet
 
-	// udfPlans caches per-statement lowerings of simple UDF bodies (see
-	// udfPlan in compile.go); conversion functions hit this on every call.
-	udfPlans map[*Function]*udfPlan
+	// dynSubqIDs assigns IDs (above the plan's range) to subquery nodes the
+	// plan has never seen: clones made during execution (view bodies, alias
+	// substitution) and subqueries inside UDF bodies.
+	dynSubqIDs map[*sqlast.Select]int32
+	nextDynID  int32
 
 	// vs is the statement-wide scratch stack batch evaluation allocates its
 	// intermediate columns and selection buffers from (see vector.go).
@@ -42,14 +50,33 @@ type inSet struct {
 	sawNull bool
 }
 
-func (db *DB) newExec() *exec {
+func (db *DB) newExec(p *Plan) *exec {
 	return &exec{
 		db:         db,
+		plan:       p,
 		udfCache:   make(map[string]sqltypes.Value),
-		subqCache:  make(map[*sqlast.Select]*Result),
-		inSetCache: make(map[*sqlast.Select]*inSet),
-		udfPlans:   make(map[*Function]*udfPlan),
+		subqCache:  make(map[int32]*Result),
+		inSetCache: make(map[int32]*inSet),
+		nextDynID:  p.nSubq,
 	}
+}
+
+// subqID resolves a subquery node to its memoization key: the plan-stable ID
+// when the node belongs to the plan's AST, a per-execution ID otherwise.
+func (ex *exec) subqID(sub *sqlast.Select) int32 {
+	if id, ok := ex.plan.subqIDs[sub]; ok {
+		return id
+	}
+	if id, ok := ex.dynSubqIDs[sub]; ok {
+		return id
+	}
+	if ex.dynSubqIDs == nil {
+		ex.dynSubqIDs = make(map[*sqlast.Select]int32)
+	}
+	id := ex.nextDynID
+	ex.nextDynID++
+	ex.dynSubqIDs[sub] = id
+	return id
 }
 
 // binding is one named tuple slot (table alias) inside a scope. Columns of
@@ -143,6 +170,19 @@ var aggregateNames = map[string]bool{
 
 // IsAggregate reports whether a function name is an aggregate.
 func IsAggregate(name string) bool { return aggregateNames[strings.ToUpper(name)] }
+
+// builtinScalarFuncs lists every scalar builtin the switches in evalFunc
+// (below) and compileFunc (compile.go) resolve; a name added to those
+// switches MUST be added here too. Plan dependency analysis (plan.go)
+// treats calls outside this set and the aggregates as UDF references: an
+// unresolvable one makes the statement uncacheable, so an omission here
+// silently disables plan caching for statements using the new builtin.
+var builtinScalarFuncs = map[string]bool{
+	"CONCAT": true, "CHAR_LENGTH": true, "ABS": true, "ROUND": true,
+	"COALESCE": true, "CAST_INTEGER": true, "CAST_INT": true,
+	"CAST_BIGINT": true, "CAST_DECIMAL": true, "CAST_NUMERIC": true,
+	"CAST_VARCHAR": true, "CAST_CHAR": true, "CAST_TEXT": true,
+}
 
 func (ex *exec) eval(e sqlast.Expr, sc *scope) (sqltypes.Value, error) {
 	switch x := e.(type) {
@@ -441,37 +481,13 @@ func (ex *exec) evalInSubquery(x *sqlast.InExpr, sc *scope) (sqltypes.Value, err
 		}
 	}
 
-	set, ok := ex.inSetCache[x.Sub]
+	id := ex.subqID(x.Sub)
+	set, ok := ex.inSetCache[id]
 	if !ok {
-		res, err := ex.runSubquery(x.Sub, sc)
+		var err error
+		set, err = ex.buildInSet(x.Sub, id, len(leftVals), sc)
 		if err != nil {
 			return sqltypes.Null, err
-		}
-		if len(res.Cols) != len(leftVals) {
-			return sqltypes.Null, fmt.Errorf("engine: IN subquery returns %d columns, left side has %d", len(res.Cols), len(leftVals))
-		}
-		set = &inSet{m: make(map[string]bool, len(res.Rows))}
-		var buf []byte
-		for _, row := range res.Rows {
-			buf = buf[:0]
-			null := false
-			for _, v := range row {
-				if v.IsNull() {
-					null = true
-					break
-				}
-				buf = sqltypes.AppendKey(buf, v)
-			}
-			if null {
-				set.sawNull = true
-				continue
-			}
-			set.m[string(buf)] = true
-		}
-		// Hash sets are reusable only for uncorrelated subqueries, which
-		// runSubquery has just cached; reuse exactly then.
-		if _, cached := ex.subqCache[x.Sub]; cached {
-			ex.inSetCache[x.Sub] = set
 		}
 	}
 
@@ -486,10 +502,48 @@ func (ex *exec) evalInSubquery(x *sqlast.InExpr, sc *scope) (sqltypes.Value, err
 	return sqltypes.NewBool(found != x.Not), nil
 }
 
+// buildInSet runs an IN-subquery and hashes its rows, validating that the
+// output arity matches the left side (the backstop for shapes plan-time
+// validation cannot resolve). The set is memoized exactly when runSubquery
+// cached the result — i.e. the subquery proved uncorrelated — shared by the
+// interpreter and the batched IN kernel (vector.go).
+func (ex *exec) buildInSet(sub *sqlast.Select, id int32, leftArity int, sc *scope) (*inSet, error) {
+	res, err := ex.runSubquery(sub, sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) != leftArity {
+		return nil, fmt.Errorf("engine: IN subquery returns %d columns, left side has %d", len(res.Cols), leftArity)
+	}
+	set := &inSet{m: make(map[string]bool, len(res.Rows))}
+	var buf []byte
+	for _, row := range res.Rows {
+		buf = buf[:0]
+		null := false
+		for _, v := range row {
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			set.sawNull = true
+			continue
+		}
+		set.m[string(buf)] = true
+	}
+	if _, cached := ex.subqCache[id]; cached {
+		ex.inSetCache[id] = set
+	}
+	return set, nil
+}
+
 // runSubquery executes a subquery, memoizing the result when execution
 // never resolved a name through the subquery boundary (uncorrelated).
 func (ex *exec) runSubquery(sub *sqlast.Select, sc *scope) (*Result, error) {
-	if res, ok := ex.subqCache[sub]; ok {
+	id := ex.subqID(sub)
+	if res, ok := ex.subqCache[id]; ok {
 		return res, nil
 	}
 	if ex.depth > 64 {
@@ -504,7 +558,7 @@ func (ex *exec) runSubquery(sub *sqlast.Select, sc *scope) (*Result, error) {
 		return nil, err
 	}
 	if !correlated {
-		ex.subqCache[sub] = res
+		ex.subqCache[id] = res
 	}
 	return res, nil
 }

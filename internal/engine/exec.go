@@ -284,12 +284,11 @@ func buildOrderPlan(sel *sqlast.Select, outCols []string, sc *scope, aliases map
 }
 
 // projector is one SELECT item resolved against the source relation once
-// per query: star items become row-slice segments, expressions are compiled
-// where possible (expr retained as the interpreter fallback).
+// per query: star items become row-slice segments, expressions are either
+// vectorized (batched path) or interpreted per row.
 type projector struct {
 	star bool
 	segs [][2]int // star: (offset, length) segments of the source row
-	fn   compiledExpr
 	expr sqlast.Expr
 }
 
@@ -312,7 +311,7 @@ func (ex *exec) buildProjectors(sel *sqlast.Select, rel *relation) ([]projector,
 			}
 			projs[i] = projector{star: true, segs: segs}
 		default:
-			projs[i] = projector{fn: ex.compile(it.Expr, rel.bindings), expr: it.Expr}
+			projs[i] = projector{expr: it.Expr}
 			width++
 		}
 	}
@@ -1407,7 +1406,7 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 			var v sqltypes.Value
 			var err error
 			if resFns[i] != nil {
-				v, err = resFns[i](combined)
+				v, err = resFns[i](ex, combined)
 			} else {
 				osc.row = combined
 				v, err = ex.eval(c.expr, osc)

@@ -1,0 +1,573 @@
+package engine
+
+// This file implements the DB-level statement plan cache. A Plan is the
+// immutable part of a statement's lowering: the parsed AST (never mutated by
+// execution — operators clone before transforming), plan-stable IDs for every
+// subquery node (the keys of the per-execution subquery/IN-set memos), the
+// plan-time IN-subquery arity validation, and the shared lowerings of called
+// UDF bodies. Everything that changes while a statement runs — the UDF result
+// memo, subquery result caches, the batch scratch stack — lives in the
+// per-execution exec object (eval.go), so one Plan serves any number of
+// executions.
+//
+// Plans are cached on the DB keyed by SQL text plus the compile-mode flag and
+// validated against their dependencies on every lookup: each referenced
+// table is pinned by identity *and* version (any write bumps Table.version),
+// views and functions by identity. A DML write, a DROP/CREATE of a referenced
+// name, or a schema change therefore evicts exactly the plans that could
+// observe it; plans whose dependencies cannot be resolved at build time
+// (missing tables, unknown functions) are never cached, so later DDL cannot
+// resurrect a stale lowering.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+)
+
+// planCacheCap bounds the number of cached plans; on overflow the
+// least-recently-used half is dropped.
+const planCacheCap = 512
+
+// planKey identifies a cached plan: the statement text and whether it was
+// lowered for the compiled or the interpreted path (the differential test
+// toggles SetCompileExprs on one DB).
+type planKey struct {
+	sql      string
+	compiled bool
+}
+
+// planDep pins one schema object the plan depends on. Exactly one of tab,
+// view, fn is set. Tables are additionally pinned by version so data writes
+// invalidate plans that cache derived artifacts (UDF body relations).
+type planDep struct {
+	name    string // lower-case
+	tab     *Table
+	view    *sqlast.Select
+	fn      *Function
+	version uint64
+}
+
+// Plan is an immutable, reentrant lowering of one statement plus the
+// artifacts shared by its executions. The only mutable fields — udfPlans and
+// the scratch inside each udfPlan — are written under DB.mu, which
+// serializes statement execution; they carry no per-execution semantics.
+type Plan struct {
+	stmt      sqlast.Statement
+	key       planKey
+	subqIDs   map[*sqlast.Select]int32 // plan-stable subquery IDs
+	nSubq     int32
+	arityErr  error // IN-subquery arity mismatch found at plan time
+	deps      []planDep
+	cacheable bool
+	lastUse   uint64
+
+	// udfPlans holds the once-per-plan lowerings of called UDF bodies
+	// (compile.go). Their cached relations derive from dep-pinned tables, so
+	// plan validation doubles as their invalidation.
+	udfPlans map[*Function]*udfPlan
+}
+
+// Statement returns the parsed statement the plan executes.
+func (p *Plan) Statement() sqlast.Statement { return p.stmt }
+
+// ---------------------------------------------------------------- build
+
+// buildPlanLocked analyses stmt into a Plan. sql may be empty for ephemeral
+// plans built around caller-supplied ASTs.
+func (db *DB) buildPlanLocked(sql string, stmt sqlast.Statement) *Plan {
+	p := &Plan{
+		stmt: stmt,
+		key:  planKey{sql: sql, compiled: !db.noCompile},
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Select, *sqlast.Insert, *sqlast.Update, *sqlast.Delete:
+		p.subqIDs = make(map[*sqlast.Select]int32)
+		for _, sel := range statementSelects(stmt) {
+			if _, ok := p.subqIDs[sel]; !ok {
+				p.subqIDs[sel] = p.nSubq
+				p.nSubq++
+			}
+		}
+		// Dependency pinning only matters for plans that can live in the
+		// cache; ephemeral plans (direct AST execution) execute immediately
+		// and are never revalidated.
+		if sql != "" {
+			p.deps, p.cacheable = db.collectDepsLocked(stmt)
+		}
+		// A VALUES-only INSERT is the classic unique-text shape (bulk loads
+		// serialize distinct literals per row); caching those would churn
+		// the cache with plans that also self-invalidate on execution.
+		if ins, isIns := st.(*sqlast.Insert); isIns && ins.Sub == nil {
+			p.cacheable = false
+		}
+		p.arityErr = db.checkInArityLocked(stmt)
+	default:
+		// DDL and anything else: execute through an ephemeral plan.
+	}
+	return p
+}
+
+// statementSelects returns every SELECT node reachable from stmt — nested
+// subqueries, derived tables, join operands and INSERT ... SELECT sources —
+// in a deterministic pre-order.
+func statementSelects(stmt sqlast.Statement) []*sqlast.Select {
+	var out []*sqlast.Select
+	var visitSel func(s *sqlast.Select)
+	var visitTE func(te sqlast.TableExpr)
+	visitExpr := func(e sqlast.Expr) {
+		for _, sub := range sqlast.SubqueriesOf(e) {
+			visitSel(sub)
+		}
+	}
+	visitTE = func(te sqlast.TableExpr) {
+		switch t := te.(type) {
+		case *sqlast.DerivedTable:
+			visitSel(t.Sub)
+		case *sqlast.JoinExpr:
+			visitTE(t.L)
+			visitTE(t.R)
+			visitExpr(t.On)
+		}
+	}
+	visitSel = func(s *sqlast.Select) {
+		if s == nil {
+			return
+		}
+		out = append(out, s)
+		for _, te := range s.From {
+			visitTE(te)
+		}
+		for _, e := range selectLevelExprs(s) {
+			visitExpr(e)
+		}
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Select:
+		visitSel(st)
+	case *sqlast.Insert:
+		visitSel(st.Sub)
+		for _, row := range st.Rows {
+			for _, e := range row {
+				visitExpr(e)
+			}
+		}
+	case *sqlast.Update:
+		for _, a := range st.Sets {
+			visitExpr(a.Expr)
+		}
+		visitExpr(st.Where)
+	case *sqlast.Delete:
+		visitExpr(st.Where)
+	}
+	return out
+}
+
+// selectLevelExprs returns the expressions attached to one query level
+// (join ON conditions are enumerated by the FROM traversal).
+func selectLevelExprs(s *sqlast.Select) []sqlast.Expr {
+	var out []sqlast.Expr
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			out = append(out, it.Expr)
+		}
+	}
+	if s.Where != nil {
+		out = append(out, s.Where)
+	}
+	if s.Having != nil {
+		out = append(out, s.Having)
+	}
+	out = append(out, s.GroupBy...)
+	for _, o := range s.OrderBy {
+		out = append(out, o.Expr)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- deps
+
+// collectDepsLocked gathers every table, view and function the statement can
+// touch, recursing through view and UDF bodies. It reports cacheable=false
+// when any referenced name does not resolve — execution will surface the
+// error, and a later CREATE must not hit a stale plan.
+func (db *DB) collectDepsLocked(stmt sqlast.Statement) ([]planDep, bool) {
+	var deps []planDep
+	seen := make(map[string]bool)
+	ok := true
+
+	var addName func(name string)
+	var visitSelDeps func(s *sqlast.Select)
+	visitFunc := func(name string) {
+		upper := strings.ToUpper(name)
+		if aggregateNames[upper] || builtinScalarFuncs[upper] {
+			return
+		}
+		key := "f:" + strings.ToLower(name)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		fn := db.funcs[strings.ToLower(name)]
+		if fn == nil {
+			ok = false
+			return
+		}
+		deps = append(deps, planDep{name: strings.ToLower(name), fn: fn})
+		visitSelDeps(fn.Body)
+	}
+	visitExprDeps := func(e sqlast.Expr) {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			if fc, isCall := n.(*sqlast.FuncCall); isCall {
+				visitFunc(fc.Name)
+			}
+			return true
+		})
+		for _, sub := range sqlast.SubqueriesOf(e) {
+			visitSelDeps(sub)
+		}
+	}
+	addName = func(name string) {
+		lower := strings.ToLower(name)
+		key := "t:" + lower
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if view, isView := db.views[lower]; isView {
+			deps = append(deps, planDep{name: lower, view: view})
+			visitSelDeps(view)
+			return
+		}
+		if tab := db.tables[lower]; tab != nil {
+			deps = append(deps, planDep{name: lower, tab: tab, version: tab.version})
+			return
+		}
+		ok = false
+	}
+	var visitTEDeps func(te sqlast.TableExpr)
+	visitTEDeps = func(te sqlast.TableExpr) {
+		switch t := te.(type) {
+		case *sqlast.TableName:
+			addName(t.Name)
+		case *sqlast.DerivedTable:
+			visitSelDeps(t.Sub)
+		case *sqlast.JoinExpr:
+			visitTEDeps(t.L)
+			visitTEDeps(t.R)
+			visitExprDeps(t.On)
+		}
+	}
+	visitSelDeps = func(s *sqlast.Select) {
+		if s == nil {
+			return
+		}
+		for _, te := range s.From {
+			visitTEDeps(te)
+		}
+		for _, e := range selectLevelExprs(s) {
+			visitExprDeps(e)
+		}
+	}
+
+	switch st := stmt.(type) {
+	case *sqlast.Select:
+		visitSelDeps(st)
+	case *sqlast.Insert:
+		addName(st.Table)
+		visitSelDeps(st.Sub)
+		for _, row := range st.Rows {
+			for _, e := range row {
+				visitExprDeps(e)
+			}
+		}
+	case *sqlast.Update:
+		addName(st.Table)
+		for _, a := range st.Sets {
+			visitExprDeps(a.Expr)
+		}
+		visitExprDeps(st.Where)
+	case *sqlast.Delete:
+		addName(st.Table)
+		visitExprDeps(st.Where)
+	default:
+		return nil, false
+	}
+	return deps, ok
+}
+
+// planValidLocked reports whether every dependency still resolves to the
+// same object at the same version.
+func (db *DB) planValidLocked(p *Plan) bool {
+	for i := range p.deps {
+		d := &p.deps[i]
+		switch {
+		case d.tab != nil:
+			if db.tables[d.name] != d.tab || d.tab.version != d.version {
+				return false
+			}
+		case d.view != nil:
+			if db.views[d.name] != d.view {
+				return false
+			}
+		case d.fn != nil:
+			if db.funcs[d.name] != d.fn {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- IN arity
+
+// checkInArityLocked validates every IN-subquery whose output arity is
+// derivable from the schema at plan time. The check used to run only on the
+// set-build path of evalInSubquery, so a memo hit skipped it; validating here
+// makes the error independent of evaluation order, caching and engine mode.
+// Shapes whose arity cannot be derived (unresolvable names) keep the runtime
+// check in buildInSet as the backstop.
+func (db *DB) checkInArityLocked(stmt sqlast.Statement) error {
+	var err error
+	check := func(e sqlast.Expr) {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			if err != nil {
+				return false
+			}
+			x, isIn := n.(*sqlast.InExpr)
+			if !isIn || x.Sub == nil {
+				return true
+			}
+			left := 1
+			if row, isRow := x.X.(*sqlast.RowExpr); isRow {
+				left = len(row.Exprs)
+			}
+			if n, known := db.selectArityLocked(x.Sub, 0); known && n != left {
+				err = fmt.Errorf("engine: IN subquery returns %d columns, left side has %d", n, left)
+			}
+			return err == nil
+		})
+	}
+	for _, sel := range statementSelects(stmt) {
+		for _, e := range selectLevelExprs(sel) {
+			check(e)
+		}
+		var visitON func(te sqlast.TableExpr)
+		visitON = func(te sqlast.TableExpr) {
+			if j, isJoin := te.(*sqlast.JoinExpr); isJoin {
+				visitON(j.L)
+				visitON(j.R)
+				check(j.On)
+			}
+		}
+		for _, te := range sel.From {
+			visitON(te)
+		}
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Update:
+		for _, a := range st.Sets {
+			check(a.Expr)
+		}
+		check(st.Where)
+	case *sqlast.Delete:
+		check(st.Where)
+	case *sqlast.Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				check(e)
+			}
+		}
+	}
+	return err
+}
+
+// selectArityLocked derives the output column count of sel against the
+// current schema; known=false when any name fails to resolve (runtime will
+// raise its own error, or the shape is star-free and trivially countable).
+func (db *DB) selectArityLocked(sel *sqlast.Select, depth int) (n int, known bool) {
+	if depth > 24 {
+		return 0, false
+	}
+	type bnd struct {
+		name  string
+		width int
+	}
+	var bnds []bnd
+	var add func(te sqlast.TableExpr) bool
+	add = func(te sqlast.TableExpr) bool {
+		switch t := te.(type) {
+		case *sqlast.TableName:
+			lower := strings.ToLower(t.Name)
+			if view, isView := db.views[lower]; isView {
+				w, wok := db.selectArityLocked(view, depth+1)
+				if !wok {
+					return false
+				}
+				bnds = append(bnds, bnd{strings.ToLower(t.Binding()), w})
+				return true
+			}
+			if tab := db.tables[lower]; tab != nil {
+				bnds = append(bnds, bnd{strings.ToLower(t.Binding()), len(tab.Cols)})
+				return true
+			}
+			return false
+		case *sqlast.DerivedTable:
+			w, wok := db.selectArityLocked(t.Sub, depth+1)
+			if !wok {
+				return false
+			}
+			bnds = append(bnds, bnd{strings.ToLower(t.Alias), w})
+			return true
+		case *sqlast.JoinExpr:
+			return add(t.L) && add(t.R)
+		}
+		return false
+	}
+	for _, te := range sel.From {
+		if !add(te) {
+			return 0, false
+		}
+	}
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.StarTable == "":
+			if len(bnds) == 0 {
+				return 0, false
+			}
+			for _, b := range bnds {
+				n += b.width
+			}
+		case it.Star:
+			found := false
+			for _, b := range bnds {
+				if b.name == strings.ToLower(it.StarTable) {
+					n += b.width
+					found = true
+				}
+			}
+			if !found {
+				return 0, false
+			}
+		default:
+			n++
+		}
+	}
+	return n, true
+}
+
+// ---------------------------------------------------------------- cache
+
+// planForLocked returns the plan for sql, reusing the cached one when its
+// dependencies are unchanged, re-lowering the retained AST when they are
+// not (the parse never depends on the schema), and parsing on a cold miss.
+func (db *DB) planForLocked(sql string) (*Plan, error) {
+	key := planKey{sql: sql, compiled: !db.noCompile}
+	if p, ok := db.plans[key]; ok {
+		if db.planValidLocked(p) {
+			db.Stats.PlanCacheHits++
+			db.planClock++
+			p.lastUse = db.planClock
+			return p, nil
+		}
+		db.Stats.PlanCacheInvalidations++
+		np := db.buildPlanLocked(sql, p.stmt)
+		db.Stats.PlanCacheMisses++
+		if np.cacheable {
+			db.storePlanLocked(np)
+		} else {
+			// The rebuild cannot be pinned (a dependency no longer
+			// resolves): drop the stale entry instead of leaving a zombie
+			// that re-invalidates on every lookup.
+			delete(db.plans, key)
+		}
+		return np, nil
+	}
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.Stats.PlanCacheMisses++
+	p := db.buildPlanLocked(sql, stmt)
+	db.storePlanLocked(p)
+	return p, nil
+}
+
+func (db *DB) storePlanLocked(p *Plan) {
+	if !p.cacheable || p.key.sql == "" || db.noPlanCache {
+		return
+	}
+	if db.plans == nil {
+		db.plans = make(map[planKey]*Plan)
+	}
+	if len(db.plans) >= planCacheCap {
+		db.evictPlansLocked()
+	}
+	db.planClock++
+	p.lastUse = db.planClock
+	db.plans[p.key] = p
+}
+
+// evictPlansLocked drops the least-recently-used half of the cache.
+func (db *DB) evictPlansLocked() {
+	uses := make([]uint64, 0, len(db.plans))
+	for _, p := range db.plans {
+		uses = append(uses, p.lastUse)
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i] < uses[j] })
+	cutoff := uses[len(uses)/2]
+	for k, p := range db.plans {
+		if p.lastUse <= cutoff {
+			delete(db.plans, k)
+		}
+	}
+}
+
+// Prepare parses sql and returns its plan, reusing the cache. Errors are
+// always parse errors: plan analysis itself never fails (validation errors
+// are reported by ExecPlan, like their runtime counterparts).
+func (db *DB) Prepare(sql string) (*Plan, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.planForLocked(sql)
+}
+
+// ExecPlan executes a prepared plan, revalidating its dependencies first:
+// a plan invalidated since Prepare is transparently re-lowered from its AST.
+func (db *DB) ExecPlan(p *Plan) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.planValidLocked(p) {
+		db.Stats.PlanCacheInvalidations++
+		np := db.buildPlanLocked(p.key.sql, p.stmt)
+		if np.cacheable {
+			db.storePlanLocked(np)
+		} else if p.key.sql != "" {
+			delete(db.plans, p.key)
+		}
+		p = np
+	}
+	return db.execPlanLocked(p)
+}
+
+// InvalidatePlans drops every cached plan (and resets nothing else); used
+// by benchmarks to isolate planning cost and by tests.
+func (db *DB) InvalidatePlans() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.plans = nil
+}
+
+// SetPlanCache toggles plan caching (on by default). With caching off every
+// statement is parsed and lowered from scratch — the pre-cache behaviour.
+func (db *DB) SetPlanCache(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noPlanCache = !on
+	if !on {
+		db.plans = nil
+	}
+}

@@ -518,7 +518,7 @@ func TestCompiledMatchesInterpreter(t *testing.T) {
 		r := rand.New(rand.NewSource(int64(99 + mode)))
 		for i := 0; i < 400; i++ {
 			var sql string
-			switch i % 8 {
+			switch i % 10 {
 			case 0: // filtered projection with ORDER BY
 				sql = fmt.Sprintf("SELECT %s, %s FROM t WHERE %s ORDER BY %s, a, b, s",
 					genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 2), genDiffExpr(r, 1))
@@ -543,6 +543,24 @@ func TestCompiledMatchesInterpreter(t *testing.T) {
 			case 7: // multi-batch probe side of a hash join
 				sql = fmt.Sprintf("SELECT a, h FROM t, big WHERE a = g AND %s ORDER BY a, h LIMIT 500",
 					genBigExpr(r, 2))
+			case 8: // IN-subquery through the native batch kernel: scalar and
+				// tuple left sides, uncorrelated (memoized set) and NOT'd,
+				// over a multi-batch outer relation
+				if i%20 < 10 {
+					sql = fmt.Sprintf("SELECT g, h FROM big WHERE g IN (SELECT k FROM u WHERE v < %d) AND %s ORDER BY h LIMIT 400",
+						r.Intn(40), genBigExpr(r, 1))
+				} else {
+					sql = fmt.Sprintf("SELECT a, b FROM t WHERE (a, b) NOT IN (SELECT k, v FROM u WHERE v < %d) ORDER BY a, b, s, f",
+						r.Intn(20))
+				}
+			case 9: // EXISTS / NOT EXISTS: correlated per-row and uncorrelated
+				if i%20 < 10 {
+					sql = fmt.Sprintf("SELECT a, b FROM t WHERE EXISTS (SELECT 1 FROM u WHERE k = a AND v > %d) ORDER BY a, b, s, f",
+						r.Intn(30))
+				} else {
+					sql = fmt.Sprintf("SELECT g FROM big WHERE NOT EXISTS (SELECT 1 FROM u WHERE v = %d) AND %s ORDER BY h LIMIT 300",
+						r.Intn(60), genBigExpr(r, 1))
+				}
 			}
 			ir, cr, ierr, cerr := runBothPaths(db, sql)
 			if (ierr == nil) != (cerr == nil) {

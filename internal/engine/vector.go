@@ -2,14 +2,16 @@ package engine
 
 // This file lowers expressions into batch evaluators (vecExpr): tight loops
 // over a batch's selection vector, the vectorized counterpart of the per-row
-// closures in compile.go. Compilation is total in compiled mode — constructs
-// without a native batch kernel are lifted, either as a loop over the
-// row-compiled closure (UDF call sites, builtins, EXTRACT/SUBSTRING) or, for
-// constructs outside the row-compiled subset too (subqueries, correlated
-// references, aggregates misused outside a group), as a loop over the
-// tree-walking interpreter. Lifting preserves exact per-row value and error
-// semantics by construction, so mixing native kernels with lifted subtrees
-// stays behaviourally identical to full interpretation.
+// closures in compile.go. Compilation is total in compiled mode — IN-
+// subqueries and EXISTS run as native kernels probing the statement's
+// subquery memos, and the remaining constructs without a batch kernel are
+// lifted, either as a loop over the row-compiled closure (UDF call sites,
+// builtins, EXTRACT/SUBSTRING) or, for constructs outside the row-compiled
+// subset too (scalar subqueries, correlated references, aggregates misused
+// outside a group), as a loop over the tree-walking interpreter. Lifting
+// preserves exact per-row value and error semantics by construction, so
+// mixing native kernels with lifted subtrees stays behaviourally identical
+// to full interpretation.
 //
 // Contract for every vecExpr fn(b, sel, out):
 //   - on entry b.errs[i] == nil for every i in sel;
@@ -84,10 +86,12 @@ func (st *vecStack) takeSel(n int) []int32 {
 // ---------------------------------------------------------------- compile
 
 // venv is the vectorizing compilation environment: the row-compile
-// environment over the same bindings plus the scope used by interpreter
-// lifting for constructs outside the compiled subset.
+// environment over the same bindings, the executing exec (vecExprs are
+// built per execution, unlike row closures, so capturing it is safe), and
+// the scope interpreter lifting runs in.
 type venv struct {
 	env *cenv
+	ex  *exec
 	sc  *scope
 	vs  *vecStack
 }
@@ -100,7 +104,7 @@ func (ex *exec) vecCompile(e sqlast.Expr, bindings []*binding, sc *scope) vecExp
 	if ex.db.noCompile {
 		return nil
 	}
-	ve := &venv{env: &cenv{ex: ex, bindings: bindings}, sc: sc, vs: &ex.vs}
+	ve := &venv{env: &cenv{db: ex.db, bindings: bindings}, ex: ex, sc: sc, vs: &ex.vs}
 	return ve.compile(e)
 }
 
@@ -143,6 +147,8 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 		if fn := ve.compileIn(x); fn != nil {
 			return fn
 		}
+	case *sqlast.ExistsExpr:
+		return ve.compileExists(x)
 	case *sqlast.LikeExpr:
 		return ve.compileLike(x)
 	case *sqlast.CaseExpr:
@@ -174,10 +180,11 @@ func vecConst(v sqltypes.Value) vecExpr {
 // statement-cache probes and planned bodies), the interpreter otherwise.
 func (ve *venv) lift(e sqlast.Expr) vecExpr {
 	if fn, ok := ve.env.compile(e); ok {
+		ex := ve.ex
 		return func(b *batch, sel []int32, out []sqltypes.Value) {
 			rows := b.rows
 			for _, i := range sel {
-				v, err := fn(rows[i])
+				v, err := fn(ex, rows[i])
 				if err != nil {
 					b.poison(i, err)
 					continue
@@ -186,7 +193,7 @@ func (ve *venv) lift(e sqlast.Expr) vecExpr {
 			}
 		}
 	}
-	ex, sc := ve.env.ex, ve.sc
+	ex, sc := ve.ex, ve.sc
 	return func(b *batch, sel []int32, out []sqltypes.Value) {
 		rows := b.rows
 		for _, i := range sel {
@@ -428,10 +435,11 @@ func (ve *venv) compileBetween(x *sqlast.BetweenExpr) vecExpr {
 
 // compileIn vectorizes IN over literal-only lists as one hash probe per
 // selected row (collision buckets confirmed with exact equality, matching
-// compile.go). Other list shapes and subqueries lift.
+// compile.go) and IN-subqueries as a native probe of the statement's hashed
+// subquery result. Other list shapes lift.
 func (ve *venv) compileIn(x *sqlast.InExpr) vecExpr {
 	if x.Sub != nil {
-		return nil
+		return ve.compileInSubquery(x)
 	}
 	for _, item := range x.List {
 		if _, isLit := item.(*sqlast.Literal); !isLit {
@@ -477,6 +485,95 @@ func (ve *venv) compileIn(x *sqlast.InExpr) vecExpr {
 				continue
 			}
 			out[i] = sqltypes.NewBool(found != not)
+		}
+	}
+}
+
+// compileInSubquery is the batched form of evalInSubquery: the left side —
+// scalar or row value — is computed column-wise, and membership probes the
+// statement's hashed subquery result directly instead of lifting every row
+// to the interpreter. The set is built through buildInSet on the first
+// non-NULL left value (matching the interpreter, which never runs the
+// subquery when every left side is NULL) and is memoized exactly when the
+// subquery proves uncorrelated; a correlated subquery re-runs per row with
+// the row installed in the scope, as the interpreter does.
+func (ve *venv) compileInSubquery(x *sqlast.InExpr) vecExpr {
+	comps := []vecExpr{}
+	if row, isRow := x.X.(*sqlast.RowExpr); isRow {
+		for _, e := range row.Exprs {
+			comps = append(comps, ve.compile(e))
+		}
+	} else {
+		comps = append(comps, ve.compile(x.X))
+	}
+	ex, sc, st := ve.ex, ve.sc, ve.vs
+	id := ex.subqID(x.Sub)
+	sub, not := x.Sub, x.Not
+	cols := make([][]sqltypes.Value, len(comps))
+	var keyBuf []byte
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		n := len(b.rows)
+		m := st.mark()
+		selBuf := st.takeSel(len(sel))
+		for j, comp := range comps {
+			cols[j] = st.takeVals(n)
+			comp(b, sel, cols[j])
+			sel = b.compactSel(selBuf, sel)
+		}
+		for _, i := range sel {
+			null := false
+			for j := range cols {
+				if cols[j][i].IsNull() {
+					null = true
+					break
+				}
+			}
+			if null {
+				out[i] = sqltypes.Null
+				continue
+			}
+			set, ok := ex.inSetCache[id]
+			if !ok {
+				sc.row = b.rows[i]
+				var err error
+				set, err = ex.buildInSet(sub, id, len(cols), sc)
+				if err != nil {
+					b.poison(i, err)
+					continue
+				}
+			}
+			keyBuf = keyBuf[:0]
+			for j := range cols {
+				keyBuf = sqltypes.AppendKey(keyBuf, cols[j][i])
+			}
+			found := set.m[string(keyBuf)]
+			if !found && set.sawNull {
+				out[i] = sqltypes.Null
+				continue
+			}
+			out[i] = sqltypes.NewBool(found != not)
+		}
+		st.release(m)
+	}
+}
+
+// compileExists evaluates EXISTS natively: runSubquery memoizes an
+// uncorrelated subquery after its first execution, so every later row costs
+// one map probe; a correlated subquery re-runs per row against the current
+// scope row, exactly like the interpreter.
+func (ve *venv) compileExists(x *sqlast.ExistsExpr) vecExpr {
+	ex, sc := ve.ex, ve.sc
+	sub, not := x.Sub, x.Not
+	return func(b *batch, sel []int32, out []sqltypes.Value) {
+		rows := b.rows
+		for _, i := range sel {
+			sc.row = rows[i]
+			res, err := ex.runSubquery(sub, sc)
+			if err != nil {
+				b.poison(i, err)
+				continue
+			}
+			out[i] = sqltypes.NewBool((len(res.Rows) > 0) != not)
 		}
 	}
 }

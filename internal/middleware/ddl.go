@@ -29,6 +29,7 @@ func (c *Conn) createTable(ct *sqlast.CreateTable) (*engine.Result, error) {
 		c.srv.schema.DropTable(ct.Name)
 		return nil, err
 	}
+	c.srv.schemaGen++
 	return res, nil
 }
 
@@ -43,6 +44,7 @@ func (c *Conn) dropTable(dt *sqlast.DropTable) (*engine.Result, error) {
 		return nil, err
 	}
 	c.srv.schema.DropTable(dt.Name)
+	c.srv.schemaGen++
 	return res, nil
 }
 
@@ -59,6 +61,7 @@ func (c *Conn) createFunction(cf *sqlast.CreateFunction) (*engine.Result, error)
 		return nil, err
 	}
 	c.srv.schema.AddFunction(cf)
+	c.srv.schemaGen++
 	return res, nil
 }
 
@@ -83,6 +86,7 @@ func (c *Conn) createView(cv *sqlast.CreateView) (*engine.Result, error) {
 	}
 	c.srv.schema.AddView(cv.Name, visibleOutputs(cv.Sub))
 	c.srv.setViewOwner(cv.Name, c.c)
+	c.srv.bumpSchemaGen()
 	return res, nil
 }
 

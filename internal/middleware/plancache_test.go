@@ -1,0 +1,171 @@
+package middleware
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mtbase/internal/engine"
+)
+
+// TestStatementCacheInvalidatedByDDL is the stale-plan-after-DDL regression:
+// a SELECT text executes (caching its rewrite and its engine plan), the data
+// modeller drops and recreates a referenced table with a different shape,
+// and the same text must re-execute against the new schema — both the
+// middleware rewrite cache (schema generation) and the engine plan cache
+// (dependency identity) have to notice.
+func TestStatementCacheInvalidatedByDDL(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	admin := connFor(t, srv, 99)
+	c0 := connFor(t, srv, 0)
+
+	sql := "SELECT Re_name FROM Regions WHERE Re_reg_id = 3"
+	res, err := c0.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].S != "EUROPE" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := c0.Exec(sql); err != nil { // warm every cache layer
+		t.Fatal(err)
+	}
+
+	if _, err := admin.Exec("DROP TABLE Regions"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Exec(`CREATE TABLE Regions (
+		Re_reg_id INTEGER NOT NULL,
+		Re_name VARCHAR(25) NOT NULL,
+		Re_population INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.DB().ExecSQL(
+		"INSERT INTO Regions VALUES (3, 'NEW-EUROPE', 7)"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = c0.Exec(sql)
+	if err != nil {
+		t.Fatalf("re-execution after DDL: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "NEW-EUROPE" {
+		t.Fatalf("stale plan served after DDL: %v", res.Rows)
+	}
+
+	// SELECT * arity must follow the new schema too.
+	star, err := c0.Exec("SELECT * FROM Regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, col := range star.Cols {
+		if strings.EqualFold(col, "Re_population") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("star expansion missed new column: %v", star.Cols)
+	}
+}
+
+// TestRewriteCacheKeyedByScopeAndLevel: the same text under a different
+// SCOPE or optimization level must not reuse the previous rewrite.
+func TestRewriteCacheKeyedByScopeAndLevel(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	c0, c1 := connFor(t, srv, 0), connFor(t, srv, 1)
+	if _, err := c1.Exec("GRANT READ ON Employees TO 0"); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT COUNT(*) AS n FROM Employees"
+	res, err := c0.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("default scope: %v", res.Rows)
+	}
+	if _, err := c0.Exec(`SET SCOPE = "IN (0, 1)"`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c0.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 6 {
+		t.Fatalf("widened scope served a cached narrow rewrite: %v", res.Rows)
+	}
+	if _, err := c0.Exec(`SET SCOPE = "IN (0)"`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c0.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("narrowed scope served a cached wide rewrite: %v", res.Rows)
+	}
+}
+
+// TestRewriteCacheHitsRepeatedStatements: repeated texts on one session
+// land in the rewrite cache.
+func TestRewriteCacheHitsRepeatedStatements(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	c0 := connFor(t, srv, 0)
+	sql := "SELECT E_name FROM Employees WHERE E_age > 27 ORDER BY E_name"
+	var want *engine.Result
+	for i := 0; i < 5; i++ {
+		res, err := c0.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+		} else if len(res.Rows) != len(want.Rows) {
+			t.Fatalf("iteration %d: %d rows, want %d", i, len(res.Rows), len(want.Rows))
+		}
+	}
+	hits, misses := srv.RewriteCacheStats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("rewrite cache: %d hits / %d misses, want 4/1", hits, misses)
+	}
+	srv.InvalidateStatementCaches()
+	if _, err := c0.Exec(sql); err != nil {
+		t.Fatal(err)
+	}
+	if _, m2 := srv.RewriteCacheStats(); m2 != 2 {
+		t.Fatalf("invalidation did not clear the rewrite cache: misses = %d", m2)
+	}
+}
+
+// TestConcurrentSessionsSharedCaches drives several sessions through the
+// cached statement path concurrently; the -race CI job enforces the
+// caches' locking discipline.
+func TestConcurrentSessionsSharedCaches(t *testing.T) {
+	srv := newExample(t, engine.ModePostgres)
+	sql := "SELECT SUM(E_salary) AS s FROM Employees"
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(ttid int64) {
+			defer wg.Done()
+			c, err := srv.Connect(ttid)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := c.Exec(sql); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g % 2))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

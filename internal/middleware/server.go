@@ -44,6 +44,32 @@ type Server struct {
 	privs      map[privKey]bool
 	modellers  map[int64]bool   // tenants with DDL privilege (§2.2)
 	viewOwners map[string]int64 // view name -> creating tenant
+
+	// Statement caches: selCache maps client MTSQL SELECT text to its parsed
+	// form (rewrite and optimizer clone their input, so the AST is shared
+	// safely); rwCache maps (text, C, level, schema generation, D′) to the
+	// rewritten-and-optimized SQL text shipped to the DBMS, which the engine
+	// plan cache then recognizes. schemaGen bumps on every DDL so rewrites
+	// derived from an older schema can never be served.
+	selCache   map[string]*sqlast.Select
+	rwCache    map[rwKey]string
+	schemaGen  uint64
+	rwHits     int64
+	rwMisses   int64
+	cachingOff bool
+}
+
+// stmtCacheCap bounds both statement caches; on overflow they restart empty.
+const stmtCacheCap = 512
+
+// rwKey identifies one rewrite-cache entry. D′ is part of the key — scope,
+// privilege and tenant changes land in a different slot instead of evicting.
+type rwKey struct {
+	sql   string
+	c     int64
+	level optimizer.Level
+	gen   uint64
+	dkey  string
 }
 
 // Option configures a Server.
@@ -63,6 +89,8 @@ func NewServer(db *engine.DB, opts ...Option) *Server {
 		privs:      make(map[privKey]bool),
 		modellers:  make(map[int64]bool),
 		viewOwners: make(map[string]int64),
+		selCache:   make(map[string]*sqlast.Select),
+		rwCache:    make(map[rwKey]string),
 	}
 	for _, o := range opts {
 		o(s)
@@ -187,11 +215,20 @@ func (c *Conn) SetOptLevel(l optimizer.Level) { c.level = l }
 // OptLevel returns the session's optimization level.
 func (c *Conn) OptLevel() optimizer.Level { return c.level }
 
-// Exec parses and executes one MTSQL statement.
+// Exec parses and executes one MTSQL statement. SELECT texts hit the
+// statement caches: the parse, the canonical rewrite and the optimization
+// are each reused when the text, session context and schema are unchanged.
 func (c *Conn) Exec(sql string) (*engine.Result, error) {
+	if sel, ok := c.srv.cachedSelect(sql); ok {
+		return c.query(sel, sql)
+	}
 	stmt, err := sqlparse.ParseStatement(sql)
 	if err != nil {
 		return nil, err
+	}
+	if sel, ok := stmt.(*sqlast.Select); ok {
+		c.srv.storeSelect(sql, sel)
+		return c.query(sel, sql)
 	}
 	return c.ExecStatement(stmt)
 }
@@ -203,7 +240,7 @@ func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
 		c.scope = st
 		return &engine.Result{}, nil
 	case *sqlast.Select:
-		return c.query(st)
+		return c.query(st, "")
 	case *sqlast.CreateTable:
 		return c.createTable(st)
 	case *sqlast.CreateView:
@@ -224,6 +261,7 @@ func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
 		}
 		c.srv.schema.DropView(st.Name)
 		c.srv.dropViewOwner(st.Name)
+		c.srv.bumpSchemaGen()
 		return res, nil
 	case *sqlast.Insert:
 		return c.insert(st)
@@ -429,10 +467,22 @@ func tenantSpecificTables(q *sqlast.Select) []string {
 	return out
 }
 
-func (c *Conn) query(q *sqlast.Select) (*engine.Result, error) {
+// query executes a SELECT. raw is the client's original text when the call
+// came in as SQL; it keys the rewrite cache together with everything the
+// rewrite depends on (C, level, schema generation, the resolved D′), so a
+// hit skips rewrite, optimization and serialization. Scope resolution and
+// privilege pruning always run — they are what D′ captures.
+func (c *Conn) query(q *sqlast.Select, raw string) (*engine.Result, error) {
 	ctx, err := c.RewriteContext(sqlast.PrivRead, tenantSpecificTables(q)...)
 	if err != nil {
 		return nil, err
+	}
+	var key rwKey
+	if raw != "" {
+		key = rwKey{sql: raw, c: c.c, level: c.level, gen: c.srv.schemaGeneration(), dkey: datasetKey(ctx)}
+		if txt, ok := c.srv.rewriteLookup(key); ok {
+			return c.srv.execSQLText(txt)
+		}
 	}
 	rewritten, err := rewrite.Query(ctx, q)
 	if err != nil {
@@ -442,17 +492,133 @@ func (c *Conn) query(q *sqlast.Select) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	txt := optimized.String()
+	if raw != "" {
+		c.srv.rewriteStore(key, txt)
+	}
 	// The middleware communicates with the DBMS "by the means of pure
 	// SQL" (§3): serialize and reparse.
-	return c.srv.execSQLText(optimized.String())
+	return c.srv.execSQLText(txt)
+}
+
+// datasetKey serializes the rewrite-relevant dataset state: D′ in rewrite
+// order plus the all-tenants flag.
+func datasetKey(ctx *rewrite.Context) string {
+	var sb strings.Builder
+	for i, t := range ctx.D {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", t)
+	}
+	if ctx.DAll {
+		sb.WriteString("|all")
+	}
+	return sb.String()
 }
 
 func (s *Server) execSQLText(sql string) (*engine.Result, error) {
-	stmt, err := sqlparse.ParseStatement(sql)
+	// Prepare hits the engine's plan cache; its errors are parse errors of
+	// the rewritten text, i.e. rewrite bugs worth showing with the SQL.
+	plan, err := s.db.Prepare(sql)
 	if err != nil {
 		return nil, fmt.Errorf("middleware: rewritten SQL failed to parse: %w\n%s", err, sql)
 	}
-	return s.db.Exec(stmt)
+	return s.db.ExecPlan(plan)
+}
+
+// ---------------------------------------------------------------- caches
+
+func (s *Server) cachedSelect(sql string) (*sqlast.Select, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cachingOff {
+		return nil, false
+	}
+	sel, ok := s.selCache[sql]
+	return sel, ok
+}
+
+func (s *Server) storeSelect(sql string, sel *sqlast.Select) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cachingOff {
+		return
+	}
+	if len(s.selCache) >= stmtCacheCap {
+		s.selCache = make(map[string]*sqlast.Select)
+	}
+	s.selCache[sql] = sel
+}
+
+func (s *Server) schemaGeneration() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schemaGen
+}
+
+// bumpSchemaGen retires every cached rewrite derived from the previous
+// schema. DDL paths already holding s.mu increment schemaGen directly.
+func (s *Server) bumpSchemaGen() {
+	s.mu.Lock()
+	s.schemaGen++
+	s.mu.Unlock()
+}
+
+func (s *Server) rewriteLookup(key rwKey) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cachingOff {
+		return "", false
+	}
+	txt, ok := s.rwCache[key]
+	if ok {
+		s.rwHits++
+	} else {
+		s.rwMisses++
+	}
+	return txt, ok
+}
+
+func (s *Server) rewriteStore(key rwKey, txt string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cachingOff {
+		return
+	}
+	if len(s.rwCache) >= stmtCacheCap {
+		s.rwCache = make(map[rwKey]string)
+	}
+	s.rwCache[key] = txt
+}
+
+// RewriteCacheStats reports rewrite-cache hits and misses.
+func (s *Server) RewriteCacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rwHits, s.rwMisses
+}
+
+// InvalidateStatementCaches drops the parse and rewrite caches and the
+// engine's plan cache; benchmarks use it to measure cold planning.
+func (s *Server) InvalidateStatementCaches() {
+	s.mu.Lock()
+	s.selCache = make(map[string]*sqlast.Select)
+	s.rwCache = make(map[rwKey]string)
+	s.mu.Unlock()
+	s.db.InvalidatePlans()
+}
+
+// SetStatementCaching toggles the middleware statement caches and the
+// engine plan cache together (on by default); mtbench -no-plan-cache uses
+// it to A/B the pre-cache behaviour.
+func (s *Server) SetStatementCaching(on bool) {
+	s.mu.Lock()
+	s.cachingOff = !on
+	s.selCache = make(map[string]*sqlast.Select)
+	s.rwCache = make(map[rwKey]string)
+	s.mu.Unlock()
+	s.db.SetPlanCache(on)
 }
 
 // RewriteSQL parses, rewrites and optimizes a query without executing it.

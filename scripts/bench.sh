@@ -3,7 +3,9 @@
 # repo root, so successive perf PRs have a machine-readable trajectory to
 # compare against. Existing files are never overwritten: a numeric suffix
 # is appended when the day's file already exists. The JSON records the
-# engine's execution batch size alongside the measurements.
+# engine's execution batch size alongside the measurements, and the plan
+# cache hit/miss counters reported by BenchmarkQueryPlanCache (plan_hits/op,
+# plan_misses/op) so repeated-execution speedups stay attributable.
 # Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
@@ -27,17 +29,21 @@ awk -v date="$stamp" -v batch="$batch_size" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"benchmarks\": [\n", date, batch }
 /^Benchmark/ {
 	name = $1
-	nsop = ""; bop = ""; allocs = ""
+	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""
 	for (i = 2; i <= NF; i++) {
-		if ($(i) == "ns/op")     nsop   = $(i - 1)
-		if ($(i) == "B/op")      bop    = $(i - 1)
-		if ($(i) == "allocs/op") allocs = $(i - 1)
+		if ($(i) == "ns/op")         nsop   = $(i - 1)
+		if ($(i) == "B/op")          bop    = $(i - 1)
+		if ($(i) == "allocs/op")     allocs = $(i - 1)
+		if ($(i) == "plan_hits/op")  phits  = $(i - 1)
+		if ($(i) == "plan_misses/op") pmiss = $(i - 1)
 	}
 	if (nsop == "") next
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
 	if (bop != "")    printf ", \"bytes_per_op\": %s", bop
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	if (phits != "")  printf ", \"plan_hits_per_op\": %s", phits
+	if (pmiss != "")  printf ", \"plan_misses_per_op\": %s", pmiss
 	printf "}"
 }
 END { print "\n  ]\n}" }
