@@ -10,6 +10,7 @@ package mtbase
 // via sub-benchmarks.
 
 import (
+	"fmt"
 	"testing"
 
 	"mtbase/internal/bench"
@@ -201,6 +202,64 @@ func BenchmarkQueryPlanCache(b *testing.B) {
 		b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "plan_hits/op")
 		b.ReportMetric(float64(db.Stats.PlanCacheMisses)/float64(b.N), "plan_misses/op")
 	})
+}
+
+// BenchmarkQueryParam measures the conversion-intensive queries with
+// literal-varying workloads: each iteration runs a *distinct* binding.
+// "binds" executes one prepared, parameterized text (every execution after
+// the first hits the rewrite and plan caches — param_hits/op reports the
+// engine plan-cache hit rate); "inlined" serializes the same values as
+// literals, so every iteration is a byte-distinct text that misses every
+// cache. The delta is the planning cost this API removes from realistic
+// traffic.
+func BenchmarkQueryParam(b *testing.B) {
+	cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.O4)
+	db := inst.Srv.DB()
+	for _, pq := range mth.ParamQueries() {
+		st, err := conn.Prepare(pq.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Q%02d/binds", pq.ID), func(b *testing.B) {
+			// Warm the caches once so param_hits/op reports the steady state
+			// (every measured execution is a hit) independent of benchtime.
+			if _, err := st.QueryResult(pq.Args(0)...); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			db.Stats = engine.Stats{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.QueryResult(pq.Args(i + 1)...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "param_hits/op")
+		})
+		b.Run(fmt.Sprintf("Q%02d/inlined", pq.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			db.Stats = engine.Stats{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Query(pq.Inlined(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "param_hits/op")
+		})
+	}
 }
 
 // BenchmarkRewrite isolates the middleware's own cost: parse + canonical

@@ -6,10 +6,13 @@
 //
 // Meta commands:
 //
-//	\c <ttid>        reconnect as another tenant
-//	\level <name>    set optimization level (canonical,o1,o2,o3,o4,inl-only)
-//	\explain <sql>   print the rewritten+optimized SQL without executing
-//	\q               quit
+//	\c <ttid>            reconnect as another tenant
+//	\level <name>        set optimization level (canonical,o1,o2,o3,o4,inl-only)
+//	\explain <sql>       print the rewritten+optimized SQL without executing
+//	\prepare name <sql>  prepare a statement with ? / $n placeholders
+//	\exec name [args]    execute a prepared statement with bind values
+//	                     (numbers, 'strings', dates as 'YYYY-MM-DD', null)
+//	\q                   quit
 //
 // Example session:
 //
@@ -65,13 +68,14 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
+	prepared := make(map[string]*middleware.Stmt)
 	prompt := func() { fmt.Printf("mtsql(C=%d)> ", conn.C()) }
 	prompt()
 	for in.Scan() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, "\\") {
-			if done := metaCommand(inst.Srv, &conn, trimmed); done {
+			if done := metaCommand(inst.Srv, &conn, prepared, trimmed); done {
 				return
 			}
 			prompt()
@@ -91,7 +95,7 @@ func main() {
 	}
 }
 
-func metaCommand(srv *middleware.Server, conn **middleware.Conn, cmd string) bool {
+func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[string]*middleware.Stmt, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q":
@@ -113,6 +117,51 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, cmd string) boo
 		}
 		next.SetOptLevel((*conn).OptLevel())
 		*conn = next
+		// Prepared statements capture the session's C; drop them.
+		for name := range prepared {
+			delete(prepared, name)
+		}
+		fmt.Println("prepared statements cleared")
+	case "\\prepare":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\prepare"))
+		name, sql, ok := strings.Cut(rest, " ")
+		if !ok || name == "" || strings.TrimSpace(sql) == "" {
+			fmt.Println("usage: \\prepare name <sql with ? or $n placeholders>")
+			return false
+		}
+		st, err := (*conn).Prepare(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		prepared[name] = st
+		fmt.Printf("prepared %q (%d parameters)\n", name, st.NumParams())
+	case "\\exec":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\exec name [args...]")
+			return false
+		}
+		st, ok := prepared[fields[1]]
+		if !ok {
+			fmt.Printf("no prepared statement %q\n", fields[1])
+			return false
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(cmd, "\\exec")), fields[1]))
+		args, err := parseBindArgs(rest)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		if len(args) != st.NumParams() {
+			fmt.Printf("statement %q takes %d parameters, got %d\n", fields[1], st.NumParams(), len(args))
+			return false
+		}
+		res, err := st.Exec(args...)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printResult(res)
 	case "\\level":
 		if len(fields) != 2 {
 			fmt.Println("usage: \\level <canonical|o1|o2|o3|o4|inl-only>")
@@ -145,6 +194,10 @@ func execute(conn *middleware.Conn, sql string) {
 		fmt.Println("error:", err)
 		return
 	}
+	printResult(res)
+}
+
+func printResult(res *engine.Result) {
 	if len(res.Cols) == 0 {
 		fmt.Printf("ok (%d rows affected)\n", res.Affected)
 		return
@@ -161,6 +214,70 @@ func execute(conn *middleware.Conn, sql string) {
 		}
 		fmt.Println(strings.Join(parts, " | "))
 	}
+}
+
+// parseBindArgs tokenizes a \exec argument string: single-quoted strings
+// (with ” escapes), numbers, true/false, null, and DATE-shaped quoted
+// values pass as strings (plan-time slot hints coerce them to dates).
+func parseBindArgs(s string) ([]any, error) {
+	var args []any
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '\'' {
+			var sb strings.Builder
+			i++
+			for {
+				if i >= len(s) {
+					return nil, fmt.Errorf("unterminated string in bind arguments")
+				}
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			args = append(args, sb.String())
+			continue
+		}
+		start := i
+		for i < len(s) && s[i] != ' ' && s[i] != '\t' {
+			i++
+		}
+		word := s[start:i]
+		switch strings.ToLower(word) {
+		case "null":
+			args = append(args, nil)
+			continue
+		case "true":
+			args = append(args, true)
+			continue
+		case "false":
+			args = append(args, false)
+			continue
+		}
+		if n, err := strconv.ParseInt(word, 10, 64); err == nil {
+			args = append(args, n)
+			continue
+		}
+		if f, err := strconv.ParseFloat(word, 64); err == nil {
+			args = append(args, f)
+			continue
+		}
+		return nil, fmt.Errorf("bad bind argument %q (quote strings with '...')", word)
+	}
+	return args, nil
 }
 
 func fatal(err error) {

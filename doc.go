@@ -18,11 +18,18 @@
 //     invalidated by referenced-table versions and DDL (engine/plan.go);
 //     the tree-walking interpreter remains the row-at-a-time fallback
 //     behind the same operator interface (DB.SetCompileExprs(false)
-//     selects it).
+//     selects it). The client API is Prepare → Stmt → Query(args...) →
+//     Rows (engine/stmt.go, engine/rows.go): statements carry ? / $n bind
+//     parameters resolved per execution (one cached plan serves every
+//     binding), Rows streams scan-shaped projections batch-at-a-time
+//     instead of materializing, and every entry point has a Context
+//     variant cancelled at batch boundaries (ADR-003 in DESIGN.md).
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)
-//   - middleware — MTBase proper: sessions, scopes, privileges (Figure 4)
+//   - middleware — MTBase proper: sessions, scopes, privileges (Figure 4);
+//     Conn.Prepare gives prepared MTSQL statements whose rewrite is cached
+//     against the parameterized text and shared across bindings
 //   - mth — the MT-H benchmark: dbgen, 22 queries, validation (§5)
 //   - bench — the experiment driver for every table and figure (§6)
 //

@@ -111,6 +111,27 @@ func main() {
 	exec(alpha, `SET SCOPE = "FROM Employees WHERE E_salary > 180000"`)
 	fmt.Println("== Employees of tenants with any salary above 180K USD:")
 	show(alpha, `SELECT E_name, E_salary FROM Employees ORDER BY E_salary DESC`)
+
+	// 7. Interactive traffic varies literals per request. Prepared
+	//    statements bind them (`?` placeholders), so one parameterized text
+	//    — and one cached plan — serves every binding; Rows streams the
+	//    result instead of materializing it up front.
+	exec(alpha, `SET SCOPE = "IN ()"`)
+	stmt, err := alpha.Prepare(`SELECT E_name, E_salary FROM Employees WHERE E_salary >= ? AND E_age < ?`)
+	must(err)
+	fmt.Println("== Prepared: earners above a bound threshold, under a bound age:")
+	for _, bound := range []float64{60000, 140000} {
+		rows, err := stmt.Query(bound, 50)
+		must(err)
+		for rows.Next() {
+			var name string
+			var salary float64
+			must(rows.Scan(&name, &salary))
+			fmt.Printf("threshold %.0f: %s %.2f\n", bound, name, salary)
+		}
+		must(rows.Err())
+	}
+	fmt.Println()
 }
 
 func exec(c *middleware.Conn, sql string) {

@@ -42,16 +42,23 @@ type cenv struct {
 	db       *DB
 	bindings []*binding
 	params   *[]sqltypes.Value // non-nil only inside UDF body plans
+
+	// clientBinds permits lowering a $n to a per-execution bind lookup
+	// (exec.bind). It is set only when the compilation scope chain carries
+	// no UDF parameter frame: inside a UDF body the same node must resolve
+	// to the function argument, which the interpreter fallback handles.
+	clientBinds bool
 }
 
 // compile lowers e into a closure over the flat row layout described by
-// bindings. It returns nil when e uses any construct outside the compiled
-// subset; callers then fall back to exec.eval.
-func (ex *exec) compile(e sqlast.Expr, bindings []*binding) compiledExpr {
+// bindings; sc is the scope the expression would be interpreted in, used
+// only to decide how $n parameters resolve. It returns nil when e uses any
+// construct outside the compiled subset; callers then fall back to exec.eval.
+func (ex *exec) compile(e sqlast.Expr, bindings []*binding, sc *scope) compiledExpr {
 	if ex.db.noCompile {
 		return nil
 	}
-	env := &cenv{db: ex.db, bindings: bindings}
+	env := &cenv{db: ex.db, bindings: bindings, clientBinds: !scopeHasParams(sc)}
 	fn, ok := env.compile(e)
 	if !ok {
 		return nil
@@ -95,18 +102,25 @@ func (env *cenv) compile(e sqlast.Expr) (compiledExpr, bool) {
 		}
 		return func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) { return row[idx], nil }, true
 	case *sqlast.Param:
-		if env.params == nil {
-			return nil, false
-		}
 		n := x.N
-		slot := env.params
-		return func(*exec, []sqltypes.Value) (sqltypes.Value, error) {
-			ps := *slot
-			if n < 1 || n > len(ps) {
-				return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", n)
-			}
-			return ps[n-1], nil
-		}, true
+		if env.params != nil {
+			slot := env.params
+			return func(*exec, []sqltypes.Value) (sqltypes.Value, error) {
+				ps := *slot
+				if n < 1 || n > len(ps) {
+					return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", n)
+				}
+				return ps[n-1], nil
+			}, true
+		}
+		if env.clientBinds {
+			// Statement-level bind: a per-execution constant read off the
+			// executing exec, so one compiled plan serves every binding.
+			return func(ex *exec, _ []sqltypes.Value) (sqltypes.Value, error) {
+				return ex.bind(n)
+			}, true
+		}
+		return nil, false
 	case *sqlast.BinaryExpr:
 		return env.compileBinary(x)
 	case *sqlast.UnaryExpr:

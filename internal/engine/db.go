@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -186,13 +187,25 @@ func (db *DB) Function(name string) *Function { return db.funcs[strings.ToLower(
 // repeated texts reuse the cached lowering as long as every referenced
 // table, view and function is unchanged.
 func (db *DB) ExecSQL(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecArgs parses and executes a single statement with bind-parameter
+// values for its $n / ? placeholders.
+func (db *DB) ExecArgs(sql string, args ...sqltypes.Value) (*Result, error) {
+	return db.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is ExecArgs with cancellation: ctx is polled at batch
+// boundaries, so a cancelled context aborts a long scan within one batch.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	p, err := db.planForLocked(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.execPlanLocked(p)
+	return db.execPlanLocked(ctx, p, args)
 }
 
 // ExecScript executes a ;-separated script, returning the last result.
@@ -215,18 +228,57 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 func (db *DB) Exec(stmt sqlast.Statement) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execPlanLocked(db.buildPlanLocked("", stmt))
+	return db.execPlanLocked(context.Background(), db.buildPlanLocked("", stmt), nil)
+}
+
+// newExecArgs builds the per-statement execution state with validated,
+// hint-coerced bind values and the caller's cancellation context.
+func (db *DB) newExecArgs(ctx context.Context, p *Plan, args []sqltypes.Value) (*exec, error) {
+	bound, err := p.bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	ex := db.newExec(p)
+	ex.ctx = ctx
+	ex.binds = bound
+	return ex, nil
 }
 
 // execPlanLocked dispatches one statement execution under db.mu.
-func (db *DB) execPlanLocked(p *Plan) (*Result, error) {
+func (db *DB) execPlanLocked(ctx context.Context, p *Plan, args []sqltypes.Value) (*Result, error) {
 	if p.arityErr != nil {
 		return nil, p.arityErr
 	}
 	switch s := p.stmt.(type) {
 	case *sqlast.Select:
-		ex := db.newExec(p)
+		ex, err := db.newExecArgs(ctx, p, args)
+		if err != nil {
+			return nil, err
+		}
 		return ex.runQuery(s, rootScope())
+	case *sqlast.Insert:
+		ex, err := db.newExecArgs(ctx, p, args)
+		if err != nil {
+			return nil, err
+		}
+		return db.insert(ex, s)
+	case *sqlast.Update:
+		ex, err := db.newExecArgs(ctx, p, args)
+		if err != nil {
+			return nil, err
+		}
+		return db.update(ex, s)
+	case *sqlast.Delete:
+		ex, err := db.newExecArgs(ctx, p, args)
+		if err != nil {
+			return nil, err
+		}
+		return db.delete(ex, s)
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("engine: statement takes no bind parameters, got %d", len(args))
+	}
+	switch s := p.stmt.(type) {
 	case *sqlast.CreateTable:
 		return db.createTable(s)
 	case *sqlast.CreateView:
@@ -247,12 +299,6 @@ func (db *DB) execPlanLocked(p *Plan) (*Result, error) {
 		}
 		delete(db.views, key)
 		return &Result{}, nil
-	case *sqlast.Insert:
-		return db.insert(p, s)
-	case *sqlast.Update:
-		return db.update(p, s)
-	case *sqlast.Delete:
-		return db.delete(p, s)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", p.stmt)
 }
@@ -261,28 +307,58 @@ func (db *DB) execPlanLocked(p *Plan) (*Result, error) {
 func (db *DB) Query(sel *sqlast.Select) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execPlanLocked(db.buildPlanLocked("", sel))
+	return db.execPlanLocked(context.Background(), db.buildPlanLocked("", sel), nil)
 }
 
-// QuerySQL parses and executes a SELECT through the plan cache.
+// QuerySQL parses and executes a SELECT through the plan cache, returning
+// the fully materialized Result. Unlike an explicitly opened Rows cursor,
+// the whole execution — projection included — runs under DB.mu, so the
+// call stays atomic with respect to concurrent writers.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
 	db.mu.Lock()
 	p, err := db.planForLocked(sql)
-	if err == nil {
-		if _, isSel := p.stmt.(*sqlast.Select); isSel {
-			defer db.mu.Unlock()
-			return db.execPlanLocked(p)
-		}
-	}
-	db.mu.Unlock()
 	if err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
-	// Not a query: reparse through ParseQuery for its precise error.
-	if _, qerr := sqlparse.ParseQuery(sql); qerr != nil {
-		return nil, qerr
+	if _, isSel := p.stmt.(*sqlast.Select); !isSel {
+		db.mu.Unlock()
+		// Not a query: reparse through ParseQuery for its precise error.
+		if _, qerr := sqlparse.ParseQuery(sql); qerr != nil {
+			return nil, qerr
+		}
+		return nil, fmt.Errorf("engine: not a query: %s", sql)
 	}
-	return nil, fmt.Errorf("engine: not a query: %s", sql)
+	defer db.mu.Unlock()
+	return db.execPlanLocked(context.Background(), p, nil)
+}
+
+// QueryRows parses and executes a SELECT through the plan cache, returning
+// a streaming cursor with the given bind-parameter values.
+func (db *DB) QueryRows(sql string, args ...sqltypes.Value) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is QueryRows with cancellation, polled at batch boundaries
+// both during eager FROM/WHERE evaluation and while the cursor streams.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (*Rows, error) {
+	db.mu.Lock()
+	p, err := db.planForLocked(sql)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	sel, isSel := p.stmt.(*sqlast.Select)
+	if !isSel {
+		db.mu.Unlock()
+		// Not a query: reparse through ParseQuery for its precise error.
+		if _, qerr := sqlparse.ParseQuery(sql); qerr != nil {
+			return nil, qerr
+		}
+		return nil, fmt.Errorf("engine: not a query: %s", sql)
+	}
+	defer db.mu.Unlock()
+	return db.queryRowsLocked(ctx, p, sel, args)
 }
 
 // ---------------------------------------------------------------- DDL
@@ -387,7 +463,7 @@ func (db *DB) createFunction(cf *sqlast.CreateFunction) (*Result, error) {
 
 // ---------------------------------------------------------------- DML
 
-func (db *DB) insert(p *Plan, ins *sqlast.Insert) (*Result, error) {
+func (db *DB) insert(ex *exec, ins *sqlast.Insert) (*Result, error) {
 	t := db.tables[strings.ToLower(ins.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", ins.Table)
@@ -409,14 +485,12 @@ func (db *DB) insert(p *Plan, ins *sqlast.Insert) (*Result, error) {
 
 	var srcRows [][]sqltypes.Value
 	if ins.Sub != nil {
-		ex := db.newExec(p)
 		res, err := ex.runQuery(ins.Sub, rootScope())
 		if err != nil {
 			return nil, err
 		}
 		srcRows = res.Rows
 	} else {
-		ex := db.newExec(p)
 		for _, exprRow := range ins.Rows {
 			row := make([]sqltypes.Value, len(exprRow))
 			for i, e := range exprRow {
@@ -471,21 +545,20 @@ func coerce(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
 	return sqltypes.Null, fmt.Errorf("cannot store %s as %s", v.K, kind)
 }
 
-func (db *DB) update(p *Plan, up *sqlast.Update) (*Result, error) {
+func (db *DB) update(ex *exec, up *sqlast.Update) (*Result, error) {
 	t := db.tables[strings.ToLower(up.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", up.Table)
 	}
-	ex := db.newExec(p)
 	sc := tableScope(t)
 	var pred compiledExpr
 	if up.Where != nil {
-		pred = ex.compile(up.Where, sc.bindings)
+		pred = ex.compile(up.Where, sc.bindings, sc)
 	}
 	setFns := make([]compiledExpr, len(up.Sets))
 	allCompiled := (up.Where == nil || pred != nil) && !db.hasUDFCall(up.Where)
 	for i, a := range up.Sets {
-		setFns[i] = ex.compile(a.Expr, sc.bindings)
+		setFns[i] = ex.compile(a.Expr, sc.bindings, sc)
 		if setFns[i] == nil || db.hasUDFCall(a.Expr) {
 			allCompiled = false
 		}
@@ -585,6 +658,9 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 	src := scanOp{rows: t.Rows}
 	var b batch
 	for src.next(&b) {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
 		n := len(b.rows)
 		m := ex.vs.mark()
 		sel := b.sel
@@ -644,12 +720,11 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 	return &Result{Affected: affected}, nil
 }
 
-func (db *DB) delete(p *Plan, del *sqlast.Delete) (*Result, error) {
+func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
 	t := db.tables[strings.ToLower(del.Table)]
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", del.Table)
 	}
-	ex := db.newExec(p)
 	sc := tableScope(t)
 	// Both paths stage the kept rows in a fresh slice: the table is pristine
 	// for the whole scan — predicates with subqueries over the same table
@@ -665,6 +740,9 @@ func (db *DB) delete(p *Plan, del *sqlast.Delete) (*Result, error) {
 		src := scanOp{rows: t.Rows}
 		var b batch
 		for src.next(&b) {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
 			m := ex.vs.mark()
 			predCol := ex.vs.takeVals(len(b.rows))
 			vpred(&b, b.sel, predCol)
@@ -688,7 +766,7 @@ func (db *DB) delete(p *Plan, del *sqlast.Delete) (*Result, error) {
 	}
 	var pred compiledExpr
 	if del.Where != nil {
-		pred = ex.compile(del.Where, sc.bindings)
+		pred = ex.compile(del.Where, sc.bindings, sc)
 	}
 	kept := make([][]sqltypes.Value, 0, len(t.Rows))
 	affected := 0

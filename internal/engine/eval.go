@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -42,6 +43,52 @@ type exec struct {
 	// vs is the statement-wide scratch stack batch evaluation allocates its
 	// intermediate columns and selection buffers from (see vector.go).
 	vs vecStack
+
+	// binds holds the client bind-parameter values of this execution; a
+	// statement-level $n / ? resolves here after the scope walk finds no UDF
+	// parameter frame. One cached plan serves every binding because binds
+	// live on the exec, never on the plan.
+	binds []sqltypes.Value
+
+	// ctx carries the caller's cancellation; batch loops poll it at batch
+	// boundaries (exec.cancelled). nil means non-cancellable.
+	ctx context.Context
+}
+
+// bind resolves statement-level parameter $n against this execution's bind
+// values. With no binds at all the old pre-bind error is preserved: the
+// statement-level $n of a non-parameterized execution is the "outside
+// function body" shape UDF-only parameters used to raise.
+func (ex *exec) bind(n int) (sqltypes.Value, error) {
+	if ex.binds == nil {
+		return sqltypes.Null, fmt.Errorf("engine: parameter $%d outside function body", n)
+	}
+	if n < 1 || n > len(ex.binds) {
+		return sqltypes.Null, fmt.Errorf("engine: parameter $%d out of range", n)
+	}
+	return ex.binds[n-1], nil
+}
+
+// cancelled reports the context's error once the caller's context is done.
+// It is polled at batch boundaries (1024 rows), never per row.
+func (ex *exec) cancelled() error {
+	if ex.ctx == nil {
+		return nil
+	}
+	return ex.ctx.Err()
+}
+
+// scopeHasParams reports whether any scope on the chain carries a UDF
+// parameter frame. Compilation uses it to decide whether a $n may be lowered
+// to a client-bind lookup: inside a UDF body frame it must keep resolving to
+// the function argument instead.
+func scopeHasParams(sc *scope) bool {
+	for s := sc; s != nil; s = s.parent {
+		if s.params != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // inSet is a hashed IN-subquery result.
@@ -219,7 +266,10 @@ func (ex *exec) eval(e sqlast.Expr, sc *scope) (sqltypes.Value, error) {
 				crossed = append(crossed, s.crossed)
 			}
 		}
-		return sqltypes.Null, fmt.Errorf("engine: parameter $%d outside function body", x.N)
+		// No UDF parameter frame anywhere on the chain: a statement-level
+		// bind parameter. Binds are per-execution constants, so resolving
+		// one never marks a subquery as correlated.
+		return ex.bind(x.N)
 	case *sqlast.BinaryExpr:
 		return ex.evalBinary(x, sc)
 	case *sqlast.UnaryExpr:

@@ -343,7 +343,12 @@ func (ex *exec) projectRows(sel *sqlast.Select, rel *relation, parent *scope, al
 	}
 
 	// Interpreter fallback: row-at-a-time projection.
-	for _, row := range rel.rows {
+	for ri, row := range rel.rows {
+		if ri&(BatchSize-1) == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		sc.row = row
 		out := make([]sqltypes.Value, 0, width)
 		for i := range projs {
@@ -391,6 +396,9 @@ func (ex *exec) projectRowsBatched(rel *relation, sc *scope, projs []projector, 
 	src := scanOp{rows: rel.rows}
 	var b batch
 	for src.next(&b) {
+		if err := ex.cancelled(); err != nil {
+			return err
+		}
 		n := len(b.rows)
 		sel := b.sel
 		m := ex.vs.mark()
@@ -488,6 +496,9 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		src := scanOp{rows: rel.rows}
 		var b batch
 		for src.next(&b) {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
 			m := ex.vs.mark()
 			gsel := gks.compute(&b, false, nil)
 			if err := b.firstErr(); err != nil {
@@ -500,7 +511,12 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 			ex.vs.release(m)
 		}
 	} else {
-		for _, row := range rel.rows {
+		for ri, row := range rel.rows {
+			if ri&(BatchSize-1) == 0 {
+				if err := ex.cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			sc.row = row
 			buf = buf[:0]
 			for _, g := range groupExprs {
@@ -916,6 +932,9 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 	}
 	var b batch
 	for f.next(&b) {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
 		for _, i := range b.sel {
 			out.rows = append(out.rows, b.rows[i])
 		}
@@ -1091,6 +1110,9 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 				var b batch
 				var buckets [][]int
 				for src.next(&b) {
+					if err := ex.cancelled(); err != nil {
+						return nil, err
+					}
 					m := ex.vs.mark()
 					sel := lks.compute(&b, true, nil)
 					if err := b.firstErr(); err != nil {
@@ -1154,6 +1176,9 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 		var b batch
 		var buckets [][]int
 		for src.next(&b) {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
 			m := ex.vs.mark()
 			sel := lks.compute(&b, true, nil)
 			if err := b.firstErr(); err != nil {
@@ -1214,6 +1239,9 @@ func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map
 		src := scanOp{rows: r.rows}
 		var b batch
 		for src.next(&b) {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
 			m := ex.vs.mark()
 			sel := rks.compute(&b, true, nil)
 			if err := b.firstErr(); err != nil {
@@ -1398,7 +1426,7 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 	lsc := l.scopeFor(parent)
 	resFns := make([]compiledExpr, len(residual))
 	for i, c := range residual {
-		resFns[i] = ex.compile(c.expr, out.bindings)
+		resFns[i] = ex.compile(c.expr, out.bindings, osc)
 	}
 	// matchResidual applies the non-equi ON conjuncts to one candidate.
 	matchResidual := func(combined []sqltypes.Value) (bool, error) {
@@ -1430,6 +1458,9 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 		src := scanOp{rows: l.rows}
 		var b batch
 		for src.next(&b) {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
 			n := len(b.rows)
 			if cap(nullMask) < n {
 				nullMask = make([]bool, n)

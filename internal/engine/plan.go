@@ -20,12 +20,14 @@ package engine
 // resurrect a stale lowering.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
+	"mtbase/internal/sqltypes"
 )
 
 // planCacheCap bounds the number of cached plans; on overflow the
@@ -65,6 +67,14 @@ type Plan struct {
 	cacheable bool
 	lastUse   uint64
 
+	// nParams is the bind-parameter arity: the highest $n / ? slot the
+	// statement references. Executions must supply exactly this many values.
+	nParams int
+	// paramKinds holds plan-time type hints per slot (KindNull = no hint or
+	// conflicting uses): bind values are coerced to the hinted kind per
+	// execution, so e.g. a string date binds cleanly against a DATE column.
+	paramKinds []sqltypes.Kind
+
 	// udfPlans holds the once-per-plan lowerings of called UDF bodies
 	// (compile.go). Their cached relations derive from dep-pinned tables, so
 	// plan validation doubles as their invalidation.
@@ -73,6 +83,40 @@ type Plan struct {
 
 // Statement returns the parsed statement the plan executes.
 func (p *Plan) Statement() sqlast.Statement { return p.stmt }
+
+// NumParams returns the statement's bind-parameter arity.
+func (p *Plan) NumParams() int { return p.nParams }
+
+// bindArgs validates the bind values against the plan's parameter slots and
+// returns a private, hint-coerced copy (the exec retains it for the whole
+// execution, possibly past the caller's own use of the slice).
+func (p *Plan) bindArgs(args []sqltypes.Value) ([]sqltypes.Value, error) {
+	if len(args) != p.nParams {
+		return nil, fmt.Errorf("engine: statement requires %d bind parameters, got %d", p.nParams, len(args))
+	}
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]sqltypes.Value, len(args))
+	copy(out, args)
+	for i := range out {
+		if i >= len(p.paramKinds) {
+			break
+		}
+		kind := p.paramKinds[i]
+		if kind == sqltypes.KindNull || out[i].IsNull() || out[i].K == kind {
+			continue
+		}
+		// Hints are advisory: coerce when lossless, otherwise pass the value
+		// through unconverted — exactly what the literal-inlined form of the
+		// same statement would evaluate (1.5 against an INTEGER slot compares
+		// numerically; a malformed date string compares as SQL unknown).
+		if cv, err := coerce(out[i], kind); err == nil {
+			out[i] = cv
+		}
+	}
+	return out, nil
+}
 
 // ---------------------------------------------------------------- build
 
@@ -105,6 +149,10 @@ func (db *DB) buildPlanLocked(sql string, stmt sqlast.Statement) *Plan {
 			p.cacheable = false
 		}
 		p.arityErr = db.checkInArityLocked(stmt)
+		p.nParams = sqlast.MaxParam(stmt)
+		if p.nParams > 0 {
+			p.paramKinds = db.paramKindsLocked(stmt, p.nParams)
+		}
 	default:
 		// DDL and anything else: execute through an ephemeral plan.
 	}
@@ -459,6 +507,199 @@ func (db *DB) selectArityLocked(sel *sqlast.Select, depth int) (n int, known boo
 	return n, true
 }
 
+// ---------------------------------------------------------------- param hints
+
+// paramKindsLocked derives a type hint per bind-parameter slot from the
+// contexts the slot appears in against the current schema: direct
+// comparisons with base-table columns, BETWEEN bounds, IN lists, LIKE
+// patterns and DML assignment targets. Slots used against columns of
+// different kinds get no hint (KindNull) and bind values pass through
+// unconverted, exactly like pre-hint behaviour.
+func (db *DB) paramKindsLocked(stmt sqlast.Statement, n int) []sqltypes.Kind {
+	kinds := make([]sqltypes.Kind, n)
+	conflict := make([]bool, n)
+	hint := func(pn int, k sqltypes.Kind) {
+		if pn < 1 || pn > n || k == sqltypes.KindNull || conflict[pn-1] {
+			return
+		}
+		switch kinds[pn-1] {
+		case sqltypes.KindNull:
+			kinds[pn-1] = k
+		case k:
+		default:
+			conflict[pn-1] = true
+			kinds[pn-1] = sqltypes.KindNull
+		}
+	}
+
+	// hintExprs pattern-matches one query level's expressions against a
+	// column-kind resolver (nil kind = unresolvable).
+	hintExprs := func(e sqlast.Expr, kindOf func(cr *sqlast.ColumnRef) sqltypes.Kind) {
+		sqlast.WalkExpr(e, func(node sqlast.Expr) bool {
+			switch x := node.(type) {
+			case *sqlast.BinaryExpr:
+				if !comparisonPlanOps[x.Op] {
+					return true
+				}
+				if p, ok := x.L.(*sqlast.Param); ok {
+					if cr, ok := x.R.(*sqlast.ColumnRef); ok {
+						hint(p.N, kindOf(cr))
+					}
+				}
+				if p, ok := x.R.(*sqlast.Param); ok {
+					if cr, ok := x.L.(*sqlast.ColumnRef); ok {
+						hint(p.N, kindOf(cr))
+					}
+				}
+			case *sqlast.BetweenExpr:
+				if cr, ok := x.X.(*sqlast.ColumnRef); ok {
+					k := kindOf(cr)
+					if p, ok := x.Lo.(*sqlast.Param); ok {
+						hint(p.N, k)
+					}
+					if p, ok := x.Hi.(*sqlast.Param); ok {
+						hint(p.N, k)
+					}
+				}
+			case *sqlast.InExpr:
+				if cr, ok := x.X.(*sqlast.ColumnRef); ok && x.Sub == nil {
+					k := kindOf(cr)
+					for _, item := range x.List {
+						if p, ok := item.(*sqlast.Param); ok {
+							hint(p.N, k)
+						}
+					}
+				}
+			case *sqlast.LikeExpr:
+				if p, ok := x.Pattern.(*sqlast.Param); ok {
+					hint(p.N, sqltypes.KindString)
+				}
+				if p, ok := x.X.(*sqlast.Param); ok {
+					hint(p.N, sqltypes.KindString)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, sel := range statementSelects(stmt) {
+		kindOf := db.colKindResolverLocked(sel)
+		for _, e := range selectLevelExprs(sel) {
+			hintExprs(e, kindOf)
+		}
+		var visitON func(te sqlast.TableExpr)
+		visitON = func(te sqlast.TableExpr) {
+			if j, isJoin := te.(*sqlast.JoinExpr); isJoin {
+				visitON(j.L)
+				visitON(j.R)
+				if j.On != nil {
+					hintExprs(j.On, kindOf)
+				}
+			}
+		}
+		for _, te := range sel.From {
+			visitON(te)
+		}
+	}
+
+	// DML statements evaluate against their target table's layout.
+	tableKindOf := func(name string) func(cr *sqlast.ColumnRef) sqltypes.Kind {
+		t := db.tables[strings.ToLower(name)]
+		return func(cr *sqlast.ColumnRef) sqltypes.Kind {
+			if t == nil {
+				return sqltypes.KindNull
+			}
+			if cr.Table != "" && !strings.EqualFold(cr.Table, t.Name) {
+				return sqltypes.KindNull
+			}
+			if i := t.ColIndex(cr.Name); i >= 0 {
+				return t.Cols[i].Type
+			}
+			return sqltypes.KindNull
+		}
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Update:
+		kindOf := tableKindOf(st.Table)
+		for _, a := range st.Sets {
+			if p, ok := a.Expr.(*sqlast.Param); ok {
+				hint(p.N, kindOf(&sqlast.ColumnRef{Name: a.Column}))
+			}
+			hintExprs(a.Expr, kindOf)
+		}
+		hintExprs(st.Where, kindOf)
+	case *sqlast.Delete:
+		hintExprs(st.Where, tableKindOf(st.Table))
+	case *sqlast.Insert:
+		if t := db.tables[strings.ToLower(st.Table)]; t != nil && st.Sub == nil {
+			cols := st.Columns
+			if len(cols) == 0 {
+				cols = t.ColNames()
+			}
+			for _, row := range st.Rows {
+				for i, e := range row {
+					if p, ok := e.(*sqlast.Param); ok && i < len(cols) {
+						if ci := t.ColIndex(cols[i]); ci >= 0 {
+							hint(p.N, t.Cols[ci].Type)
+						}
+					}
+				}
+			}
+		}
+	}
+	return kinds
+}
+
+var comparisonPlanOps = map[string]bool{
+	"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+// colKindResolverLocked builds a column-kind resolver for one query level:
+// base tables in FROM contribute their columns under the binding name and,
+// when unambiguous across the level, unqualified. Views and derived tables
+// contribute nothing (no hint is always safe).
+func (db *DB) colKindResolverLocked(sel *sqlast.Select) func(cr *sqlast.ColumnRef) sqltypes.Kind {
+	type colKey struct{ binding, col string }
+	qualified := make(map[colKey]sqltypes.Kind)
+	unqualified := make(map[string]sqltypes.Kind)
+	ambiguous := make(map[string]bool)
+	var addTE func(te sqlast.TableExpr)
+	addTE = func(te sqlast.TableExpr) {
+		switch t := te.(type) {
+		case *sqlast.TableName:
+			tab := db.tables[strings.ToLower(t.Name)]
+			if tab == nil {
+				return
+			}
+			bname := strings.ToLower(t.Binding())
+			for _, c := range tab.Cols {
+				cl := strings.ToLower(c.Name)
+				qualified[colKey{bname, cl}] = c.Type
+				if prev, seen := unqualified[cl]; seen && prev != c.Type {
+					ambiguous[cl] = true
+				}
+				unqualified[cl] = c.Type
+			}
+		case *sqlast.JoinExpr:
+			addTE(t.L)
+			addTE(t.R)
+		}
+	}
+	for _, te := range sel.From {
+		addTE(te)
+	}
+	return func(cr *sqlast.ColumnRef) sqltypes.Kind {
+		cl := strings.ToLower(cr.Name)
+		if cr.Table != "" {
+			return qualified[colKey{strings.ToLower(cr.Table), cl}]
+		}
+		if ambiguous[cl] {
+			return sqltypes.KindNull
+		}
+		return unqualified[cl]
+	}
+}
+
 // ---------------------------------------------------------------- cache
 
 // planForLocked returns the plan for sql, reusing the cached one when its
@@ -526,31 +767,51 @@ func (db *DB) evictPlansLocked() {
 	}
 }
 
-// Prepare parses sql and returns its plan, reusing the cache. Errors are
-// always parse errors: plan analysis itself never fails (validation errors
-// are reported by ExecPlan, like their runtime counterparts).
-func (db *DB) Prepare(sql string) (*Plan, error) {
+// PreparePlan parses sql and returns its plan, reusing the cache. Errors
+// are always parse errors: plan analysis itself never fails (validation
+// errors are reported by ExecPlan, like their runtime counterparts). This
+// is the plan-level API the middleware builds on; clients use DB.Prepare,
+// which returns a bind-aware Stmt handle instead.
+func (db *DB) PreparePlan(sql string) (*Plan, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.planForLocked(sql)
 }
 
+// revalidatePlanLocked returns p, or a fresh re-lowering of its AST when
+// any dependency changed since the plan was built.
+func (db *DB) revalidatePlanLocked(p *Plan) *Plan {
+	if db.planValidLocked(p) {
+		return p
+	}
+	db.Stats.PlanCacheInvalidations++
+	np := db.buildPlanLocked(p.key.sql, p.stmt)
+	if np.cacheable {
+		db.storePlanLocked(np)
+	} else if p.key.sql != "" {
+		delete(db.plans, p.key)
+	}
+	return np
+}
+
 // ExecPlan executes a prepared plan, revalidating its dependencies first:
-// a plan invalidated since Prepare is transparently re-lowered from its AST.
+// a plan invalidated since PreparePlan is transparently re-lowered from its
+// AST.
 func (db *DB) ExecPlan(p *Plan) (*Result, error) {
+	return db.ExecPlanContext(context.Background(), p)
+}
+
+// ExecPlanArgs executes a prepared plan with bind-parameter values.
+func (db *DB) ExecPlanArgs(p *Plan, args ...sqltypes.Value) (*Result, error) {
+	return db.ExecPlanContext(context.Background(), p, args...)
+}
+
+// ExecPlanContext executes a prepared plan with bind-parameter values,
+// honouring ctx cancellation at batch boundaries.
+func (db *DB) ExecPlanContext(ctx context.Context, p *Plan, args ...sqltypes.Value) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if !db.planValidLocked(p) {
-		db.Stats.PlanCacheInvalidations++
-		np := db.buildPlanLocked(p.key.sql, p.stmt)
-		if np.cacheable {
-			db.storePlanLocked(np)
-		} else if p.key.sql != "" {
-			delete(db.plans, p.key)
-		}
-		p = np
-	}
-	return db.execPlanLocked(p)
+	return db.execPlanLocked(ctx, db.revalidatePlanLocked(p), args)
 }
 
 // InvalidatePlans drops every cached plan (and resets nothing else); used

@@ -1,0 +1,326 @@
+package engine
+
+// This file implements the streaming consumer API: a Rows cursor with the
+// database/sql-style Next/Scan/Close contract. For the common shape —
+// SELECT without grouping, DISTINCT or ORDER BY, projecting expressions
+// that touch no subqueries or SQL-bodied functions — the FROM/WHERE part
+// runs eagerly under DB.mu (joins and filters need a consistent view of the
+// heap), but the projection itself runs lazily, one batch per Next() window,
+// so the full result set is never materialized up front. Everything else —
+// grouped, distinct or ordered queries, or projections whose evaluation
+// must stay serialized under DB.mu (UDF call sites share plan-level state)
+// — falls back to full materialization at query time; the cursor contract
+// is identical either way.
+//
+// A streaming Rows holds references into the source relation (and therefore
+// the table heap) while iterating. Reads are safe concurrently with other
+// reads; interleaving DML/DDL on the same DB with an open cursor is the
+// caller's synchronization problem, exactly like holding a Result's rows
+// across a write.
+
+import (
+	"context"
+	"fmt"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// Rows is a forward-only cursor over a query result.
+type Rows struct {
+	cols []string
+	ex   *exec
+
+	// Materialized mode: every output row is already computed.
+	buf    [][]sqltypes.Value
+	bufPos int
+
+	// Streaming mode (stream == true): project per batch on demand.
+	stream  bool
+	src     scanOp
+	b       batch
+	projs   []projector
+	vprojs  []vecExpr // compiled mode; nil entries are star segments
+	sc      *scope    // interpreter mode projection scope
+	width   int
+	remain  int64 // LIMIT countdown; -1 = unlimited
+	pending [][]sqltypes.Value
+	pendPos int
+
+	cur    []sqltypes.Value
+	err    error
+	closed bool
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Err returns the first error encountered while iterating, nil after a
+// clean exhaustion.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is safe to call multiple times and after
+// exhaustion; Next returns false afterwards.
+func (r *Rows) Close() error {
+	r.closed = true
+	r.pending = nil
+	r.buf = nil
+	r.cur = nil
+	return nil
+}
+
+// Row returns the current row (valid until the next call to Next). The
+// slice must not be modified.
+func (r *Rows) Row() []sqltypes.Value { return r.cur }
+
+// Next advances to the next row, reporting whether one is available. After
+// it returns false, check Err for the difference between exhaustion and
+// failure.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.remain == 0 {
+		r.Close()
+		return false
+	}
+	if !r.stream {
+		if r.bufPos >= len(r.buf) {
+			r.Close()
+			return false
+		}
+		r.cur = r.buf[r.bufPos]
+		r.bufPos++
+		return true
+	}
+	for r.pendPos >= len(r.pending) {
+		if !r.fillPending() {
+			r.Close()
+			return false
+		}
+	}
+	r.cur = r.pending[r.pendPos]
+	r.pendPos++
+	if r.remain > 0 {
+		r.remain--
+	}
+	return true
+}
+
+// fillPending projects the next source batch into r.pending, mirroring
+// projectRowsBatched (compiled) or the interpreter's row loop. It reports
+// false on exhaustion or error (r.err set).
+func (r *Rows) fillPending() bool {
+	ex := r.ex
+	if err := ex.cancelled(); err != nil {
+		r.err = err
+		return false
+	}
+	if !r.src.next(&r.b) {
+		return false
+	}
+	b := &r.b
+	r.pending = r.pending[:0]
+	r.pendPos = 0
+	if r.vprojs != nil {
+		n := len(b.rows)
+		sel := b.sel
+		m := ex.vs.mark()
+		selBuf := ex.vs.takeSel(len(sel))
+		cols := make([][]sqltypes.Value, len(r.projs))
+		for i, vp := range r.vprojs {
+			if vp == nil {
+				continue
+			}
+			cols[i] = ex.vs.takeVals(n)
+			vp(b, sel, cols[i])
+			sel = b.compactSel(selBuf, sel)
+		}
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			r.err = err
+			return false
+		}
+		ck := newRowChunk(len(sel), r.width)
+		for _, i := range sel {
+			row := ck.alloc(r.width)
+			pos := 0
+			for j := range r.projs {
+				p := &r.projs[j]
+				if p.star {
+					for _, seg := range p.segs {
+						pos += copy(row[pos:pos+seg[1]], b.rows[i][seg[0]:seg[0]+seg[1]])
+					}
+					continue
+				}
+				row[pos] = cols[j][i]
+				pos++
+			}
+			r.pending = append(r.pending, row)
+		}
+		ex.vs.release(m)
+		return true
+	}
+	// Interpreter mode: row-at-a-time projection of this batch's rows.
+	for _, i := range b.sel {
+		row := b.rows[i]
+		r.sc.row = row
+		out := make([]sqltypes.Value, 0, r.width)
+		for j := range r.projs {
+			p := &r.projs[j]
+			if p.star {
+				for _, seg := range p.segs {
+					out = append(out, row[seg[0]:seg[0]+seg[1]]...)
+				}
+				continue
+			}
+			v, err := ex.eval(p.expr, r.sc)
+			if err != nil {
+				r.err = err
+				return false
+			}
+			out = append(out, v)
+		}
+		r.pending = append(r.pending, out)
+	}
+	return true
+}
+
+// Scan copies the current row into dest, one target per output column.
+// Supported targets: *sqltypes.Value (any value, including NULL), *int64,
+// *float64, *string and *bool (which reject NULL).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("engine: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("engine: Scan expects %d targets, got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch t := d.(type) {
+		case *sqltypes.Value:
+			*t = v
+		case *int64:
+			if v.IsNull() {
+				return fmt.Errorf("engine: Scan column %d: cannot scan NULL into *int64", i+1)
+			}
+			*t = v.AsInt()
+		case *float64:
+			if v.IsNull() {
+				return fmt.Errorf("engine: Scan column %d: cannot scan NULL into *float64", i+1)
+			}
+			*t = v.AsFloat()
+		case *string:
+			if v.IsNull() {
+				return fmt.Errorf("engine: Scan column %d: cannot scan NULL into *string", i+1)
+			}
+			*t = v.AsString()
+		case *bool:
+			if v.IsNull() {
+				return fmt.Errorf("engine: Scan column %d: cannot scan NULL into *bool", i+1)
+			}
+			*t = v.Bool()
+		default:
+			return fmt.Errorf("engine: Scan column %d: unsupported target %T", i+1, d)
+		}
+	}
+	return nil
+}
+
+// Collect drains the cursor into a materialized Result and closes it —
+// the bridge that keeps Result a thin convenience over Rows.
+func (r *Rows) Collect() (*Result, error) {
+	defer r.Close()
+	res := &Result{Cols: r.cols}
+	if !r.stream && r.bufPos == 0 {
+		// Materialized cursor, untouched: hand the buffer over wholesale.
+		res.Rows = r.buf
+		if r.remain >= 0 && int64(len(res.Rows)) > r.remain {
+			res.Rows = res.Rows[:r.remain]
+		}
+		r.buf = nil
+		return res, r.err
+	}
+	for r.Next() {
+		res.Rows = append(res.Rows, r.cur)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return res, nil
+}
+
+// streamableSelect reports whether sel's projection may run outside DB.mu,
+// batch-at-a-time: no grouping, DISTINCT or ORDER BY (those consume the
+// whole input anyway), and no SELECT item that evaluates a subquery or a
+// SQL-bodied function (those share plan-level state that DB.mu serializes).
+func (db *DB) streamableSelect(sel *sqlast.Select) bool {
+	if len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct || len(sel.OrderBy) > 0 {
+		return false
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		if hasAggregate(it.Expr) {
+			return false
+		}
+		if len(sqlast.SubqueriesOf(it.Expr)) > 0 {
+			return false
+		}
+		if db.hasUDFCall(it.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// queryRowsLocked builds the cursor for one SELECT execution under db.mu:
+// plan validation, bind coercion and the eager FROM/WHERE phase happen
+// here; a streamable projection is deferred to the cursor's Next loop.
+func (db *DB) queryRowsLocked(ctx context.Context, p *Plan, sel *sqlast.Select, args []sqltypes.Value) (*Rows, error) {
+	if p.arityErr != nil {
+		return nil, p.arityErr
+	}
+	ex, err := db.newExecArgs(ctx, p, args)
+	if err != nil {
+		return nil, err
+	}
+	if !db.streamableSelect(sel) {
+		res, err := ex.runQuery(sel, rootScope())
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{cols: res.Cols, ex: ex, buf: res.Rows, remain: -1}, nil
+	}
+	rel, err := ex.buildFromWhere(sel, rootScope())
+	if err != nil {
+		return nil, err
+	}
+	sc := rel.scopeFor(rootScope())
+	cols, err := ex.outputShape(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+	projs, width := ex.buildProjectors(sel, rel)
+	r := &Rows{
+		cols:   cols,
+		ex:     ex,
+		stream: true,
+		src:    scanOp{rows: rel.rows},
+		projs:  projs,
+		sc:     sc,
+		width:  width,
+		remain: sel.Limit, // -1 when absent
+	}
+	if !db.noCompile {
+		r.vprojs = make([]vecExpr, len(projs))
+		for i := range projs {
+			if !projs[i].star {
+				r.vprojs[i] = ex.vecCompile(projs[i].expr, rel.bindings, sc)
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,73 @@
+package engine
+
+// This file implements the client-facing prepared-statement API:
+// Prepare → Stmt → Query(args...) → Rows. A Stmt is a thin handle over the
+// statement text — every execution resolves the current plan through the
+// DB's plan cache, so a Stmt survives DDL and data changes transparently
+// (the cache revalidates by dependency versions) and concurrent executions
+// of one Stmt are just concurrent executions of one cached plan.
+
+import (
+	"context"
+	"fmt"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// Stmt is a prepared statement: parameterized SQL text whose plan is served
+// by the DB's plan cache on every execution.
+type Stmt struct {
+	db       *DB
+	sql      string
+	isSelect bool
+	nParams  int
+}
+
+// Prepare parses sql, caches its plan and returns a reusable handle.
+// Placeholders (`?` or `$n`) are bound per execution via Query/Exec.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, err := db.planForLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	_, isSel := p.stmt.(*sqlast.Select)
+	return &Stmt{db: db, sql: sql, isSelect: isSel, nParams: p.nParams}, nil
+}
+
+// SQL returns the statement text the handle was prepared from.
+func (st *Stmt) SQL() string { return st.sql }
+
+// NumParams returns the number of bind parameters the statement expects.
+func (st *Stmt) NumParams() int { return st.nParams }
+
+// Close releases the handle. The plan stays cached on the DB (keyed by
+// text) for future preparations; Close exists for API symmetry.
+func (st *Stmt) Close() error { return nil }
+
+// Exec runs the statement with the given bind values, materializing the
+// outcome. Use it for DML/DDL; SELECTs work too but Query streams.
+func (st *Stmt) Exec(args ...sqltypes.Value) (*Result, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation checked at batch boundaries.
+func (st *Stmt) ExecContext(ctx context.Context, args ...sqltypes.Value) (*Result, error) {
+	return st.db.ExecContext(ctx, st.sql, args...)
+}
+
+// Query runs the statement with the given bind values and returns a
+// streaming cursor. It rejects non-SELECT statements.
+func (st *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
+	return st.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation checked at batch boundaries.
+func (st *Stmt) QueryContext(ctx context.Context, args ...sqltypes.Value) (*Rows, error) {
+	if !st.isSelect {
+		return nil, fmt.Errorf("engine: not a query: %s", st.sql)
+	}
+	return st.db.QueryContext(ctx, st.sql, args...)
+}

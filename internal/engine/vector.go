@@ -104,7 +104,8 @@ func (ex *exec) vecCompile(e sqlast.Expr, bindings []*binding, sc *scope) vecExp
 	if ex.db.noCompile {
 		return nil
 	}
-	ve := &venv{env: &cenv{db: ex.db, bindings: bindings}, ex: ex, sc: sc, vs: &ex.vs}
+	env := &cenv{db: ex.db, bindings: bindings, clientBinds: !scopeHasParams(sc)}
+	ve := &venv{env: env, ex: ex, sc: sc, vs: &ex.vs}
 	return ve.compile(e)
 }
 
@@ -112,6 +113,26 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 	switch x := e.(type) {
 	case *sqlast.Literal:
 		return vecConst(x.Val)
+	case *sqlast.Param:
+		// Statement-level bind: broadcast the per-execution constant. UDF
+		// parameter frames fall through to the lift, whose interpreter walk
+		// resolves the innermost frame.
+		if ve.env.params == nil && ve.env.clientBinds {
+			ex := ve.ex
+			n := x.N
+			return func(b *batch, sel []int32, out []sqltypes.Value) {
+				v, err := ex.bind(n)
+				if err != nil {
+					for _, i := range sel {
+						b.poison(i, err)
+					}
+					return
+				}
+				for _, i := range sel {
+					out[i] = v
+				}
+			}
+		}
 	case *sqlast.ColumnRef:
 		idx, ok := resolveLocal(ve.env.bindings, x.Table, x.Name)
 		if !ok {

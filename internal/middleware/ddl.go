@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"context"
 	"fmt"
 
 	"mtbase/internal/engine"
@@ -8,6 +9,7 @@ import (
 	"mtbase/internal/optimizer"
 	"mtbase/internal/rewrite"
 	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
 )
 
 // createTable handles MTSQL CREATE TABLE: only the data modeller (or a
@@ -148,26 +150,27 @@ func (c *Conn) AddForeignKey(table string, fk sqlast.Constraint) error {
 
 // insert applies the MTSQL DML semantics of §2.5: the statement is applied
 // to each tenant in D separately, with value conversion into each target
-// tenant's format.
-func (c *Conn) insert(ins *sqlast.Insert) (*engine.Result, error) {
+// tenant's format. Bind parameters pass through the rewrite and are bound
+// on every per-tenant physical statement.
+func (c *Conn) insert(ctx context.Context, ins *sqlast.Insert, args []sqltypes.Value) (*engine.Result, error) {
 	var subTables []string
 	if ins.Sub != nil {
 		subTables = tenantSpecificTables(ins.Sub)
 	}
-	ctx, err := c.RewriteContext(sqlast.PrivInsert, append([]string{ins.Table}, subTables...)...)
+	rctx, err := c.RewriteContext(sqlast.PrivInsert, append([]string{ins.Table}, subTables...)...)
 	if err != nil {
 		return nil, err
 	}
 	// Reads inside INSERT ... SELECT require READ on the source tables;
 	// reuse the same context pruned for INSERT on the target (the paper
 	// prunes once per statement).
-	stmts, err := rewrite.Insert(ctx, ins)
+	stmts, err := rewrite.Insert(rctx, ins)
 	if err != nil {
 		return nil, err
 	}
 	total := 0
 	for _, st := range stmts {
-		res, err := c.srv.execSQLText(st.String())
+		res, err := c.srv.execSQLArgs(ctx, st.String(), args)
 		if err != nil {
 			return nil, err
 		}
@@ -176,28 +179,28 @@ func (c *Conn) insert(ins *sqlast.Insert) (*engine.Result, error) {
 	return &engine.Result{Affected: total}, nil
 }
 
-func (c *Conn) update(up *sqlast.Update) (*engine.Result, error) {
-	ctx, err := c.RewriteContext(sqlast.PrivUpdate, up.Table)
+func (c *Conn) update(ctx context.Context, up *sqlast.Update, args []sqltypes.Value) (*engine.Result, error) {
+	rctx, err := c.RewriteContext(sqlast.PrivUpdate, up.Table)
 	if err != nil {
 		return nil, err
 	}
-	rw, err := rewrite.Update(ctx, up)
+	rw, err := rewrite.Update(rctx, up)
 	if err != nil {
 		return nil, err
 	}
-	return c.srv.execSQLText(rw.String())
+	return c.srv.execSQLArgs(ctx, rw.String(), args)
 }
 
-func (c *Conn) delete(del *sqlast.Delete) (*engine.Result, error) {
-	ctx, err := c.RewriteContext(sqlast.PrivDelete, del.Table)
+func (c *Conn) delete(ctx context.Context, del *sqlast.Delete, args []sqltypes.Value) (*engine.Result, error) {
+	rctx, err := c.RewriteContext(sqlast.PrivDelete, del.Table)
 	if err != nil {
 		return nil, err
 	}
-	rw, err := rewrite.Delete(ctx, del)
+	rw, err := rewrite.Delete(rctx, del)
 	if err != nil {
 		return nil, err
 	}
-	return c.srv.execSQLText(rw.String())
+	return c.srv.execSQLArgs(ctx, rw.String(), args)
 }
 
 // grant implements the MTSQL GRANT semantics (§2.3): privileges are

@@ -9,6 +9,7 @@
 package middleware
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -219,28 +220,32 @@ func (c *Conn) OptLevel() optimizer.Level { return c.level }
 // statement caches: the parse, the canonical rewrite and the optimization
 // are each reused when the text, session context and schema are unchanged.
 func (c *Conn) Exec(sql string) (*engine.Result, error) {
-	if sel, ok := c.srv.cachedSelect(sql); ok {
-		return c.query(sel, sql)
-	}
-	stmt, err := sqlparse.ParseStatement(sql)
-	if err != nil {
-		return nil, err
-	}
-	if sel, ok := stmt.(*sqlast.Select); ok {
-		c.srv.storeSelect(sql, sel)
-		return c.query(sel, sql)
-	}
-	return c.ExecStatement(stmt)
+	return c.ExecContext(context.Background(), sql)
 }
 
 // ExecStatement executes a parsed MTSQL statement.
 func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
+	return c.execStatement(context.Background(), stmt, nil)
+}
+
+func (c *Conn) execStatement(ctx context.Context, stmt sqlast.Statement, args []sqltypes.Value) (*engine.Result, error) {
+	switch st := stmt.(type) {
+	case *sqlast.Select:
+		return c.query(ctx, st, "", args)
+	case *sqlast.Insert:
+		return c.insert(ctx, st, args)
+	case *sqlast.Update:
+		return c.update(ctx, st, args)
+	case *sqlast.Delete:
+		return c.delete(ctx, st, args)
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("middleware: statement takes no bind parameters, got %d", len(args))
+	}
 	switch st := stmt.(type) {
 	case *sqlast.SetScope:
 		c.scope = st
 		return &engine.Result{}, nil
-	case *sqlast.Select:
-		return c.query(st, "")
 	case *sqlast.CreateTable:
 		return c.createTable(st)
 	case *sqlast.CreateView:
@@ -263,12 +268,6 @@ func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
 		c.srv.dropViewOwner(st.Name)
 		c.srv.bumpSchemaGen()
 		return res, nil
-	case *sqlast.Insert:
-		return c.insert(st)
-	case *sqlast.Update:
-		return c.update(st)
-	case *sqlast.Delete:
-		return c.delete(st)
 	case *sqlast.Grant:
 		return c.grant(st)
 	case *sqlast.Revoke:
@@ -277,8 +276,97 @@ func (c *Conn) ExecStatement(stmt sqlast.Statement) (*engine.Result, error) {
 	return nil, fmt.Errorf("middleware: unsupported statement %T", stmt)
 }
 
-// Query is shorthand for executing a SELECT.
-func (c *Conn) Query(sql string) (*engine.Result, error) { return c.Exec(sql) }
+// Query executes a SELECT and materializes the result atomically (the
+// whole execution runs under the DBMS lock, unlike a streaming cursor).
+// Unlike Exec it rejects anything that is not a query — DML/DDL must go
+// through Exec.
+func (c *Conn) Query(sql string, args ...any) (*engine.Result, error) {
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := c.parseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.query(context.Background(), sel, sql, vals)
+}
+
+// parseSelect resolves sql to a SELECT through the parse cache, rejecting
+// non-queries.
+func (c *Conn) parseSelect(sql string) (*sqlast.Select, error) {
+	if sel, ok := c.srv.cachedSelect(sql); ok {
+		return sel, nil
+	}
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlast.Select)
+	if !ok {
+		return nil, fmt.Errorf("middleware: not a query: %T (use Exec for DML/DDL)", stmt)
+	}
+	c.srv.storeSelect(sql, sel)
+	return sel, nil
+}
+
+// QueryRows executes a SELECT and returns a streaming cursor.
+func (c *Conn) QueryRows(sql string, args ...any) (*engine.Rows, error) {
+	return c.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext executes a SELECT with bind-parameter values, returning a
+// streaming cursor; ctx cancellation is checked at batch boundaries. Only
+// queries are accepted. See engine.Rows for the cursor's concurrency
+// contract (iteration happens outside the DBMS lock).
+func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*engine.Rows, error) {
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := c.parseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.queryRows(ctx, sel, sql, vals)
+}
+
+// ExecContext executes one MTSQL statement with bind-parameter values;
+// ctx cancellation is checked at batch boundaries of the DBMS execution.
+func (c *Conn) ExecContext(ctx context.Context, sql string, args ...any) (*engine.Result, error) {
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := c.srv.cachedSelect(sql); ok {
+		return c.query(ctx, sel, sql, vals)
+	}
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*sqlast.Select); ok {
+		c.srv.storeSelect(sql, sel)
+		return c.query(ctx, sel, sql, vals)
+	}
+	return c.execStatement(ctx, stmt, vals)
+}
+
+// bindValues converts client bind arguments to engine values.
+func bindValues(args []any) ([]sqltypes.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := sqltypes.BindValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: bind $%d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
 
 func (s *Server) isModeller(ttid int64) bool {
 	s.mu.Lock()
@@ -467,38 +555,66 @@ func tenantSpecificTables(q *sqlast.Select) []string {
 	return out
 }
 
-// query executes a SELECT. raw is the client's original text when the call
-// came in as SQL; it keys the rewrite cache together with everything the
-// rewrite depends on (C, level, schema generation, the resolved D′), so a
-// hit skips rewrite, optimization and serialization. Scope resolution and
-// privilege pruning always run — they are what D′ captures.
-func (c *Conn) query(q *sqlast.Select, raw string) (*engine.Result, error) {
+// rewrittenText resolves the session context and returns the optimized SQL
+// text for q, serving repeated texts from the rewrite cache. raw is the
+// client's original text when the call came in as SQL; it keys the rewrite
+// cache together with everything the rewrite depends on (C, level, schema
+// generation, the resolved D′), so a hit skips rewrite, optimization and
+// serialization. Bind-parameter placeholders pass through the rewrite
+// untouched, so one parameterized text — and therefore one engine plan —
+// serves every binding. Scope resolution and privilege pruning always run —
+// they are what D′ captures.
+func (c *Conn) rewrittenText(q *sqlast.Select, raw string) (string, error) {
 	ctx, err := c.RewriteContext(sqlast.PrivRead, tenantSpecificTables(q)...)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	var key rwKey
 	if raw != "" {
 		key = rwKey{sql: raw, c: c.c, level: c.level, gen: c.srv.schemaGeneration(), dkey: datasetKey(ctx)}
 		if txt, ok := c.srv.rewriteLookup(key); ok {
-			return c.srv.execSQLText(txt)
+			return txt, nil
 		}
 	}
 	rewritten, err := rewrite.Query(ctx, q)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	optimized, err := optimizer.Optimize(ctx, rewritten, c.level)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	txt := optimized.String()
 	if raw != "" {
 		c.srv.rewriteStore(key, txt)
 	}
+	return txt, nil
+}
+
+// query executes a SELECT, materializing the result.
+func (c *Conn) query(ctx context.Context, q *sqlast.Select, raw string, args []sqltypes.Value) (*engine.Result, error) {
 	// The middleware communicates with the DBMS "by the means of pure
 	// SQL" (§3): serialize and reparse.
-	return c.srv.execSQLText(txt)
+	txt, err := c.rewrittenText(q, raw)
+	if err != nil {
+		return nil, err
+	}
+	return c.srv.execSQLArgs(ctx, txt, args)
+}
+
+// queryRows executes a SELECT through a streaming cursor.
+func (c *Conn) queryRows(ctx context.Context, q *sqlast.Select, raw string, args []sqltypes.Value) (*engine.Rows, error) {
+	txt, err := c.rewrittenText(q, raw)
+	if err != nil {
+		return nil, err
+	}
+	// A parse failure of the rewritten text is a rewrite bug worth showing
+	// with the SQL; bind and execution errors are the caller's and pass
+	// through clean (mirroring execSQLArgs).
+	if _, err := c.srv.db.PreparePlan(txt); err != nil {
+		return nil, fmt.Errorf("middleware: rewritten SQL failed to parse: %w\n%s", err, txt)
+	}
+	return c.srv.db.QueryContext(ctx, txt, args...)
 }
 
 // datasetKey serializes the rewrite-relevant dataset state: D′ in rewrite
@@ -518,13 +634,17 @@ func datasetKey(ctx *rewrite.Context) string {
 }
 
 func (s *Server) execSQLText(sql string) (*engine.Result, error) {
-	// Prepare hits the engine's plan cache; its errors are parse errors of
-	// the rewritten text, i.e. rewrite bugs worth showing with the SQL.
-	plan, err := s.db.Prepare(sql)
+	return s.execSQLArgs(context.Background(), sql, nil)
+}
+
+func (s *Server) execSQLArgs(ctx context.Context, sql string, args []sqltypes.Value) (*engine.Result, error) {
+	// PreparePlan hits the engine's plan cache; its errors are parse errors
+	// of the rewritten text, i.e. rewrite bugs worth showing with the SQL.
+	plan, err := s.db.PreparePlan(sql)
 	if err != nil {
 		return nil, fmt.Errorf("middleware: rewritten SQL failed to parse: %w\n%s", err, sql)
 	}
-	return s.db.ExecPlan(plan)
+	return s.db.ExecPlanContext(ctx, plan, args...)
 }
 
 // ---------------------------------------------------------------- caches

@@ -1,0 +1,118 @@
+package middleware
+
+// This file implements the client-facing prepared-statement API of the
+// middleware: Prepare → Stmt → Query(args...) → Rows. The client text is
+// parsed once; each execution resolves the session's scope into D′ and
+// serves the canonical rewrite + optimization from the rewrite cache keyed
+// on the *parameterized* text, so the C/level/D′ rewrite — and the engine
+// plan behind it — is shared across every binding. This is what turns
+// plan-cache hits into the common case for literal-varying workloads: the
+// paper's middleware ships "pure SQL" per statement, and with placeholders
+// that SQL is byte-identical across bindings.
+
+import (
+	"context"
+	"fmt"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+)
+
+// Stmt is a prepared MTSQL statement bound to one session (it captures the
+// session's C; scope and optimization level are read per execution, like
+// any other statement on the connection).
+type Stmt struct {
+	conn    *Conn
+	raw     string
+	sel     *sqlast.Select   // non-nil for queries
+	stmt    sqlast.Statement // non-nil for DML
+	nParams int
+}
+
+// Prepare parses one MTSQL statement with `?` / `$n` placeholders and
+// returns a reusable handle. Queries and DML are accepted; DDL and
+// session statements have nothing to parameterize and are rejected.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	st := &Stmt{conn: c, raw: sql}
+	if sel, ok := c.srv.cachedSelect(sql); ok {
+		st.sel = sel
+		st.nParams = sqlast.MaxParam(sel)
+		return st, nil
+	}
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlast.Select:
+		c.srv.storeSelect(sql, s)
+		st.sel = s
+	case *sqlast.Insert, *sqlast.Update, *sqlast.Delete:
+		st.stmt = stmt
+	default:
+		return nil, fmt.Errorf("middleware: cannot prepare %T (only queries and DML)", stmt)
+	}
+	st.nParams = sqlast.MaxParam(stmt)
+	return st, nil
+}
+
+// NumParams returns the number of bind parameters the statement expects.
+func (st *Stmt) NumParams() int { return st.nParams }
+
+// SQL returns the client text the statement was prepared from.
+func (st *Stmt) SQL() string { return st.raw }
+
+// Close releases the handle; the cached parse and rewrites stay warm for
+// future preparations of the same text.
+func (st *Stmt) Close() error { return nil }
+
+// Query executes a prepared SELECT with the given bind values and returns
+// a streaming cursor.
+func (st *Stmt) Query(args ...any) (*engine.Rows, error) {
+	return st.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation checked at batch boundaries.
+func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*engine.Rows, error) {
+	if st.sel == nil {
+		return nil, fmt.Errorf("middleware: not a query: %s (use Exec)", st.raw)
+	}
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.conn.queryRows(ctx, st.sel, st.raw, vals)
+}
+
+// QueryResult executes a prepared SELECT and materializes the result
+// atomically under the DBMS lock — a convenience over Query for callers
+// that want the whole set.
+func (st *Stmt) QueryResult(args ...any) (*engine.Result, error) {
+	if st.sel == nil {
+		return nil, fmt.Errorf("middleware: not a query: %s (use Exec)", st.raw)
+	}
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	return st.conn.query(context.Background(), st.sel, st.raw, vals)
+}
+
+// Exec executes a prepared statement (query or DML) with the given bind
+// values, materializing the outcome.
+func (st *Stmt) Exec(args ...any) (*engine.Result, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation checked at batch boundaries.
+func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*engine.Result, error) {
+	vals, err := bindValues(args)
+	if err != nil {
+		return nil, err
+	}
+	if st.sel != nil {
+		return st.conn.query(ctx, st.sel, st.raw, vals)
+	}
+	return st.conn.execStatement(ctx, st.stmt, vals)
+}

@@ -1,0 +1,140 @@
+package mth
+
+// Parameterized variants of the conversion-intensive MT-H queries (Q1, Q6,
+// Q22). The paper's evaluation inlines the TPC-H validation literals; real
+// interactive traffic varies them per request, which defeats any cache
+// keyed on byte-identical SQL. These variants bind the varying literals
+// (dates, quantities, country codes) through `?` / `$n` placeholders so one
+// parameterized text — and one engine plan — serves every binding; the
+// Inlined form of each binding exists for differential validation and for
+// benchmarking binds against the literal-inlining baseline.
+
+import (
+	"fmt"
+	"strings"
+
+	"mtbase/internal/sqltypes"
+)
+
+// ParamQuery is one parameterized benchmark query plus a generator of
+// distinct bindings and their literal-inlined equivalents.
+type ParamQuery struct {
+	ID   int
+	Name string
+	SQL  string
+	// Args returns the i-th binding. Distinct i yield distinct literal
+	// values within the query's validation window.
+	Args func(i int) []any
+	// Inlined returns the literal-inlined SQL equivalent to binding i.
+	Inlined func(i int) string
+}
+
+// ParamQueries returns the parameterized Q1/Q6/Q22 variants.
+func ParamQueries() []ParamQuery {
+	q1Base := sqltypes.MustDate("1998-12-01")
+	q1Date := func(i int) sqltypes.Value {
+		return sqltypes.NewDate(q1Base.I - int64(i%60))
+	}
+	q1SQL := `
+SELECT l_returnflag, l_linestatus,
+  SUM(l_quantity) AS sum_qty,
+  SUM(l_extendedprice) AS sum_base_price,
+  SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+  SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+  AVG(l_quantity) AS avg_qty,
+  AVG(l_extendedprice) AS avg_price,
+  AVG(l_discount) AS avg_disc,
+  COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= %s - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+	q6Dates := []string{"1993-01-01", "1994-01-01", "1995-01-01", "1996-01-01"}
+	q6Disc := func(i int) float64 { return 0.02 + 0.01*float64(i%6) }
+	q6Qty := func(i int) int { return 24 + i%2 }
+	q6SQL := `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= $1 AND l_shipdate < $1 + INTERVAL '1' YEAR
+  AND l_discount BETWEEN $2 - 0.01 AND $2 + 0.01 AND l_quantity < $3`
+
+	q22Pool := []string{"13", "31", "23", "29", "30", "18", "17", "25", "33", "27"}
+	q22Codes := func(i int) []string {
+		codes := make([]string, 7)
+		for j := range codes {
+			codes[j] = q22Pool[(i+j)%len(q22Pool)]
+		}
+		return codes
+	}
+	q22SQL := `
+SELECT cntrycode, COUNT(*) AS numcust, SUM(bal) AS totacctbal
+FROM (
+  SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal AS bal
+  FROM customer
+  WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN (%s)
+    AND c_acctbal > (
+      SELECT AVG(c_acctbal) FROM customer
+      WHERE c_acctbal > 0.00
+        AND SUBSTRING(c_phone FROM 1 FOR 2) IN (%s))
+    AND NOT EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)
+) AS custsale
+GROUP BY cntrycode
+ORDER BY cntrycode`
+	q22Params := "$1, $2, $3, $4, $5, $6, $7"
+
+	return []ParamQuery{
+		{
+			ID: 1, Name: "pricing summary report (bound date)",
+			SQL: fmt.Sprintf(q1SQL, "?"),
+			Args: func(i int) []any {
+				return []any{q1Date(i)}
+			},
+			Inlined: func(i int) string {
+				return fmt.Sprintf(q1SQL, q1Date(i).SQLLiteral())
+			},
+		},
+		{
+			ID: 6, Name: "forecasting revenue change (bound date/discount/quantity)",
+			SQL: q6SQL,
+			Args: func(i int) []any {
+				return []any{q6Dates[i%len(q6Dates)], q6Disc(i), q6Qty(i)}
+			},
+			Inlined: func(i int) string {
+				s := strings.ReplaceAll(q6SQL, "$1", fmt.Sprintf("DATE '%s'", q6Dates[i%len(q6Dates)]))
+				s = strings.ReplaceAll(s, "$2", fmt.Sprintf("%.2f", q6Disc(i)))
+				return strings.ReplaceAll(s, "$3", fmt.Sprintf("%d", q6Qty(i)))
+			},
+		},
+		{
+			ID: 22, Name: "global sales opportunity (bound country codes)",
+			SQL: fmt.Sprintf(q22SQL, q22Params, q22Params),
+			Args: func(i int) []any {
+				codes := q22Codes(i)
+				args := make([]any, len(codes))
+				for j, c := range codes {
+					args[j] = c
+				}
+				return args
+			},
+			Inlined: func(i int) string {
+				quoted := make([]string, 0, 7)
+				for _, c := range q22Codes(i) {
+					quoted = append(quoted, "'"+c+"'")
+				}
+				list := strings.Join(quoted, ", ")
+				return fmt.Sprintf(q22SQL, list, list)
+			},
+		},
+	}
+}
+
+// ParamQueryByID returns one parameterized query.
+func ParamQueryByID(id int) (ParamQuery, error) {
+	for _, q := range ParamQueries() {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return ParamQuery{}, fmt.Errorf("mth: no parameterized query %d", id)
+}

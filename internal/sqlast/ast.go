@@ -65,7 +65,11 @@ func NewIntLit(i int64) *Literal { return &Literal{Val: sqltypes.NewInt(i)} }
 // NewStringLit is shorthand for a string literal.
 func NewStringLit(s string) *Literal { return &Literal{Val: sqltypes.NewString(s)} }
 
-// Param is a positional parameter $n inside a SQL-defined function body.
+// Param is a positional parameter $n. Inside a SQL-defined function body it
+// names the n-th function argument; in a client statement it is a bind-
+// parameter slot filled per execution (`?` placeholders parse to Params
+// numbered left to right). The innermost UDF parameter frame wins when both
+// interpretations are possible, exactly like the interpreter's scope walk.
 type Param struct{ N int }
 
 func (*Param) exprNode() {}

@@ -275,6 +275,97 @@ func AndExprs(exprs ...Expr) Expr {
 	return out
 }
 
+// VisitAllExprs calls f for every expression node reachable from stmt,
+// descending into subqueries, derived tables, join conditions and INSERT
+// sources — unlike WalkExpr, which stops at subquery boundaries. It is the
+// traversal bind-parameter analysis uses: every Param of a statement is
+// visited exactly through here.
+func VisitAllExprs(stmt Statement, f func(Expr)) {
+	var visitSel func(s *Select)
+	var visitExpr func(e Expr)
+	visitExpr = func(e Expr) {
+		WalkExpr(e, func(n Expr) bool {
+			f(n)
+			return true
+		})
+		for _, sub := range SubqueriesOf(e) {
+			visitSel(sub)
+		}
+	}
+	var visitTE func(te TableExpr)
+	visitTE = func(te TableExpr) {
+		switch t := te.(type) {
+		case *DerivedTable:
+			visitSel(t.Sub)
+		case *JoinExpr:
+			visitTE(t.L)
+			visitTE(t.R)
+			if t.On != nil {
+				visitExpr(t.On)
+			}
+		}
+	}
+	visitSel = func(s *Select) {
+		if s == nil {
+			return
+		}
+		for _, te := range s.From {
+			visitTE(te)
+		}
+		for _, it := range s.Items {
+			if it.Expr != nil {
+				visitExpr(it.Expr)
+			}
+		}
+		if s.Where != nil {
+			visitExpr(s.Where)
+		}
+		for _, g := range s.GroupBy {
+			visitExpr(g)
+		}
+		if s.Having != nil {
+			visitExpr(s.Having)
+		}
+		for _, o := range s.OrderBy {
+			visitExpr(o.Expr)
+		}
+	}
+	switch st := stmt.(type) {
+	case *Select:
+		visitSel(st)
+	case *Insert:
+		visitSel(st.Sub)
+		for _, row := range st.Rows {
+			for _, e := range row {
+				visitExpr(e)
+			}
+		}
+	case *Update:
+		for _, a := range st.Sets {
+			visitExpr(a.Expr)
+		}
+		if st.Where != nil {
+			visitExpr(st.Where)
+		}
+	case *Delete:
+		if st.Where != nil {
+			visitExpr(st.Where)
+		}
+	}
+}
+
+// MaxParam returns the highest bind-parameter index ($n / ?) referenced
+// anywhere in stmt, 0 when the statement has no parameters.
+func MaxParam(stmt Statement) int {
+	max := 0
+	VisitAllExprs(stmt, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.N > max {
+			max = p.N
+		}
+	})
+	return max
+}
+
 // BaseTablesOf returns every base-table reference (recursing through joins
 // but not into derived tables) in the FROM list.
 func BaseTablesOf(from []TableExpr) []*TableName {

@@ -20,7 +20,7 @@ const (
 	TokString // contents without quotes
 	TokOp     // punctuation / operators, Text holds the symbol
 	TokAt     // @name conversion-function annotation, Text holds name
-	TokParam  // $1, $2 positional parameter, Text holds digits
+	TokParam  // $1, $2 positional parameter (Text holds digits) or ? (Text empty)
 )
 
 func (k TokenKind) String() string {
@@ -56,6 +56,12 @@ type Token struct {
 func (t Token) String() string {
 	if t.Kind == TokEOF {
 		return "end of input"
+	}
+	if t.Kind == TokParam {
+		if t.Text == "" {
+			return `"?"`
+		}
+		return fmt.Sprintf("%q", "$"+t.Text)
 	}
 	return fmt.Sprintf("%q", t.Text)
 }
@@ -147,6 +153,11 @@ func (lx *Lexer) Next() (Token, error) {
 			return Token{}, fmt.Errorf("sqllex: bare '$' at offset %d", start)
 		}
 		return Token{Kind: TokParam, Text: w, Pos: start}, nil
+	case c == '?':
+		// Anonymous bind-parameter placeholder; the parser numbers these
+		// left to right.
+		lx.pos++
+		return Token{Kind: TokParam, Text: "", Pos: start}, nil
 	}
 	return lx.lexOp(start)
 }

@@ -162,3 +162,31 @@ func TestDateKeywordAndLiteral(t *testing.T) {
 		t.Errorf("date literal = %q", toks[1].Text)
 	}
 }
+
+func TestQuestionMarkPlaceholder(t *testing.T) {
+	toks, err := Tokenize("SELECT a FROM t WHERE a > ? AND b = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []Token
+	for _, tok := range toks {
+		if tok.Kind == TokParam {
+			params = append(params, tok)
+		}
+	}
+	if len(params) != 2 {
+		t.Fatalf("want 2 param tokens, got %d", len(params))
+	}
+	if params[0].Text != "" {
+		t.Errorf("? token text = %q, want empty", params[0].Text)
+	}
+	if params[1].Text != "2" {
+		t.Errorf("$2 token text = %q", params[1].Text)
+	}
+	if got := params[0].String(); got != `"?"` {
+		t.Errorf("? token String = %s", got)
+	}
+	if got := params[1].String(); got != `"$2"` {
+		t.Errorf("$2 token String = %s", got)
+	}
+}

@@ -21,6 +21,10 @@ import (
 type Parser struct {
 	toks []sqllex.Token
 	pos  int
+	// nextOrdinal numbers anonymous `?` placeholders left to right; they
+	// share the $n parameter space (don't mix the two spellings in one
+	// statement unless the $n indices deliberately alias `?` slots).
+	nextOrdinal int
 }
 
 // New returns a parser over src.
@@ -179,6 +183,7 @@ func (p *Parser) identLike() (string, bool) {
 // ---------------------------------------------------------------- statements
 
 func (p *Parser) parseStatement() (sqlast.Statement, error) {
+	p.nextOrdinal = 0 // `?` slots are numbered per statement
 	switch {
 	case p.isKeyword("SELECT"):
 		return p.parseSelect()
@@ -644,7 +649,14 @@ func (p *Parser) parsePrimary() (sqlast.Expr, error) {
 		return &sqlast.Literal{Val: sqltypes.NewString(t.Text)}, nil
 	case sqllex.TokParam:
 		p.pos++
-		n, _ := strconv.Atoi(t.Text)
+		if t.Text == "" { // `?` placeholder: auto-numbered
+			p.nextOrdinal++
+			return &sqlast.Param{N: p.nextOrdinal}, nil
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("bad parameter $%s", t.Text)
+		}
 		return &sqlast.Param{N: n}, nil
 	case sqllex.TokIdent:
 		return p.parseIdentExpr()

@@ -342,3 +342,43 @@ func TestCloneIndependence(t *testing.T) {
 		t.Error("mutation did not take effect on clone")
 	}
 }
+
+func TestQuestionMarkNumbering(t *testing.T) {
+	sel, err := ParseQuery("SELECT a FROM t WHERE a > ? AND b < ? AND c = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns []int
+	sqlast.WalkExpr(sel.Where, func(e sqlast.Expr) bool {
+		if p, ok := e.(*sqlast.Param); ok {
+			ns = append(ns, p.N)
+		}
+		return true
+	})
+	if len(ns) != 3 || ns[0] != 1 || ns[1] != 2 || ns[2] != 1 {
+		t.Fatalf("param numbering = %v, want [1 2 1]", ns)
+	}
+	if sqlast.MaxParam(sel) != 2 {
+		t.Fatalf("MaxParam = %d, want 2", sqlast.MaxParam(sel))
+	}
+	// ? numbering restarts per statement in a script.
+	stmts, err := ParseStatements("SELECT a FROM t WHERE a = ?; SELECT b FROM t WHERE b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stmts {
+		if got := sqlast.MaxParam(st); got != 1 {
+			t.Fatalf("statement %d MaxParam = %d, want 1", i, got)
+		}
+	}
+	// Params render as $n, so rewritten texts stay parameterized.
+	if s := sel.String(); !strings.Contains(s, "$1") || !strings.Contains(s, "$2") {
+		t.Fatalf("serialized form lost placeholders: %s", s)
+	}
+}
+
+func TestBadDollarParam(t *testing.T) {
+	if _, err := ParseStatement("SELECT a FROM t WHERE a = $0"); err == nil {
+		t.Error("$0 accepted")
+	}
+}

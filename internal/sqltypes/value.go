@@ -113,6 +113,36 @@ func TimeToDate(t time.Time) Value {
 	return NewDate(u.Unix() / 86400)
 }
 
+// BindValue converts a Go value supplied as a bind argument into a SQL
+// value. nil maps to NULL, time.Time to DATE (UTC calendar day); a Value
+// passes through unchanged. Strings stay strings — plan-time type hints
+// coerce them (e.g. to DATE) per statement slot.
+func BindValue(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return x, nil
+	case int:
+		return NewInt(int64(x)), nil
+	case int32:
+		return NewInt(int64(x)), nil
+	case int64:
+		return NewInt(x), nil
+	case float32:
+		return NewFloat(float64(x)), nil
+	case float64:
+		return NewFloat(x), nil
+	case string:
+		return NewString(x), nil
+	case bool:
+		return NewBool(x), nil
+	case time.Time:
+		return TimeToDate(x), nil
+	}
+	return Null, fmt.Errorf("sqltypes: unsupported bind type %T", v)
+}
+
 // IsNull reports whether v is SQL NULL.
 func (v Value) IsNull() bool { return v.K == KindNull }
 

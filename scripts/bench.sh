@@ -5,7 +5,10 @@
 # is appended when the day's file already exists. The JSON records the
 # engine's execution batch size alongside the measurements, and the plan
 # cache hit/miss counters reported by BenchmarkQueryPlanCache (plan_hits/op,
-# plan_misses/op) so repeated-execution speedups stay attributable.
+# plan_misses/op) so repeated-execution speedups stay attributable, and the
+# per-binding plan-cache hit rate of the parameterized-query benchmark
+# (param_hits_per_op, from BenchmarkQueryParam's param_hits/op metric) so
+# the binds-vs-inlined-literals delta is machine-readable too.
 # Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
@@ -29,13 +32,14 @@ awk -v date="$stamp" -v batch="$batch_size" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"benchmarks\": [\n", date, batch }
 /^Benchmark/ {
 	name = $1
-	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""
+	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""; parhits = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")         nsop   = $(i - 1)
 		if ($(i) == "B/op")          bop    = $(i - 1)
 		if ($(i) == "allocs/op")     allocs = $(i - 1)
 		if ($(i) == "plan_hits/op")  phits  = $(i - 1)
 		if ($(i) == "plan_misses/op") pmiss = $(i - 1)
+		if ($(i) == "param_hits/op") parhits = $(i - 1)
 	}
 	if (nsop == "") next
 	if (n++) printf ",\n"
@@ -44,6 +48,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 	if (phits != "")  printf ", \"plan_hits_per_op\": %s", phits
 	if (pmiss != "")  printf ", \"plan_misses_per_op\": %s", pmiss
+	if (parhits != "") printf ", \"param_hits_per_op\": %s", parhits
 	printf "}"
 }
 END { print "\n  ]\n}" }
