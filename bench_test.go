@@ -93,6 +93,7 @@ func BenchmarkQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	db := inst.Srv.DB()
 	for _, id := range []int{1, 6, 22} {
 		q, err := mth.QueryByID(cfg.SF, id)
 		if err != nil {
@@ -105,11 +106,19 @@ func BenchmarkQuery(b *testing.B) {
 			b.Run(q.Name+"/"+level.String(), func(b *testing.B) {
 				b.ReportAllocs()
 				conn.SetOptLevel(level)
+				db.Stats = engine.Stats{}
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := mth.RunOnMT(conn, q); err != nil {
 						b.Fatal(err)
 					}
 				}
+				// Streaming-executor counters: rows moved between operators
+				// per execution, and the largest batch any operator emitted.
+				// A jump in rows_streamed/op (or peak_batch past the batch
+				// size) flags accidental materialization.
+				b.ReportMetric(float64(db.Stats.RowsStreamed)/float64(b.N), "rows_streamed/op")
+				b.ReportMetric(float64(db.Stats.PeakBatch), "peak_batch")
 			})
 		}
 	}

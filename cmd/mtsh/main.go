@@ -2,7 +2,9 @@
 // instance loaded with the MT-H dataset. It demonstrates the full client
 // experience of the paper: connect as a tenant (C comes from the
 // connection), steer the dataset with SET SCOPE, and run plain SQL that
-// the middleware rewrites behind the scenes.
+// the middleware rewrites behind the scenes. Query output streams through
+// the cursor API — rows print as batches arrive from the engine's operator
+// tree, so large cross-tenant scans are usable interactively.
 //
 // Meta commands:
 //
@@ -33,6 +35,8 @@ import (
 	"mtbase/internal/middleware"
 	"mtbase/internal/mth"
 	"mtbase/internal/optimizer"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
 )
 
 func main() {
@@ -189,12 +193,55 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[st
 }
 
 func execute(conn *middleware.Conn, sql string) {
+	// Queries stream through the cursor API: rows print as batches arrive
+	// from the operator tree, so a large cross-tenant scan shows output
+	// immediately instead of materializing the whole result first. DML/DDL
+	// and session statements go through Exec.
+	if stmt, err := sqlparse.ParseStatement(sql); err == nil {
+		if _, ok := stmt.(*sqlast.Select); ok {
+			streamQuery(conn, sql)
+			return
+		}
+	}
 	res, err := conn.Exec(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	printResult(res)
+}
+
+// streamQuery drains a cursor, printing the first maxShow rows as they are
+// delivered and counting the rest.
+func streamQuery(conn *middleware.Conn, sql string) {
+	rows, err := conn.QueryRows(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	const maxShow = 50
+	fmt.Println(strings.Join(rows.Columns(), " | "))
+	n := 0
+	for rows.Next() {
+		n++
+		if n > maxShow {
+			continue
+		}
+		row := rows.Row()
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if n > maxShow {
+		fmt.Printf("... (%d rows total)\n", n)
+	}
 }
 
 func printResult(res *engine.Result) {

@@ -6,24 +6,31 @@
 //
 //   - sqltypes, sqllex, sqlast, sqlparse — the SQL/MTSQL frontend
 //   - engine — the substrate in-memory DBMS (PostgreSQL / "System C" roles).
-//     Queries run compile-then-execute, batch-at-a-time: operators exchange
-//     fixed-size windows of tuples with selection vectors (engine/batch.go),
-//     expressions are lowered into vectorized kernels looping over those
-//     vectors (engine/vector.go) with row-compiled closures
-//     (engine/compile.go) as the lifted fallback, ORDER BY sorts over
-//     precomputed key columns, conversion-UDF bodies are planned once per
-//     cached statement plan with their tenant-keyed meta-table lookups
-//     cached, and pure conversion results are cached per statement; whole
-//     statement plans are cached on the DB keyed by SQL text and
-//     invalidated by referenced-table versions and DDL (engine/plan.go);
-//     the tree-walking interpreter remains the row-at-a-time fallback
-//     behind the same operator interface (DB.SetCompileExprs(false)
-//     selects it). The client API is Prepare → Stmt → Query(args...) →
-//     Rows (engine/stmt.go, engine/rows.go): statements carry ? / $n bind
-//     parameters resolved per execution (one cached plan serves every
-//     binding), Rows streams scan-shaped projections batch-at-a-time
-//     instead of materializing, and every entry point has a Context
-//     variant cancelled at batch boundaries (ADR-003 in DESIGN.md).
+//     Queries execute as a tree of pull-based physical operators
+//     (engine/operator.go) — scan, filter, project, hash join, group,
+//     sort, distinct, limit — exchanging fixed-size batches with selection
+//     vectors (engine/batch.go); only the pipeline breakers (join builds,
+//     group buckets, sort buffers) materialize state, so memory is bounded
+//     by batch size plus breaker state rather than intermediate result
+//     size (ADR-004 in DESIGN.md). Expressions are lowered into vectorized
+//     kernels looping over those vectors (engine/vector.go) with
+//     row-compiled closures (engine/compile.go) as the lifted fallback,
+//     ORDER BY sorts over precomputed key columns, conversion-UDF bodies
+//     are planned once per cached statement plan with their tenant-keyed
+//     meta-table lookups cached, and pure conversion results are cached
+//     per statement; whole statement plans are cached on the DB keyed by
+//     SQL text and invalidated by referenced-table versions and DDL
+//     (engine/plan.go); the tree-walking interpreter remains the
+//     row-at-a-time fallback behind the same kernels
+//     (DB.SetCompileExprs(false) selects it), and the classic
+//     materialize-everything executor is retained as the differential
+//     oracle (DB.SetStreamExec(false)). The client API is Prepare → Stmt →
+//     Query(args...) → Rows (engine/stmt.go, engine/rows.go): statements
+//     carry ? / $n bind parameters resolved per execution (one cached plan
+//     serves every binding), Rows pulls the operator tree batch-at-a-time
+//     for every query shape — joins, grouping, ordering, DISTINCT,
+//     subqueries — and every entry point has a Context variant polled for
+//     cancellation inside every operator (ADR-003/ADR-004 in DESIGN.md).
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)

@@ -43,16 +43,32 @@ var identSel = func() []int32 {
 // batch is one unit of work flowing between operators: a window of up to
 // batchSize tuples, the selection vector of still-live local row indices
 // (always ascending), and per-row error slots for poisoned rows.
-type batch struct {
+type Batch struct {
 	rows   [][]sqltypes.Value // window into the source relation
 	base   int                // ordinal of rows[0] within the source
 	sel    []int32            // selected local row indices
 	errs   []error            // errs[i] poisons local row i
 	anyErr bool               // fast check: any errs entry non-nil
+
+	// keys holds ORDER BY key columns on result-shaped (dense) batches:
+	// keys[k][i] is sort key k of rows[i]. Producers (project, group) fill
+	// it; distinct filters it alongside rows; sort consumes it.
+	keys [][]sqltypes.Value
+}
+
+// window prepares b as a dense batch over rows: the identity selection, no
+// poisoned rows, no keys. len(rows) must not exceed batchSize.
+func (b *Batch) window(rows [][]sqltypes.Value) {
+	n := len(rows)
+	b.rows = rows
+	b.base = 0
+	b.sel = identSel[:n]
+	b.keys = nil
+	b.reset(n)
 }
 
 // reset prepares the batch for a new window of n rows.
-func (b *batch) reset(n int) {
+func (b *Batch) reset(n int) {
 	if cap(b.errs) < n {
 		b.errs = make([]error, n)
 	}
@@ -68,7 +84,7 @@ func (b *batch) reset(n int) {
 
 // firstErr returns the error of the first poisoned row in row order — the
 // error row-at-a-time execution would have raised.
-func (b *batch) firstErr() error {
+func (b *Batch) firstErr() error {
 	if !b.anyErr {
 		return nil
 	}
@@ -81,7 +97,7 @@ func (b *batch) firstErr() error {
 }
 
 // poison marks local row i failed.
-func (b *batch) poison(i int32, err error) {
+func (b *Batch) poison(i int32, err error) {
 	b.errs[i] = err
 	b.anyErr = true
 }
@@ -89,7 +105,7 @@ func (b *batch) poison(i int32, err error) {
 // compactSel drops poisoned rows from sel, writing into dst (dst may alias
 // sel; compaction never writes ahead of its read position). When the batch is
 // clean, sel is returned untouched — the common case costs one flag check.
-func (b *batch) compactSel(dst, sel []int32) []int32 {
+func (b *Batch) compactSel(dst, sel []int32) []int32 {
 	if !b.anyErr {
 		return sel
 	}
@@ -140,7 +156,7 @@ func encodeKeyCols(buf []byte, cols [][]sqltypes.Value, i int32) []byte {
 // selection vectors with vectorized kernels, the interpreter fallback
 // evaluates row-at-a-time inside the same batches.
 type batchOp interface {
-	next(b *batch) bool
+	next(b *Batch) bool
 }
 
 // scanOp streams a materialized row set in fixed-size windows.
@@ -149,7 +165,7 @@ type scanOp struct {
 	pos  int
 }
 
-func (s *scanOp) next(b *batch) bool {
+func (s *scanOp) next(b *Batch) bool {
 	if s.pos >= len(s.rows) {
 		return false
 	}
@@ -182,7 +198,7 @@ type filterOp struct {
 	failed error
 }
 
-func (f *filterOp) next(b *batch) bool {
+func (f *filterOp) next(b *Batch) bool {
 	if f.failed != nil {
 		return false
 	}
@@ -202,7 +218,7 @@ func (f *filterOp) next(b *batch) bool {
 	return false
 }
 
-func (f *filterOp) applyVec(b *batch) {
+func (f *filterOp) applyVec(b *Batch) {
 	sel := b.sel
 	for _, prog := range f.progs {
 		if len(sel) == 0 {
@@ -226,7 +242,7 @@ func (f *filterOp) applyVec(b *batch) {
 	f.failed = b.firstErr()
 }
 
-func (f *filterOp) applyInterp(b *batch) {
+func (f *filterOp) applyInterp(b *Batch) {
 	f.selBuf = growSel(f.selBuf, len(b.sel))
 	kept := f.selBuf[:0]
 	for _, i := range b.sel {

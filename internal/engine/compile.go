@@ -974,7 +974,7 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 		}
 		psc := rootScope()
 		psc.params = args
-		rel, err := ex.buildFromWhere(plan.body, psc)
+		rel, err := ex.fromWhereRelation(plan.body, psc)
 		if err != nil {
 			return sqltypes.Null, err
 		}

@@ -1,9 +1,18 @@
 // Package engine is the substrate DBMS that MTBase runs on: an embedded,
-// in-memory SQL engine with a Volcano-style executor, hash joins, grouped
-// aggregation, correlated subqueries, views and SQL-defined scalar
-// functions (UDFs). It stands in for PostgreSQL / "System C" in the paper's
-// evaluation; the Mode knob reproduces the one behavioural difference the
-// paper leans on — whether results of IMMUTABLE UDFs are cached.
+// in-memory SQL engine with a pull-based batch operator executor, hash
+// joins, grouped aggregation, correlated subqueries, views and SQL-defined
+// scalar functions (UDFs). It stands in for PostgreSQL / "System C" in the
+// paper's evaluation; the Mode knob reproduces the one behavioural
+// difference the paper leans on — whether results of IMMUTABLE UDFs are
+// cached.
+//
+// Every query shape executes as a tree of physical operators (operator.go)
+// exchanging 1024-row batches: scans, filters and join probes stream, and
+// only the pipeline breakers — hash-join builds, group-by buckets, sort
+// buffers — materialize state, so memory is bounded by batch size plus
+// breaker state rather than intermediate result size. Result and the
+// ExecPlan* entry points drain the tree eagerly; the Rows cursor pulls it
+// batch-at-a-time.
 //
 // Execution is compile-then-execute: before iterating rows, every per-row
 // expression site (WHERE conjuncts, projections, join/group-by/sort keys,
@@ -126,6 +135,11 @@ type DB struct {
 	// interpreted paths agree.
 	noCompile bool
 
+	// streamOff forces the materializing executor (exec.go) instead of the
+	// pull-based operator tree (operator.go). The streaming differential
+	// test uses it to prove both executors produce identical results.
+	streamOff bool
+
 	// plans is the statement plan cache (plan.go): SQL text + compile mode
 	// → immutable Plan, validated against dependency versions per lookup.
 	plans       map[planKey]*Plan
@@ -141,6 +155,12 @@ type DB struct {
 // must be identical either way.
 func (db *DB) SetCompileExprs(on bool) { db.noCompile = !on }
 
+// SetStreamExec toggles the pull-based operator executor (on by default).
+// Turning it off forces the classic materialize-everything executor;
+// results must be identical either way — the streaming differential tests
+// rely on it.
+func (db *DB) SetStreamExec(on bool) { db.streamOff = !on }
+
 // Stats counts interesting engine events.
 type Stats struct {
 	UDFCalls     int64 // UDF body executions (cache misses in ModePostgres)
@@ -152,6 +172,14 @@ type Stats struct {
 	PlanCacheHits          int64
 	PlanCacheMisses        int64
 	PlanCacheInvalidations int64
+
+	// Streaming executor counters: RowsStreamed totals the rows emitted by
+	// physical operators (every operator counts its own emissions, so one
+	// row flowing through a scan, a join and a projection counts three
+	// times), PeakBatch is the largest single batch emitted. Benchmarks
+	// report them per operation to catch accidental materialization.
+	RowsStreamed int64
+	PeakBatch    int64
 }
 
 // Open returns an empty database in the given mode.
@@ -340,7 +368,8 @@ func (db *DB) QueryRows(sql string, args ...sqltypes.Value) (*Rows, error) {
 }
 
 // QueryContext is QueryRows with cancellation, polled at batch boundaries
-// both during eager FROM/WHERE evaluation and while the cursor streams.
+// by every operator in the cursor's tree — probe loops, join builds and
+// group/sort drains included.
 func (db *DB) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (*Rows, error) {
 	db.mu.Lock()
 	p, err := db.planForLocked(sql)
@@ -656,7 +685,7 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 	newVals := make([]sqltypes.Value, len(up.Sets))
 	affected := 0
 	src := scanOp{rows: t.Rows}
-	var b batch
+	var b Batch
 	for src.next(&b) {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
@@ -738,7 +767,7 @@ func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
 		kept := make([][]sqltypes.Value, 0, len(t.Rows))
 		affected := 0
 		src := scanOp{rows: t.Rows}
-		var b batch
+		var b Batch
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
 				return nil, err

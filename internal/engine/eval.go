@@ -170,7 +170,7 @@ type groupCtx struct {
 // aggScratch is the reusable batch state aggregate evaluation streams group
 // rows through; one instance is shared by all groups of a projection.
 type aggScratch struct {
-	b batch
+	b Batch
 }
 
 func rootScope() *scope { return &scope{} }

@@ -44,25 +44,31 @@ type conjunct struct {
 
 // ---------------------------------------------------------------- runQuery
 
+// runQuery executes one SELECT level. The default executor is the pull-
+// based operator tree (operator.go); the materializing executor below is
+// retained behind DB.SetStreamExec(false) as the differential-testing
+// reference.
 func (ex *exec) runQuery(sel *sqlast.Select, parent *scope) (*Result, error) {
+	if ex.db.streamOff {
+		return ex.runQueryMaterialized(sel, parent)
+	}
+	return ex.runQueryStream(sel, parent)
+}
+
+// runQueryMaterialized is the classic materialize-everything executor:
+// FROM/WHERE builds a full intermediate relation, projection and grouping
+// build the full result, then DISTINCT/ORDER BY/LIMIT post-process it.
+func (ex *exec) runQueryMaterialized(sel *sqlast.Select, parent *scope) (*Result, error) {
 	rel, err := ex.buildFromWhere(sel, parent)
 	if err != nil {
 		return nil, err
 	}
 
-	aliases := selectAliases(sel)
-	grouped := len(sel.GroupBy) > 0 || sel.Having != nil
-	if !grouped {
-		for _, it := range sel.Items {
-			if !it.Star && hasAggregate(it.Expr) {
-				grouped = true
-				break
-			}
-		}
-	}
+	a := ex.selectAnalysis(sel)
+	aliases := a.aliases
 
 	var res *execResult
-	if grouped {
+	if a.grouped {
 		res, err = ex.projectGrouped(sel, rel, parent, aliases)
 	} else {
 		res, err = ex.projectRows(sel, rel, parent, aliases)
@@ -394,7 +400,7 @@ func (ex *exec) projectRowsBatched(rel *relation, sc *scope, projs []projector, 
 	cols := make([][]sqltypes.Value, len(projs))
 	keyBuf := make([][]sqltypes.Value, len(plans))
 	src := scanOp{rows: rel.rows}
-	var b batch
+	var b Batch
 	for src.next(&b) {
 		if err := ex.cancelled(); err != nil {
 			return err
@@ -494,7 +500,7 @@ func (ex *exec) projectGrouped(sel *sqlast.Select, rel *relation, parent *scope,
 		// Batched grouping: key expressions run column-wise per batch, rows
 		// are bucketed from the precomputed key columns in row order.
 		src := scanOp{rows: rel.rows}
-		var b batch
+		var b Batch
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
 				return nil, err
@@ -656,13 +662,11 @@ func (ex *exec) buildFromWhere(sel *sqlast.Select, parent *scope) (*relation, er
 	}
 	local := func(name string) bool { return seen[strings.ToLower(name)] }
 
-	conjs := splitConjuncts(sel.Where)
-	nPlain := len(conjs)
-	conjs = append(conjs, factorCommonOr(sel.Where)...)
-	analyzed := make([]*conjunct, len(conjs))
-	for i, c := range conjs {
+	a := ex.selectAnalysis(sel)
+	analyzed := make([]*conjunct, len(a.conjs))
+	for i, c := range a.conjs {
 		analyzed[i] = analyzeConjunct(c, local, colOwner)
-		analyzed[i].fromOrFactor = i >= nPlain
+		analyzed[i].fromOrFactor = i >= a.nPlain
 	}
 
 	// Constant conjuncts (no local refs, no subqueries) gate the whole FROM.
@@ -930,7 +934,7 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 			f.exprs[i] = c.expr
 		}
 	}
-	var b batch
+	var b Batch
 	for f.next(&b) {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
@@ -1107,7 +1111,7 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 			var buf []byte
 			if lks != nil {
 				src := scanOp{rows: l.rows}
-				var b batch
+				var b Batch
 				var buckets [][]int
 				for src.next(&b) {
 					if err := ex.cancelled(); err != nil {
@@ -1173,7 +1177,7 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 	var buf []byte
 	if lks != nil {
 		src := scanOp{rows: l.rows}
-		var b batch
+		var b Batch
 		var buckets [][]int
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
@@ -1237,7 +1241,7 @@ func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map
 	var buf []byte
 	if rks := ex.vecKeys(pairExprs(pairs, true), r.bindings, rsc); rks != nil {
 		src := scanOp{rows: r.rows}
-		var b batch
+		var b Batch
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
 				return nil, err
@@ -1456,7 +1460,7 @@ func (ex *exec) leftOuterJoin(l, r *relation, on sqlast.Expr, parent *scope) (*r
 		var nullMask []bool
 		var buckets [][]int
 		src := scanOp{rows: l.rows}
-		var b batch
+		var b Batch
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
 				return nil, err

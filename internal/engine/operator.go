@@ -1,0 +1,1737 @@
+package engine
+
+// This file implements the pull-based physical operator layer: every query
+// shape — scans, filters, joins, grouping, ordering, DISTINCT, LIMIT —
+// executes as a tree of Operators exchanging Batches, so memory scales with
+// batch size plus pipeline-breaker state (hash tables, group buckets, sort
+// buffers) rather than with intermediate result size. The tree is built per
+// execution from the cached Plan's AST (join order and index choices are
+// data-dependent, so the physical tree itself is not cached; the Plan
+// contributes the parsed AST, the per-Select conjunct analysis and the UDF
+// body lowerings), and both the materializing Result consumers and the
+// streaming Rows cursor drain the same root.
+//
+// Contracts:
+//   - Open acquires per-execution state and opens children. Pipeline
+//     breakers (hash-join build, group bucketing, sort) drain their inputs
+//     here; everything else stays lazy.
+//   - Next returns the next Batch or (nil, nil) on exhaustion. The batch is
+//     owned by the operator and valid until the next Next/Close call; row
+//     slices ([]sqltypes.Value) inside it are stable and may be retained.
+//     Every Next polls ctx cancellation before producing work.
+//   - Close releases operator state and closes children; it is idempotent.
+//
+// Relation-shaped streams (FROM/WHERE pipelines) emit window batches whose
+// selection vector may be refined by filters. Result-shaped streams
+// (project, group, distinct, sort, limit) emit dense batches — sel is the
+// identity — optionally carrying ORDER BY key columns in Batch.keys.
+//
+// Row-order equivalence with the materializing executor (exec.go, kept
+// behind DB.SetStreamExec(false) as the differential-test reference) is by
+// construction: filters refine selection vectors in row order, joins probe
+// in input order and expand hash buckets in build insertion order, groups
+// are emitted in first-seen key order, and the sort operator runs the same
+// stable merge over the same precomputed key columns.
+
+import (
+	"fmt"
+	"strings"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// Operator is the pull-based physical operator interface. One tree executes
+// one statement: operators capture their compiled programs at build time
+// and receive the executing exec on every call (cancellation, scratch
+// stack, statement caches).
+type Operator interface {
+	Open(ex *exec) error
+	Next(ex *exec) (*Batch, error)
+	Close()
+}
+
+// resetKeyCols returns a key-column set of n empty columns, reusing the
+// backing arrays. Safe because batches are owned by their producer until
+// the next pull: every consumer (sort, distinct) copies key values out
+// before pulling again.
+func resetKeyCols(cols [][]sqltypes.Value, n int) [][]sqltypes.Value {
+	if n == 0 {
+		return nil
+	}
+	if cols == nil {
+		return make([][]sqltypes.Value, n)
+	}
+	for k := range cols {
+		cols[k] = cols[k][:0]
+	}
+	return cols
+}
+
+// noteStream records one emitted batch in the engine counters: total rows
+// streamed between operators and the largest single batch seen.
+func (ex *exec) noteStream(n int) {
+	st := &ex.db.Stats
+	st.RowsStreamed += int64(n)
+	if int64(n) > st.PeakBatch {
+		st.PeakBatch = int64(n)
+	}
+}
+
+// pipe is one streaming source under construction: an operator plus the
+// schema of the batches it emits. rel carries bindings/width/base; rel.rows
+// is non-nil only when the pipe's full output is already materialized (base
+// table scans, cross-product sizing).
+type pipe struct {
+	op  Operator
+	rel *relation
+}
+
+// queryRoot is a built operator tree plus its output column names.
+type queryRoot struct {
+	op   Operator
+	cols []string
+}
+
+// ---------------------------------------------------------------- sources
+
+// scanOperator streams a materialized row set in fixed-size windows.
+type scanOperator struct {
+	rows [][]sqltypes.Value
+	src  scanOp
+	b    Batch
+}
+
+func (s *scanOperator) Open(ex *exec) error {
+	s.src = scanOp{rows: s.rows}
+	return nil
+}
+
+func (s *scanOperator) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if !s.src.next(&s.b) {
+		return nil, nil
+	}
+	ex.noteStream(len(s.b.sel))
+	return &s.b, nil
+}
+
+func (s *scanOperator) Close() {}
+
+// indexScanOperator serves equality conjuncts over an unfiltered base table
+// from the table's lazily built hash index: the probe values (constant
+// w.r.t. the query level — literals, binds, outer references) are evaluated
+// once at Open, and the matching heap rows stream through an embedded scan.
+type indexScanOperator struct {
+	tab    *Table
+	cols   []string
+	exprs  []sqlast.Expr
+	parent *scope
+
+	scan scanOperator
+}
+
+func (s *indexScanOperator) Open(ex *exec) error {
+	idx, err := s.tab.index(s.cols)
+	if err != nil {
+		return err
+	}
+	vals := make([]sqltypes.Value, len(s.exprs))
+	psc := &scope{parent: s.parent}
+	for i, e := range s.exprs {
+		v, err := ex.eval(e, psc)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	ids := idx.probe(vals)
+	rows := make([][]sqltypes.Value, len(ids))
+	for i, id := range ids {
+		rows[i] = s.tab.Rows[id]
+	}
+	s.scan.rows = rows
+	return s.scan.Open(ex)
+}
+
+func (s *indexScanOperator) Next(ex *exec) (*Batch, error) { return s.scan.Next(ex) }
+
+func (s *indexScanOperator) Close() { s.scan.rows = nil }
+
+// errWrapOperator prefixes every error of its subtree — the streaming
+// counterpart of the "in view X" wrapping of the materializing executor.
+type errWrapOperator struct {
+	child  Operator
+	prefix string
+}
+
+func (w *errWrapOperator) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("engine: in %s: %w", w.prefix, err)
+}
+
+func (w *errWrapOperator) Open(ex *exec) error { return w.wrap(w.child.Open(ex)) }
+
+func (w *errWrapOperator) Next(ex *exec) (*Batch, error) {
+	b, err := w.child.Next(ex)
+	return b, w.wrap(err)
+}
+
+func (w *errWrapOperator) Close() { w.child.Close() }
+
+// ---------------------------------------------------------------- filter
+
+// filterOperator refines each input batch's selection vector with a
+// conjunct list, reusing the batched filter kernel (batch.go) in both
+// compile modes. Batches are passed through (never copied); empty batches
+// are skipped.
+type filterOperator struct {
+	child Operator
+	f     filterOp
+}
+
+// newFilterOperator lowers conjuncts against the stream's schema exactly
+// like the materializing filterRelation.
+func newFilterOperator(ex *exec, child Operator, rel *relation, conjs []*conjunct, parent *scope) *filterOperator {
+	sc := rel.scopeFor(parent)
+	o := &filterOperator{child: child, f: filterOp{ex: ex, sc: sc}}
+	if !ex.db.noCompile {
+		o.f.progs = make([]vecExpr, len(conjs))
+		for i, c := range conjs {
+			o.f.progs[i] = ex.vecCompile(c.expr, rel.bindings, sc)
+		}
+	} else {
+		o.f.exprs = make([]sqlast.Expr, len(conjs))
+		for i, c := range conjs {
+			o.f.exprs[i] = c.expr
+		}
+	}
+	return o
+}
+
+func (o *filterOperator) Open(ex *exec) error { return o.child.Open(ex) }
+
+func (o *filterOperator) Next(ex *exec) (*Batch, error) {
+	if o.f.failed != nil {
+		return nil, o.f.failed
+	}
+	for {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := o.child.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if o.f.progs != nil {
+			o.f.applyVec(b)
+		} else {
+			o.f.applyInterp(b)
+		}
+		if o.f.failed != nil {
+			return nil, o.f.failed
+		}
+		if len(b.sel) > 0 {
+			ex.noteStream(len(b.sel))
+			return b, nil
+		}
+	}
+}
+
+func (o *filterOperator) Close() { o.child.Close() }
+
+// ---------------------------------------------------------------- joins
+
+// joinOperator is the inner hash join (degrading to the cross product with
+// no equi pairs): Open materializes only the build side — the hash table,
+// or the probe plan against a base table's persistent index — and Next
+// streams probe batches, expanding each into at most batch-size output
+// windows. Output rows are chunk-allocated per probe batch, exactly like
+// the materializing hashJoin, so values and row order are identical.
+type joinOperator struct {
+	ex     *exec
+	left   Operator
+	right  Operator
+	lrel   *relation
+	rrel   *relation
+	orel   *relation
+	pairs  []equiPair
+	parent *scope
+
+	// Build state (Open): exactly one of idx (index fast path) or
+	// build+rightRows (hash build / cross product) is used.
+	idx       *hashIndex
+	idxCols   []string
+	build     map[string][]int
+	rightRows [][]sqltypes.Value
+
+	lsc     *scope
+	lks     *vecKeySet
+	buf     []byte
+	buckets [][]int
+
+	pending [][]sqltypes.Value
+	pendPos int
+	out     Batch
+}
+
+func (ex *exec) newJoinPipe(l, r *pipe, pairs []equiPair, parent *scope) *pipe {
+	orel := &relation{width: l.rel.width + r.rel.width}
+	orel.bindings = append(orel.bindings, l.rel.bindings...)
+	for _, b := range r.rel.bindings {
+		nb := *b
+		nb.off += l.rel.width
+		orel.bindings = append(orel.bindings, &nb)
+	}
+	jo := &joinOperator{
+		ex: ex, left: l.op, right: r.op,
+		lrel: l.rel, rrel: r.rel, orel: orel,
+		pairs: pairs, parent: parent,
+	}
+	return &pipe{op: jo, rel: orel}
+}
+
+func (j *joinOperator) Open(ex *exec) error {
+	if err := j.left.Open(ex); err != nil {
+		return err
+	}
+	j.lsc = j.lrel.scopeFor(j.parent)
+	if len(j.pairs) > 0 {
+		j.lks = ex.vecKeys(pairExprs(j.pairs, false), j.lrel.bindings, j.lsc)
+		// Index fast path: unfiltered base table on the build side with
+		// plain-column keys probes the table's persistent lazy index; no
+		// transient hash table is built at all.
+		if j.rrel.base != nil && len(j.rrel.bindings) == 1 {
+			cols := make([]string, 0, len(j.pairs))
+			simple := true
+			for _, p := range j.pairs {
+				cr, ok := p.right.(*sqlast.ColumnRef)
+				if !ok || !relationHasRef(j.rrel, cr) {
+					simple = false
+					break
+				}
+				cols = append(cols, cr.Name)
+			}
+			if simple {
+				idx, err := j.rrel.base.index(cols)
+				if err != nil {
+					return err
+				}
+				j.idx, j.idxCols = idx, cols
+				return nil
+			}
+		}
+	}
+	// Build side: drain the right child (base scans are already
+	// materialized as the table heap) and hash it on the join keys.
+	rows := j.rrel.rows
+	if rows == nil {
+		var err error
+		rows, err = drainRows(ex, j.right)
+		if err != nil {
+			return err
+		}
+	}
+	j.rightRows = rows
+	if len(j.pairs) > 0 {
+		build, err := ex.buildJoinHash(&relation{bindings: j.rrel.bindings, rows: rows, width: j.rrel.width}, j.pairs, j.parent)
+		if err != nil {
+			return err
+		}
+		j.build = build
+	}
+	return nil
+}
+
+func (j *joinOperator) Next(ex *exec) (*Batch, error) {
+	for j.pendPos >= len(j.pending) {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := j.left.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		j.pending = j.pending[:0]
+		j.pendPos = 0
+		if err := j.fillPending(ex, b); err != nil {
+			return nil, err
+		}
+	}
+	n := len(j.pending) - j.pendPos
+	if n > batchSize {
+		n = batchSize
+	}
+	j.out.window(j.pending[j.pendPos : j.pendPos+n])
+	j.pendPos += n
+	ex.noteStream(n)
+	return &j.out, nil
+}
+
+// fillPending expands one probe batch into joined output rows, mirroring
+// the per-batch loops of the materializing hashJoin.
+func (j *joinOperator) fillPending(ex *exec, b *Batch) error {
+	width := j.orel.width
+	switch {
+	case len(j.pairs) == 0: // cross product
+		ck := newRowChunk(len(b.sel)*len(j.rightRows), width)
+		for _, i := range b.sel {
+			for _, rr := range j.rightRows {
+				j.pending = append(j.pending, ck.concat(b.rows[i], rr))
+			}
+		}
+	case j.idx != nil && j.lks != nil: // compiled index probe
+		m := ex.vs.mark()
+		sel := j.lks.compute(b, true, nil)
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			return err
+		}
+		if cap(j.buckets) < len(b.rows) {
+			j.buckets = make([][]int, len(b.rows))
+		}
+		total := 0
+		for _, i := range sel {
+			var ids []int
+			ids, j.buf = j.idx.probeKeyCols(j.buf, j.lks.cols, i)
+			j.buckets[i] = ids
+			total += len(ids)
+		}
+		ck := newRowChunk(total, width)
+		for _, i := range sel {
+			for _, id := range j.buckets[i] {
+				j.pending = append(j.pending, ck.concat(b.rows[i], j.rrel.base.Rows[id]))
+			}
+		}
+		ex.vs.release(m)
+	case j.idx != nil: // interpreted index probe
+		vals := make([]sqltypes.Value, len(j.pairs))
+		for _, i := range b.sel {
+			lr := b.rows[i]
+			null := false
+			for k, p := range j.pairs {
+				j.lsc.row = lr
+				v, err := ex.eval(p.left, j.lsc)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				vals[k] = v
+			}
+			if null {
+				continue
+			}
+			var ids []int
+			ids, j.buf = j.idx.probeBuf(j.buf, vals)
+			for _, id := range ids {
+				j.pending = append(j.pending, concatRows(lr, j.rrel.base.Rows[id], width))
+			}
+		}
+	case j.lks != nil: // compiled hash probe
+		m := ex.vs.mark()
+		sel := j.lks.compute(b, true, nil)
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			return err
+		}
+		if cap(j.buckets) < len(b.rows) {
+			j.buckets = make([][]int, len(b.rows))
+		}
+		total := 0
+		for _, i := range sel {
+			j.buf = encodeKeyCols(j.buf[:0], j.lks.cols, i)
+			j.buckets[i] = j.build[string(j.buf)]
+			total += len(j.buckets[i])
+		}
+		ck := newRowChunk(total, width)
+		for _, i := range sel {
+			for _, ri := range j.buckets[i] {
+				j.pending = append(j.pending, ck.concat(b.rows[i], j.rightRows[ri]))
+			}
+		}
+		ex.vs.release(m)
+	default: // interpreted hash probe
+		for _, i := range b.sel {
+			lr := b.rows[i]
+			j.buf = j.buf[:0]
+			null := false
+			for _, p := range j.pairs {
+				j.lsc.row = lr
+				v, err := ex.eval(p.left, j.lsc)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				j.buf = sqltypes.AppendKey(j.buf, v)
+			}
+			if null {
+				continue
+			}
+			for _, ri := range j.build[string(j.buf)] {
+				j.pending = append(j.pending, concatRows(lr, j.rightRows[ri], width))
+			}
+		}
+	}
+	return nil
+}
+
+func (j *joinOperator) Close() {
+	j.left.Close()
+	j.right.Close()
+	j.build = nil
+	j.rightRows = nil
+	j.pending = nil
+}
+
+// leftOuterOperator preserves every probe row: the equi keys prune build
+// candidates, the residual ON conjuncts decide matches, and unmatched probe
+// rows emit null-extended. The build side materializes at Open (hash
+// table); the probe side streams.
+type leftOuterOperator struct {
+	ex     *exec
+	left   Operator
+	right  Operator
+	lrel   *relation
+	rrel   *relation
+	orel   *relation
+	pairs  []equiPair
+	resid  []*conjunct
+	parent *scope
+
+	build     map[string][]int
+	rightRows [][]sqltypes.Value
+	nulls     []sqltypes.Value
+	lsc       *scope
+	osc       *scope
+	lks       *vecKeySet
+	resFns    []compiledExpr
+	buf       []byte
+	buckets   [][]int
+	nullMask  []bool
+	inSel     []bool
+
+	pending [][]sqltypes.Value
+	pendPos int
+	out     Batch
+}
+
+func (ex *exec) newLeftOuterPipe(l, r *pipe, pairs []equiPair, residual []*conjunct, parent *scope) *pipe {
+	orel := &relation{width: l.rel.width + r.rel.width}
+	orel.bindings = append(orel.bindings, l.rel.bindings...)
+	for _, b := range r.rel.bindings {
+		nb := *b
+		nb.off += l.rel.width
+		orel.bindings = append(orel.bindings, &nb)
+	}
+	o := &leftOuterOperator{
+		ex: ex, left: l.op, right: r.op,
+		lrel: l.rel, rrel: r.rel, orel: orel,
+		pairs: pairs, resid: residual, parent: parent,
+	}
+	return &pipe{op: o, rel: orel}
+}
+
+func (o *leftOuterOperator) Open(ex *exec) error {
+	if err := o.left.Open(ex); err != nil {
+		return err
+	}
+	rows := o.rrel.rows
+	if rows == nil {
+		var err error
+		rows, err = drainRows(ex, o.right)
+		if err != nil {
+			return err
+		}
+	}
+	o.rightRows = rows
+	build, err := ex.buildJoinHash(&relation{bindings: o.rrel.bindings, rows: rows, width: o.rrel.width}, o.pairs, o.parent)
+	if err != nil {
+		return err
+	}
+	o.build = build
+	o.nulls = make([]sqltypes.Value, o.rrel.width)
+	o.lsc = o.lrel.scopeFor(o.parent)
+	o.osc = o.orel.scopeFor(o.parent)
+	o.lks = ex.vecKeys(pairExprs(o.pairs, false), o.lrel.bindings, o.lsc)
+	o.resFns = make([]compiledExpr, len(o.resid))
+	for i, c := range o.resid {
+		o.resFns[i] = ex.compile(c.expr, o.orel.bindings, o.osc)
+	}
+	return nil
+}
+
+// matchResidual applies the non-equi ON conjuncts to one candidate tuple.
+func (o *leftOuterOperator) matchResidual(ex *exec, combined []sqltypes.Value) (bool, error) {
+	for i, c := range o.resid {
+		var v sqltypes.Value
+		var err error
+		if o.resFns[i] != nil {
+			v, err = o.resFns[i](ex, combined)
+		} else {
+			o.osc.row = combined
+			v, err = ex.eval(c.expr, o.osc)
+		}
+		if err != nil {
+			return false, err
+		}
+		if truth, _ := sqltypes.Truthy(v); !truth {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (o *leftOuterOperator) Next(ex *exec) (*Batch, error) {
+	for o.pendPos >= len(o.pending) {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := o.left.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.pending = o.pending[:0]
+		o.pendPos = 0
+		if err := o.fillPending(ex, b); err != nil {
+			return nil, err
+		}
+	}
+	n := len(o.pending) - o.pendPos
+	if n > batchSize {
+		n = batchSize
+	}
+	o.out.window(o.pending[o.pendPos : o.pendPos+n])
+	o.pendPos += n
+	ex.noteStream(n)
+	return &o.out, nil
+}
+
+func (o *leftOuterOperator) fillPending(ex *exec, b *Batch) error {
+	width := o.orel.width
+	if o.lks != nil {
+		// Batched probe: valid keys land in the selection vector, NULL keys
+		// in the null mask (unmatched by definition, emitted null-extended).
+		// A filtered probe stream may have dropped rows from the window: only
+		// rows still in the incoming selection participate at all.
+		n := len(b.rows)
+		if cap(o.nullMask) < n {
+			o.nullMask = make([]bool, n)
+			o.buckets = make([][]int, n)
+			o.inSel = make([]bool, n)
+		}
+		o.nullMask = o.nullMask[:n]
+		o.buckets = o.buckets[:n]
+		inSel := o.inSel[:n]
+		for i := range inSel {
+			o.nullMask[i] = false
+			inSel[i] = false
+		}
+		for _, i := range b.sel {
+			inSel[i] = true
+		}
+		m := ex.vs.mark()
+		o.lks.compute(b, true, o.nullMask)
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			return err
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			o.buckets[i] = nil
+			if !inSel[i] {
+				continue
+			}
+			total++
+			if !o.nullMask[i] {
+				o.buf = encodeKeyCols(o.buf[:0], o.lks.cols, int32(i))
+				o.buckets[i] = o.build[string(o.buf)]
+				total += len(o.buckets[i])
+			}
+		}
+		ck := newRowChunk(total, width)
+		for i := 0; i < n; i++ {
+			if !inSel[i] {
+				continue
+			}
+			matched := false
+			for _, ri := range o.buckets[i] {
+				combined := ck.concat(b.rows[i], o.rightRows[ri])
+				ok, err := o.matchResidual(ex, combined)
+				if err != nil {
+					ex.vs.release(m)
+					return err
+				}
+				if ok {
+					matched = true
+					o.pending = append(o.pending, combined)
+				}
+			}
+			if !matched {
+				o.pending = append(o.pending, ck.concat(b.rows[i], o.nulls))
+			}
+		}
+		ex.vs.release(m)
+		return nil
+	}
+	for _, i := range b.sel {
+		lr := b.rows[i]
+		o.buf = o.buf[:0]
+		null := false
+		for _, p := range o.pairs {
+			o.lsc.row = lr
+			v, err := ex.eval(p.left, o.lsc)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			o.buf = sqltypes.AppendKey(o.buf, v)
+		}
+		matched := false
+		if !null {
+			for _, ri := range o.build[string(o.buf)] {
+				combined := concatRows(lr, o.rightRows[ri], width)
+				ok, err := o.matchResidual(ex, combined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					matched = true
+					o.pending = append(o.pending, combined)
+				}
+			}
+		}
+		if !matched {
+			o.pending = append(o.pending, concatRows(lr, o.nulls, width))
+		}
+	}
+	return nil
+}
+
+func (o *leftOuterOperator) Close() {
+	o.left.Close()
+	o.right.Close()
+	o.build = nil
+	o.rightRows = nil
+	o.pending = nil
+}
+
+// ---------------------------------------------------------------- project
+
+// projectOperator evaluates the SELECT list (and ORDER BY key expressions)
+// batch-at-a-time, emitting dense batches of freshly chunk-allocated output
+// tuples with key columns attached. It is the streaming twin of
+// projectRowsBatched / the interpreter's projection loop.
+type projectOperator struct {
+	child Operator
+	rel   *relation
+	sc    *scope
+	projs []projector
+	plans []orderPlan
+	width int
+	cols  []string
+
+	vprojs []vecExpr // compiled mode; nil entries are star segments
+	vkeys  []vecExpr // compiled key expressions (outCol plans stay nil)
+
+	colBuf  [][]sqltypes.Value
+	keyBuf  [][]sqltypes.Value
+	rowBuf  [][]sqltypes.Value
+	keyCols [][]sqltypes.Value
+	out     Batch
+}
+
+func (ex *exec) newProjectOperator(child Operator, rel *relation, sel *sqlast.Select, parent *scope, aliases map[string]sqlast.Expr) (*projectOperator, error) {
+	sc := rel.scopeFor(parent)
+	cols, err := ex.outputShape(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+	plans := buildOrderPlan(sel, cols, sc, aliases)
+	projs, width := ex.buildProjectors(sel, rel)
+	o := &projectOperator{child: child, rel: rel, sc: sc, projs: projs, plans: plans, width: width, cols: cols}
+	if !ex.db.noCompile {
+		o.vprojs = make([]vecExpr, len(projs))
+		for i := range projs {
+			if !projs[i].star {
+				o.vprojs[i] = ex.vecCompile(projs[i].expr, rel.bindings, sc)
+			}
+		}
+		o.vkeys = make([]vecExpr, len(plans))
+		for k := range plans {
+			if plans[k].outCol < 0 {
+				o.vkeys[k] = ex.vecCompile(plans[k].expr, rel.bindings, sc)
+			}
+		}
+		o.colBuf = make([][]sqltypes.Value, len(projs))
+		o.keyBuf = make([][]sqltypes.Value, len(plans))
+	}
+	return o, nil
+}
+
+func (o *projectOperator) Open(ex *exec) error { return o.child.Open(ex) }
+
+func (o *projectOperator) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	b, err := o.child.Next(ex)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, nil
+	}
+	o.rowBuf = o.rowBuf[:0]
+	o.keyCols = resetKeyCols(o.keyCols, len(o.plans))
+	if o.vprojs != nil {
+		if err := o.projectVec(ex, b); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := o.projectInterp(ex, b); err != nil {
+			return nil, err
+		}
+	}
+	o.out.window(o.rowBuf)
+	o.out.keys = o.keyCols
+	ex.noteStream(len(o.rowBuf))
+	return &o.out, nil
+}
+
+func (o *projectOperator) projectVec(ex *exec, b *Batch) error {
+	n := len(b.rows)
+	sel := b.sel
+	m := ex.vs.mark()
+	defer ex.vs.release(m)
+	selBuf := ex.vs.takeSel(len(sel))
+	for i, vp := range o.vprojs {
+		if vp == nil {
+			continue
+		}
+		o.colBuf[i] = ex.vs.takeVals(n)
+		vp(b, sel, o.colBuf[i])
+		sel = b.compactSel(selBuf, sel)
+	}
+	for k, vk := range o.vkeys {
+		if vk == nil {
+			continue
+		}
+		o.keyBuf[k] = ex.vs.takeVals(n)
+		vk(b, sel, o.keyBuf[k])
+		sel = b.compactSel(selBuf, sel)
+	}
+	if err := b.firstErr(); err != nil {
+		return err
+	}
+	ck := newRowChunk(len(sel), o.width)
+	for _, i := range sel {
+		row := ck.alloc(o.width)
+		pos := 0
+		for j := range o.projs {
+			p := &o.projs[j]
+			if p.star {
+				for _, seg := range p.segs {
+					pos += copy(row[pos:pos+seg[1]], b.rows[i][seg[0]:seg[0]+seg[1]])
+				}
+				continue
+			}
+			row[pos] = o.colBuf[j][i]
+			pos++
+		}
+		o.rowBuf = append(o.rowBuf, row)
+		for k := range o.plans {
+			if o.plans[k].outCol >= 0 {
+				o.keyCols[k] = append(o.keyCols[k], row[o.plans[k].outCol])
+			} else {
+				o.keyCols[k] = append(o.keyCols[k], o.keyBuf[k][i])
+			}
+		}
+	}
+	return nil
+}
+
+func (o *projectOperator) projectInterp(ex *exec, b *Batch) error {
+	for _, i := range b.sel {
+		row := b.rows[i]
+		o.sc.row = row
+		out := make([]sqltypes.Value, 0, o.width)
+		for j := range o.projs {
+			p := &o.projs[j]
+			if p.star {
+				for _, seg := range p.segs {
+					out = append(out, row[seg[0]:seg[0]+seg[1]]...)
+				}
+				continue
+			}
+			v, err := ex.eval(p.expr, o.sc)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		o.rowBuf = append(o.rowBuf, out)
+		for k := range o.plans {
+			p := &o.plans[k]
+			var v sqltypes.Value
+			var err error
+			if p.outCol >= 0 {
+				v = out[p.outCol]
+			} else {
+				v, err = ex.eval(p.expr, o.sc)
+				if err != nil {
+					return err
+				}
+			}
+			o.keyCols[k] = append(o.keyCols[k], v)
+		}
+	}
+	return nil
+}
+
+func (o *projectOperator) Close() { o.child.Close() }
+
+// ---------------------------------------------------------------- group
+
+// groupOperator is the grouped projection: a pipeline breaker that drains
+// its input into hash buckets at Open (first-seen key order) and then
+// evaluates HAVING, the SELECT list and ORDER BY keys group-at-a-time,
+// emitting dense batches. Only the group members — the rows themselves are
+// shared with the input, never copied — and the emitted output live in
+// operator state.
+type groupOperator struct {
+	child  Operator
+	rel    *relation
+	sel    *sqlast.Select
+	sc     *scope
+	cols   []string
+	plans  []orderPlan
+	having sqlast.Expr
+	gexprs []sqlast.Expr
+	gks    *vecKeySet
+	aggVec map[sqlast.Expr]vecExpr
+	aggScr *aggScratch
+
+	groups map[string]*rowGroup
+	order  []string
+	pos    int
+
+	rowBuf  [][]sqltypes.Value
+	keyCols [][]sqltypes.Value
+	out     Batch
+}
+
+type rowGroup struct {
+	rows [][]sqltypes.Value
+}
+
+func (ex *exec) newGroupOperator(child Operator, rel *relation, sel *sqlast.Select, parent *scope, aliases map[string]sqlast.Expr) (*groupOperator, error) {
+	sc := rel.scopeFor(parent)
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("engine: SELECT * is invalid in a grouped query")
+		}
+	}
+	cols, err := ex.outputShape(sel, rel)
+	if err != nil {
+		return nil, err
+	}
+	plans := buildOrderPlan(sel, cols, sc, aliases)
+	gexprs := make([]sqlast.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		gexprs[i] = substituteAlias(sqlast.CloneExpr(g), sc, aliases)
+		if hasAggregate(gexprs[i]) {
+			return nil, fmt.Errorf("engine: aggregate in GROUP BY")
+		}
+	}
+	having := sel.Having
+	if having != nil {
+		having = sqlast.TransformExpr(sqlast.CloneExpr(having), func(e sqlast.Expr) sqlast.Expr {
+			return substituteAlias(e, sc, aliases)
+		})
+	}
+	aggExprs := make([]sqlast.Expr, 0, len(sel.Items)+1+len(plans))
+	for _, it := range sel.Items {
+		aggExprs = append(aggExprs, it.Expr)
+	}
+	if having != nil {
+		aggExprs = append(aggExprs, having)
+	}
+	for _, p := range plans {
+		if p.expr != nil {
+			aggExprs = append(aggExprs, p.expr)
+		}
+	}
+	o := &groupOperator{
+		child: child, rel: rel, sel: sel, sc: sc, cols: cols, plans: plans,
+		having: having, gexprs: gexprs,
+		gks:    ex.vecKeys(gexprs, rel.bindings, sc),
+		aggVec: ex.vecAggArgs(rel.bindings, sc, aggExprs...),
+	}
+	if o.aggVec != nil {
+		o.aggScr = &aggScratch{}
+	}
+	return o, nil
+}
+
+func (o *groupOperator) Open(ex *exec) error {
+	if err := o.child.Open(ex); err != nil {
+		return err
+	}
+	o.groups = make(map[string]*rowGroup)
+	o.order = o.order[:0]
+	o.pos = 0
+	var buf []byte
+	bucket := func(key []byte, row []sqltypes.Value) {
+		k := string(key)
+		gr, ok := o.groups[k]
+		if !ok {
+			gr = &rowGroup{}
+			o.groups[k] = gr
+			o.order = append(o.order, k)
+		}
+		gr.rows = append(gr.rows, row)
+	}
+	for {
+		if err := ex.cancelled(); err != nil {
+			return err
+		}
+		b, err := o.child.Next(ex)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if o.gks != nil {
+			m := ex.vs.mark()
+			gsel := o.gks.compute(b, false, nil)
+			if err := b.firstErr(); err != nil {
+				ex.vs.release(m)
+				return err
+			}
+			for _, i := range gsel {
+				buf = encodeKeyCols(buf[:0], o.gks.cols, i)
+				bucket(buf, b.rows[i])
+			}
+			ex.vs.release(m)
+		} else {
+			for _, i := range b.sel {
+				o.sc.row = b.rows[i]
+				buf = buf[:0]
+				for _, g := range o.gexprs {
+					v, err := ex.eval(g, o.sc)
+					if err != nil {
+						return err
+					}
+					buf = sqltypes.AppendKey(buf, v)
+				}
+				bucket(buf, b.rows[i])
+			}
+		}
+	}
+	// A global aggregate (no GROUP BY) over zero rows still yields one group.
+	if len(o.sel.GroupBy) == 0 && len(o.order) == 0 {
+		o.groups[""] = &rowGroup{}
+		o.order = append(o.order, "")
+	}
+	return nil
+}
+
+func (o *groupOperator) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if o.pos >= len(o.order) {
+		return nil, nil
+	}
+	o.rowBuf = o.rowBuf[:0]
+	o.keyCols = resetKeyCols(o.keyCols, len(o.plans))
+	sc := o.sc
+	for len(o.rowBuf) < batchSize && o.pos < len(o.order) {
+		gr := o.groups[o.order[o.pos]]
+		o.pos++
+		if len(gr.rows) > 0 {
+			sc.row = gr.rows[0]
+		} else {
+			sc.row = nil
+		}
+		sc.group = &groupCtx{rows: gr.rows, aggVec: o.aggVec, scr: o.aggScr}
+		if o.having != nil {
+			hv, err := ex.eval(o.having, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(hv); !truth {
+				sc.group = nil
+				continue
+			}
+		}
+		out := make([]sqltypes.Value, 0, len(o.sel.Items))
+		for _, it := range o.sel.Items {
+			v, err := ex.eval(it.Expr, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		o.rowBuf = append(o.rowBuf, out)
+		for k := range o.plans {
+			p := &o.plans[k]
+			var v sqltypes.Value
+			var err error
+			if p.outCol >= 0 {
+				v = out[p.outCol]
+			} else {
+				v, err = ex.eval(p.expr, sc)
+				if err != nil {
+					sc.group = nil
+					return nil, err
+				}
+			}
+			o.keyCols[k] = append(o.keyCols[k], v)
+		}
+		sc.group = nil
+	}
+	o.out.window(o.rowBuf)
+	o.out.keys = o.keyCols
+	ex.noteStream(len(o.rowBuf))
+	return &o.out, nil
+}
+
+func (o *groupOperator) Close() {
+	o.child.Close()
+	o.groups = nil
+	o.order = nil
+}
+
+// ---------------------------------------------------------------- distinct
+
+// distinctOperator streams DISTINCT: each output row is emitted the first
+// time its encoding is seen, so state is bounded by the number of distinct
+// output rows, not the input size. ORDER BY key columns travel with their
+// surviving rows.
+type distinctOperator struct {
+	child Operator
+	seen  map[string]bool
+	buf   []byte
+
+	rowBuf  [][]sqltypes.Value
+	keyCols [][]sqltypes.Value
+	out     Batch
+}
+
+func (o *distinctOperator) Open(ex *exec) error {
+	o.seen = make(map[string]bool)
+	return o.child.Open(ex)
+}
+
+func (o *distinctOperator) Next(ex *exec) (*Batch, error) {
+	for {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := o.child.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.rowBuf = o.rowBuf[:0]
+		o.keyCols = resetKeyCols(o.keyCols, len(b.keys))
+		for _, i := range b.sel {
+			row := b.rows[i]
+			o.buf = o.buf[:0]
+			for _, v := range row {
+				o.buf = sqltypes.AppendKey(o.buf, v)
+			}
+			if o.seen[string(o.buf)] {
+				continue
+			}
+			o.seen[string(o.buf)] = true
+			o.rowBuf = append(o.rowBuf, row)
+			for k := range b.keys {
+				o.keyCols[k] = append(o.keyCols[k], b.keys[k][i])
+			}
+		}
+		if len(o.rowBuf) > 0 {
+			o.out.window(o.rowBuf)
+			o.out.keys = o.keyCols
+			ex.noteStream(len(o.rowBuf))
+			return &o.out, nil
+		}
+	}
+}
+
+func (o *distinctOperator) Close() {
+	o.child.Close()
+	o.seen = nil
+}
+
+// ---------------------------------------------------------------- sort
+
+// sortOperator is the ORDER BY pipeline breaker: Open drains the child,
+// collecting rows and their precomputed key columns, runs the same stable
+// merge sort as the materializing path, and Next emits windows of the
+// sorted result.
+type sortOperator struct {
+	child Operator
+	desc  []bool
+
+	rows    [][]sqltypes.Value
+	keyCols [][]sqltypes.Value
+	pos     int
+	out     Batch
+}
+
+func newSortOperator(child Operator, desc []bool) *sortOperator {
+	return &sortOperator{child: child, desc: desc}
+}
+
+func (o *sortOperator) Open(ex *exec) error {
+	if err := o.child.Open(ex); err != nil {
+		return err
+	}
+	o.rows = o.rows[:0]
+	o.keyCols = make([][]sqltypes.Value, len(o.desc))
+	o.pos = 0
+	for {
+		if err := ex.cancelled(); err != nil {
+			return err
+		}
+		b, err := o.child.Next(ex)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, i := range b.sel {
+			o.rows = append(o.rows, b.rows[i])
+			for k := range b.keys {
+				o.keyCols[k] = append(o.keyCols[k], b.keys[k][i])
+			}
+		}
+	}
+	res := &execResult{Rows: o.rows, keyCols: o.keyCols, desc: o.desc}
+	res.sortAndTrim(-1)
+	o.rows = res.Rows
+	return nil
+}
+
+func (o *sortOperator) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	n := len(o.rows) - o.pos
+	if n > batchSize {
+		n = batchSize
+	}
+	o.out.window(o.rows[o.pos : o.pos+n])
+	o.pos += n
+	ex.noteStream(n)
+	return &o.out, nil
+}
+
+func (o *sortOperator) Close() {
+	o.child.Close()
+	o.rows = nil
+	o.keyCols = nil
+}
+
+// ---------------------------------------------------------------- limit
+
+// limitOperator counts down a LIMIT, truncating the final batch and
+// cutting off the child without draining it.
+type limitOperator struct {
+	child  Operator
+	remain int64
+}
+
+func (o *limitOperator) Open(ex *exec) error { return o.child.Open(ex) }
+
+func (o *limitOperator) Next(ex *exec) (*Batch, error) {
+	if o.remain <= 0 {
+		return nil, nil
+	}
+	b, err := o.child.Next(ex)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if int64(len(b.sel)) > o.remain {
+		b.sel = b.sel[:o.remain]
+	}
+	o.remain -= int64(len(b.sel))
+	return b, nil
+}
+
+func (o *limitOperator) Close() { o.child.Close() }
+
+// ---------------------------------------------------------------- builder
+
+// buildQueryOp lowers one SELECT level into a physical operator tree:
+// FROM/WHERE pipeline, then grouped or plain projection, then DISTINCT,
+// ORDER BY and LIMIT. The tree's structure mirrors the materializing
+// executor's evaluation order exactly.
+func (ex *exec) buildQueryOp(sel *sqlast.Select, parent *scope) (*queryRoot, error) {
+	src, err := ex.buildSourcePipe(sel, parent)
+	if err != nil {
+		return nil, err
+	}
+	a := ex.selectAnalysis(sel)
+
+	var op Operator
+	var cols []string
+	var desc []bool
+	if a.grouped {
+		g, err := ex.newGroupOperator(src.op, src.rel, sel, parent, a.aliases)
+		if err != nil {
+			return nil, err
+		}
+		op, cols = g, g.cols
+		for _, p := range g.plans {
+			desc = append(desc, p.desc)
+		}
+	} else {
+		p, err := ex.newProjectOperator(src.op, src.rel, sel, parent, a.aliases)
+		if err != nil {
+			return nil, err
+		}
+		op, cols = p, p.cols
+		for _, pl := range p.plans {
+			desc = append(desc, pl.desc)
+		}
+	}
+	if sel.Distinct {
+		op = &distinctOperator{child: op}
+	}
+	if len(desc) > 0 {
+		op = newSortOperator(op, desc)
+	}
+	if sel.Limit >= 0 {
+		op = &limitOperator{child: op, remain: sel.Limit}
+	}
+	return &queryRoot{op: op, cols: cols}, nil
+}
+
+// buildSourcePipe lowers the FROM/WHERE part of one query level into a
+// streaming pipeline, mirroring buildFromWhere: constant conjuncts gate the
+// whole FROM, single-relation conjuncts filter their source (index probes
+// where a base table allows), the greedy equi-join order composes join
+// operators, and the residual conjuncts filter the joined stream.
+func (ex *exec) buildSourcePipe(sel *sqlast.Select, parent *scope) (*pipe, error) {
+	if len(sel.From) == 0 {
+		rel := &relation{rows: [][]sqltypes.Value{{}}}
+		if sel.Where != nil {
+			sc := rel.scopeFor(parent)
+			sc.row = rel.rows[0]
+			v, err := ex.eval(sel.Where, sc)
+			if err != nil {
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				rel.rows = nil
+			}
+		}
+		return &pipe{op: &scanOperator{rows: rel.rows}, rel: rel}, nil
+	}
+
+	pipes := make([]*pipe, len(sel.From))
+	for i, te := range sel.From {
+		p, err := ex.buildTablePipe(te, parent)
+		if err != nil {
+			return nil, err
+		}
+		pipes[i] = p
+	}
+	// Duplicate binding names are ambiguous.
+	seen := make(map[string]bool)
+	for _, p := range pipes {
+		for _, b := range p.rel.bindings {
+			if seen[b.name] {
+				return nil, fmt.Errorf("engine: duplicate table alias %s", b.name)
+			}
+			seen[b.name] = true
+		}
+	}
+
+	colOwner := make(map[string][]string)
+	for _, p := range pipes {
+		for _, b := range p.rel.bindings {
+			for c := range b.colIdx {
+				colOwner[c] = append(colOwner[c], b.name)
+			}
+		}
+	}
+	local := func(name string) bool { return seen[strings.ToLower(name)] }
+
+	a := ex.selectAnalysis(sel)
+	analyzed := make([]*conjunct, len(a.conjs))
+	for i, c := range a.conjs {
+		analyzed[i] = analyzeConjunct(c, local, colOwner)
+		analyzed[i].fromOrFactor = i >= a.nPlain
+	}
+
+	// Constant conjuncts (no local refs, no subqueries) gate the whole FROM.
+	for _, c := range analyzed {
+		if len(c.refs) == 0 && !c.hasSub {
+			sc := &scope{parent: parent}
+			v, err := ex.eval(c.expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			c.used = true
+			if truth, _ := sqltypes.Truthy(v); !truth {
+				rel := &relation{bindings: allPipeBindings(pipes), width: totalPipeWidth(pipes)}
+				return &pipe{op: &scanOperator{}, rel: rel}, nil
+			}
+		}
+	}
+
+	// Pre-filter each source with its single-relation conjuncts.
+	for i, p := range pipes {
+		names := p.rel.names()
+		var mine []*conjunct
+		for _, c := range analyzed {
+			if c.used || c.hasSub || len(c.refs) == 0 {
+				continue
+			}
+			if subset(c.refs, names) {
+				mine = append(mine, c)
+			}
+		}
+		if len(mine) > 0 {
+			pipes[i] = ex.filterPipe(p, mine, parent)
+		}
+	}
+
+	// Greedy hash-join order: prefer sources connected by equi-conjuncts.
+	cur := pipes[0]
+	remaining := pipes[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		var pairs []equiPair
+		for i, p := range remaining {
+			pr := equiPairsBetween(analyzed, cur.rel, p.rel)
+			if len(pr) > 0 {
+				pick, pairs = i, pr
+				break
+			}
+		}
+		if pick < 0 {
+			// No connection: the cross product takes the smallest source,
+			// measured like the materializing path — on the filtered row
+			// count, so unsized pipes are drained first (they would be
+			// materialized as a join build side anyway).
+			for _, p := range remaining {
+				if err := ex.materializePipe(p); err != nil {
+					return nil, err
+				}
+			}
+			pick = 0
+			for i, p := range remaining {
+				if len(p.rel.rows) < len(remaining[pick].rel.rows) {
+					pick = i
+				}
+			}
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		cur = ex.newJoinPipe(cur, next, pairs, parent)
+		for _, p := range pairs {
+			p.src.used = true
+		}
+	}
+
+	// Residual conjuncts (multi-relation non-equi, subqueries).
+	var residual []*conjunct
+	for _, c := range analyzed {
+		if !c.used && !c.fromOrFactor {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		cur = ex.filterPipe(cur, residual, parent)
+	}
+	return cur, nil
+}
+
+// filterPipe applies conjuncts to a streaming source, mirroring
+// filterRelation: over an unfiltered base table, constant equality
+// conjuncts become an index scan; everything else becomes a filter
+// operator refining the stream's selection vectors.
+func (ex *exec) filterPipe(p *pipe, conjs []*conjunct, parent *scope) *pipe {
+	src := p.op
+	rel := p.rel
+	rest := conjs
+	if rel.base != nil && len(rel.bindings) == 1 {
+		var probeCols []string
+		var probeExprs []sqlast.Expr
+		rest = rest[:0:0]
+		for _, c := range conjs {
+			if col, val, ok := probeForm(c.expr, rel); ok {
+				probeCols = append(probeCols, col)
+				probeExprs = append(probeExprs, val)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if len(probeCols) > 0 {
+			src = &indexScanOperator{tab: rel.base, cols: probeCols, exprs: probeExprs, parent: parent}
+			rel = &relation{bindings: rel.bindings, width: rel.width}
+		} else {
+			rest = conjs
+		}
+	}
+	for _, c := range conjs {
+		c.used = true
+	}
+	if len(rest) == 0 {
+		return &pipe{op: src, rel: rel}
+	}
+	fo := newFilterOperator(ex, src, rel, rest, parent)
+	return &pipe{op: fo, rel: &relation{bindings: rel.bindings, width: rel.width}}
+}
+
+// buildTablePipe lowers one FROM item: a base table scans its heap, views
+// and derived tables mount their own operator subtree inline (streaming end
+// to end), and JOIN expressions compose join operators.
+func (ex *exec) buildTablePipe(te sqlast.TableExpr, parent *scope) (*pipe, error) {
+	switch t := te.(type) {
+	case *sqlast.TableName:
+		key := strings.ToLower(t.Name)
+		if view, ok := ex.db.views[key]; ok {
+			sub := sqlast.CloneSelect(view)
+			root, err := ex.buildQueryOp(sub, &scope{parent: parent})
+			if err != nil {
+				return nil, fmt.Errorf("engine: in view %s: %w", t.Name, err)
+			}
+			b := newBinding(t.Binding(), root.cols)
+			return &pipe{
+				op:  &errWrapOperator{child: root.op, prefix: "view " + t.Name},
+				rel: &relation{bindings: []*binding{b}, width: len(root.cols)},
+			}, nil
+		}
+		tab := ex.db.tables[key]
+		if tab == nil {
+			return nil, fmt.Errorf("engine: no such table %s", t.Name)
+		}
+		b := newBinding(t.Binding(), tab.ColNames())
+		return &pipe{
+			op:  &scanOperator{rows: tab.Rows},
+			rel: &relation{bindings: []*binding{b}, rows: tab.Rows, width: len(tab.Cols), base: tab},
+		}, nil
+	case *sqlast.DerivedTable:
+		root, err := ex.buildQueryOp(t.Sub, &scope{parent: parent})
+		if err != nil {
+			return nil, err
+		}
+		b := newBinding(t.Alias, root.cols)
+		return &pipe{op: root.op, rel: &relation{bindings: []*binding{b}, width: len(root.cols)}}, nil
+	case *sqlast.JoinExpr:
+		return ex.buildJoinExprPipe(t, parent)
+	}
+	return nil, fmt.Errorf("engine: unsupported FROM item %T", te)
+}
+
+func (ex *exec) buildJoinExprPipe(j *sqlast.JoinExpr, parent *scope) (*pipe, error) {
+	l, err := ex.buildTablePipe(j.L, parent)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.buildTablePipe(j.R, parent)
+	if err != nil {
+		return nil, err
+	}
+	names := func(n string) bool {
+		ln := strings.ToLower(n)
+		return l.rel.names()[ln] || r.rel.names()[ln]
+	}
+	switch j.Kind {
+	case sqlast.JoinCross:
+		return ex.newJoinPipe(l, r, nil, parent), nil
+	case sqlast.JoinInner:
+		conjs := splitConjuncts(j.On)
+		colOwner := ownerMap(l.rel, r.rel)
+		analyzed := make([]*conjunct, len(conjs))
+		for i, c := range conjs {
+			analyzed[i] = analyzeConjunct(c, names, colOwner)
+		}
+		pairs := equiPairsBetween(analyzed, l.rel, r.rel)
+		joined := ex.newJoinPipe(l, r, pairs, parent)
+		var residual []*conjunct
+		for _, c := range analyzed {
+			used := false
+			for _, p := range pairs {
+				if p.src == c {
+					used = true
+					break
+				}
+			}
+			if !used {
+				residual = append(residual, c)
+			}
+		}
+		if len(residual) == 0 {
+			return joined, nil
+		}
+		return ex.filterPipe(joined, residual, parent), nil
+	case sqlast.JoinLeftOuter:
+		conjs := splitConjuncts(j.On)
+		colOwner := ownerMap(l.rel, r.rel)
+		analyzed := make([]*conjunct, len(conjs))
+		for i, c := range conjs {
+			analyzed[i] = analyzeConjunct(c, names, colOwner)
+		}
+		pairs := equiPairsBetween(analyzed, l.rel, r.rel)
+		var residual []*conjunct
+		for _, c := range analyzed {
+			used := false
+			for _, p := range pairs {
+				if p.src == c {
+					used = true
+					break
+				}
+			}
+			if !used {
+				residual = append(residual, c)
+			}
+		}
+		return ex.newLeftOuterPipe(l, r, pairs, residual, parent), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported join kind %v", j.Kind)
+}
+
+// materializePipe drains a pipe into a buffered row set so its size is
+// known (cross-product ordering) and its rows can be rescanned.
+func (ex *exec) materializePipe(p *pipe) error {
+	if p.rel.rows != nil {
+		return nil
+	}
+	rows, err := drainRows(ex, p.op)
+	if err != nil {
+		return err
+	}
+	p.rel = &relation{bindings: p.rel.bindings, width: p.rel.width, rows: rows}
+	p.op = &scanOperator{rows: rows}
+	return nil
+}
+
+// drainRows opens op and collects every selected row. The row slices are
+// stable (heap rows or chunk allocations); only the windows are transient.
+func drainRows(ex *exec, op Operator) ([][]sqltypes.Value, error) {
+	if err := op.Open(ex); err != nil {
+		return nil, err
+	}
+	var rows [][]sqltypes.Value
+	for {
+		b, err := op.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		for _, i := range b.sel {
+			rows = append(rows, b.rows[i])
+		}
+	}
+}
+
+// allPipeBindings flattens pipe schemas into one combined binding list.
+func allPipeBindings(pipes []*pipe) []*binding {
+	var out []*binding
+	off := 0
+	for _, p := range pipes {
+		for _, b := range p.rel.bindings {
+			nb := *b
+			nb.off = off + b.off
+			out = append(out, &nb)
+		}
+		off += p.rel.width
+	}
+	return out
+}
+
+func totalPipeWidth(pipes []*pipe) int {
+	w := 0
+	for _, p := range pipes {
+		w += p.rel.width
+	}
+	return w
+}
+
+// runQueryStream executes one SELECT by building, opening and draining its
+// operator tree — the streaming counterpart of the materializing runQuery.
+func (ex *exec) runQueryStream(sel *sqlast.Select, parent *scope) (*Result, error) {
+	root, err := ex.buildQueryOp(sel, parent)
+	if err != nil {
+		return nil, err
+	}
+	defer root.op.Close()
+	if err := root.op.Open(ex); err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: root.cols}
+	for {
+		b, err := root.op.Next(ex)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		for _, i := range b.sel {
+			res.Rows = append(res.Rows, b.rows[i])
+		}
+	}
+}
+
+// fromWhereRelation materializes the FROM/WHERE part of one query level —
+// the shape UDF body planning caches per parameter tuple. It drains the
+// streaming pipeline (or delegates to the materializing builder when
+// streaming is disabled).
+func (ex *exec) fromWhereRelation(sel *sqlast.Select, parent *scope) (*relation, error) {
+	if ex.db.streamOff {
+		return ex.buildFromWhere(sel, parent)
+	}
+	p, err := ex.buildSourcePipe(sel, parent)
+	if err != nil {
+		return nil, err
+	}
+	if p.rel.rows != nil {
+		return p.rel, nil
+	}
+	rows, err := drainRows(ex, p.op)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{bindings: p.rel.bindings, width: p.rel.width, rows: rows}, nil
+}

@@ -79,6 +79,62 @@ type Plan struct {
 	// (compile.go). Their cached relations derive from dep-pinned tables, so
 	// plan validation doubles as their invalidation.
 	udfPlans map[*Function]*udfPlan
+
+	// analysis caches the data-independent lowering analysis of plan-owned
+	// Select nodes (conjunct split, OR factoring, alias map, grouped-ness) —
+	// the part of physical operator tree construction that does not depend
+	// on the data. The physical tree itself is rebuilt per execution: join
+	// order and index choices are data-dependent. Filled lazily under DB.mu,
+	// like udfPlans.
+	analysis map[*sqlast.Select]*selAnalysis
+}
+
+// selAnalysis is the per-Select execution analysis shared by the streaming
+// and materializing executors: the flattened WHERE conjuncts (with the
+// OR-factored implied conjuncts appended after nPlain), the output alias
+// map, and whether the query projects through grouping.
+type selAnalysis struct {
+	conjs   []sqlast.Expr
+	nPlain  int
+	aliases map[string]sqlast.Expr
+	grouped bool
+}
+
+func analyzeSelect(sel *sqlast.Select) *selAnalysis {
+	a := &selAnalysis{aliases: selectAliases(sel)}
+	a.conjs = splitConjuncts(sel.Where)
+	a.nPlain = len(a.conjs)
+	a.conjs = append(a.conjs, factorCommonOr(sel.Where)...)
+	a.grouped = len(sel.GroupBy) > 0 || sel.Having != nil
+	if !a.grouped {
+		for _, it := range sel.Items {
+			if !it.Star && hasAggregate(it.Expr) {
+				a.grouped = true
+				break
+			}
+		}
+	}
+	return a
+}
+
+// selectAnalysis returns sel's analysis, serving plan-owned nodes from the
+// plan's cache. Nodes the plan has never seen (clones made during
+// execution: view bodies, UDF subqueries) are analyzed per use — their
+// identity is not stable across executions.
+func (ex *exec) selectAnalysis(sel *sqlast.Select) *selAnalysis {
+	p := ex.plan
+	if _, owned := p.subqIDs[sel]; !owned {
+		return analyzeSelect(sel)
+	}
+	if a, ok := p.analysis[sel]; ok {
+		return a
+	}
+	a := analyzeSelect(sel)
+	if p.analysis == nil {
+		p.analysis = make(map[*sqlast.Select]*selAnalysis)
+	}
+	p.analysis[sel] = a
+	return a
 }
 
 // Statement returns the parsed statement the plan executes.

@@ -1,22 +1,22 @@
 package engine
 
 // This file implements the streaming consumer API: a Rows cursor with the
-// database/sql-style Next/Scan/Close contract. For the common shape —
-// SELECT without grouping, DISTINCT or ORDER BY, projecting expressions
-// that touch no subqueries or SQL-bodied functions — the FROM/WHERE part
-// runs eagerly under DB.mu (joins and filters need a consistent view of the
-// heap), but the projection itself runs lazily, one batch per Next() window,
-// so the full result set is never materialized up front. Everything else —
-// grouped, distinct or ordered queries, or projections whose evaluation
-// must stay serialized under DB.mu (UDF call sites share plan-level state)
-// — falls back to full materialization at query time; the cursor contract
-// is identical either way.
+// database/sql-style Next/Scan/Close contract. Every query shape — joins,
+// GROUP BY, ORDER BY, DISTINCT, subqueries — streams through the same
+// pull-based operator tree (operator.go): Next pulls one batch at a time
+// from the root operator, so memory is bounded by batch size plus whatever
+// the tree's pipeline breakers (hash-join builds, group buckets, sort
+// buffers) hold, never by the full result set.
 //
-// A streaming Rows holds references into the source relation (and therefore
-// the table heap) while iterating. Reads are safe concurrently with other
-// reads; interleaving DML/DDL on the same DB with an open cursor is the
-// caller's synchronization problem, exactly like holding a Result's rows
-// across a write.
+// Concurrency: the tree is built under DB.mu when the cursor is created;
+// each batch pull re-acquires DB.mu for the duration of one root.Next call
+// (operators touch plan-level shared state — UDF body plans, subquery
+// memos — and the table heaps, both of which DB.mu serializes). Between
+// pulls the lock is free, so an open cursor never starves writers. A scan
+// windows the heap slice captured at build time: in-place updates committed
+// between pulls are visible to later batches, exactly like holding a
+// Result's rows across a write — interleaving DML/DDL with an open cursor
+// remains the caller's synchronization problem.
 
 import (
 	"context"
@@ -31,21 +31,15 @@ type Rows struct {
 	cols []string
 	ex   *exec
 
-	// Materialized mode: every output row is already computed.
+	// Streaming mode: pull batches from the root operator.
+	root   Operator
+	opened bool
+	b      *Batch
+	pos    int
+
+	// Materialized mode (SetStreamExec(false)): every row precomputed.
 	buf    [][]sqltypes.Value
 	bufPos int
-
-	// Streaming mode (stream == true): project per batch on demand.
-	stream  bool
-	src     scanOp
-	b       batch
-	projs   []projector
-	vprojs  []vecExpr // compiled mode; nil entries are star segments
-	sc      *scope    // interpreter mode projection scope
-	width   int
-	remain  int64 // LIMIT countdown; -1 = unlimited
-	pending [][]sqltypes.Value
-	pendPos int
 
 	cur    []sqltypes.Value
 	err    error
@@ -59,11 +53,18 @@ func (r *Rows) Columns() []string { return r.cols }
 // clean exhaustion.
 func (r *Rows) Err() error { return r.err }
 
-// Close releases the cursor. It is safe to call multiple times and after
-// exhaustion; Next returns false afterwards.
+// Close releases the cursor and its operator tree. It is idempotent: safe
+// to call multiple times, after exhaustion, and after a mid-stream error;
+// Next returns false afterwards and Err keeps reporting the first error.
 func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
 	r.closed = true
-	r.pending = nil
+	if r.root != nil {
+		r.root.Close()
+	}
+	r.b = nil
 	r.buf = nil
 	r.cur = nil
 	return nil
@@ -80,11 +81,7 @@ func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
 	}
-	if r.remain == 0 {
-		r.Close()
-		return false
-	}
-	if !r.stream {
+	if r.root == nil {
 		if r.bufPos >= len(r.buf) {
 			r.Close()
 			return false
@@ -93,96 +90,45 @@ func (r *Rows) Next() bool {
 		r.bufPos++
 		return true
 	}
-	for r.pendPos >= len(r.pending) {
-		if !r.fillPending() {
+	for r.b == nil || r.pos >= len(r.b.sel) {
+		if !r.pull() {
 			r.Close()
 			return false
 		}
 	}
-	r.cur = r.pending[r.pendPos]
-	r.pendPos++
-	if r.remain > 0 {
-		r.remain--
-	}
+	r.cur = r.b.rows[r.b.sel[r.pos]]
+	r.pos++
 	return true
 }
 
-// fillPending projects the next source batch into r.pending, mirroring
-// projectRowsBatched (compiled) or the interpreter's row loop. It reports
-// false on exhaustion or error (r.err set).
-func (r *Rows) fillPending() bool {
+// pull fetches the next batch from the root operator under DB.mu, opening
+// the tree on the first call. It reports false on exhaustion or error
+// (r.err set).
+func (r *Rows) pull() bool {
 	ex := r.ex
 	if err := ex.cancelled(); err != nil {
 		r.err = err
 		return false
 	}
-	if !r.src.next(&r.b) {
-		return false
-	}
-	b := &r.b
-	r.pending = r.pending[:0]
-	r.pendPos = 0
-	if r.vprojs != nil {
-		n := len(b.rows)
-		sel := b.sel
-		m := ex.vs.mark()
-		selBuf := ex.vs.takeSel(len(sel))
-		cols := make([][]sqltypes.Value, len(r.projs))
-		for i, vp := range r.vprojs {
-			if vp == nil {
-				continue
-			}
-			cols[i] = ex.vs.takeVals(n)
-			vp(b, sel, cols[i])
-			sel = b.compactSel(selBuf, sel)
-		}
-		if err := b.firstErr(); err != nil {
-			ex.vs.release(m)
+	db := ex.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !r.opened {
+		r.opened = true
+		if err := r.root.Open(ex); err != nil {
 			r.err = err
 			return false
 		}
-		ck := newRowChunk(len(sel), r.width)
-		for _, i := range sel {
-			row := ck.alloc(r.width)
-			pos := 0
-			for j := range r.projs {
-				p := &r.projs[j]
-				if p.star {
-					for _, seg := range p.segs {
-						pos += copy(row[pos:pos+seg[1]], b.rows[i][seg[0]:seg[0]+seg[1]])
-					}
-					continue
-				}
-				row[pos] = cols[j][i]
-				pos++
-			}
-			r.pending = append(r.pending, row)
-		}
-		ex.vs.release(m)
-		return true
 	}
-	// Interpreter mode: row-at-a-time projection of this batch's rows.
-	for _, i := range b.sel {
-		row := b.rows[i]
-		r.sc.row = row
-		out := make([]sqltypes.Value, 0, r.width)
-		for j := range r.projs {
-			p := &r.projs[j]
-			if p.star {
-				for _, seg := range p.segs {
-					out = append(out, row[seg[0]:seg[0]+seg[1]]...)
-				}
-				continue
-			}
-			v, err := ex.eval(p.expr, r.sc)
-			if err != nil {
-				r.err = err
-				return false
-			}
-			out = append(out, v)
-		}
-		r.pending = append(r.pending, out)
+	b, err := r.root.Next(ex)
+	if err != nil {
+		r.err = err
+		return false
 	}
+	if b == nil {
+		return false
+	}
+	r.b, r.pos = b, 0
 	return true
 }
 
@@ -228,19 +174,18 @@ func (r *Rows) Scan(dest ...any) error {
 	return nil
 }
 
-// Collect drains the cursor into a materialized Result and closes it —
-// the bridge that keeps Result a thin convenience over Rows.
+// Collect drains the cursor into a materialized Result and closes it — the
+// bridge that keeps Result a thin convenience over Rows. A mid-stream
+// operator error propagates as the call's error; no partial result is
+// returned.
 func (r *Rows) Collect() (*Result, error) {
 	defer r.Close()
 	res := &Result{Cols: r.cols}
-	if !r.stream && r.bufPos == 0 {
+	if r.root == nil && r.bufPos == 0 && r.err == nil && !r.closed {
 		// Materialized cursor, untouched: hand the buffer over wholesale.
 		res.Rows = r.buf
-		if r.remain >= 0 && int64(len(res.Rows)) > r.remain {
-			res.Rows = res.Rows[:r.remain]
-		}
 		r.buf = nil
-		return res, r.err
+		return res, nil
 	}
 	for r.Next() {
 		res.Rows = append(res.Rows, r.cur)
@@ -251,34 +196,10 @@ func (r *Rows) Collect() (*Result, error) {
 	return res, nil
 }
 
-// streamableSelect reports whether sel's projection may run outside DB.mu,
-// batch-at-a-time: no grouping, DISTINCT or ORDER BY (those consume the
-// whole input anyway), and no SELECT item that evaluates a subquery or a
-// SQL-bodied function (those share plan-level state that DB.mu serializes).
-func (db *DB) streamableSelect(sel *sqlast.Select) bool {
-	if len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct || len(sel.OrderBy) > 0 {
-		return false
-	}
-	for _, it := range sel.Items {
-		if it.Star {
-			continue
-		}
-		if hasAggregate(it.Expr) {
-			return false
-		}
-		if len(sqlast.SubqueriesOf(it.Expr)) > 0 {
-			return false
-		}
-		if db.hasUDFCall(it.Expr) {
-			return false
-		}
-	}
-	return true
-}
-
 // queryRowsLocked builds the cursor for one SELECT execution under db.mu:
-// plan validation, bind coercion and the eager FROM/WHERE phase happen
-// here; a streamable projection is deferred to the cursor's Next loop.
+// plan validation, bind coercion and operator tree construction happen
+// here; all execution — scans, joins, grouping, ordering — is deferred to
+// the cursor's batch pulls.
 func (db *DB) queryRowsLocked(ctx context.Context, p *Plan, sel *sqlast.Select, args []sqltypes.Value) (*Rows, error) {
 	if p.arityErr != nil {
 		return nil, p.arityErr
@@ -287,40 +208,21 @@ func (db *DB) queryRowsLocked(ctx context.Context, p *Plan, sel *sqlast.Select, 
 	if err != nil {
 		return nil, err
 	}
-	if !db.streamableSelect(sel) {
-		res, err := ex.runQuery(sel, rootScope())
+	// An already-cancelled context fails at cursor creation, not on the
+	// first pull — the contract the eager-FROM/WHERE cursor had.
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if db.streamOff {
+		res, err := ex.runQueryMaterialized(sel, rootScope())
 		if err != nil {
 			return nil, err
 		}
-		return &Rows{cols: res.Cols, ex: ex, buf: res.Rows, remain: -1}, nil
+		return &Rows{cols: res.Cols, ex: ex, buf: res.Rows}, nil
 	}
-	rel, err := ex.buildFromWhere(sel, rootScope())
+	root, err := ex.buildQueryOp(sel, rootScope())
 	if err != nil {
 		return nil, err
 	}
-	sc := rel.scopeFor(rootScope())
-	cols, err := ex.outputShape(sel, rel)
-	if err != nil {
-		return nil, err
-	}
-	projs, width := ex.buildProjectors(sel, rel)
-	r := &Rows{
-		cols:   cols,
-		ex:     ex,
-		stream: true,
-		src:    scanOp{rows: rel.rows},
-		projs:  projs,
-		sc:     sc,
-		width:  width,
-		remain: sel.Limit, // -1 when absent
-	}
-	if !db.noCompile {
-		r.vprojs = make([]vecExpr, len(projs))
-		for i := range projs {
-			if !projs[i].star {
-				r.vprojs[i] = ex.vecCompile(projs[i].expr, rel.bindings, sc)
-			}
-		}
-	}
-	return r, nil
+	return &Rows{cols: root.cols, ex: ex, root: root.op}, nil
 }

@@ -32,15 +32,16 @@ func rowsTestDB(t *testing.T, compiled bool, n int) *DB {
 }
 
 // TestRowsMatchesResult drains cursors for a spread of query shapes —
-// streamable and materialized — and compares against QuerySQL.
+// every one of which now streams through the operator tree — and compares
+// against the classic materializing executor.
 func TestRowsMatchesResult(t *testing.T) {
 	queries := []string{
-		`SELECT id, val FROM seq WHERE val % 3 = 0`,              // streamable
-		`SELECT id, val * 2 AS dbl FROM seq WHERE id < 100`,      // streamable w/ expr
-		`SELECT * FROM seq WHERE id >= 2500`,                     // streamable star
-		`SELECT id FROM seq WHERE id < 10 ORDER BY id DESC`,      // ordered → materialized
-		`SELECT val % 5 AS k, COUNT(*) AS n FROM seq GROUP BY k`, // grouped → materialized
-		`SELECT DISTINCT val % 7 AS k FROM seq`,                  // distinct → materialized
+		`SELECT id, val FROM seq WHERE val % 3 = 0`,              // scan shape
+		`SELECT id, val * 2 AS dbl FROM seq WHERE id < 100`,      // scan w/ expr
+		`SELECT * FROM seq WHERE id >= 2500`,                     // star
+		`SELECT id FROM seq WHERE id < 10 ORDER BY id DESC`,      // sort breaker
+		`SELECT val % 5 AS k, COUNT(*) AS n FROM seq GROUP BY k`, // group breaker
+		`SELECT DISTINCT val % 7 AS k FROM seq`,                  // streamed distinct
 		`SELECT id FROM seq WHERE id > 100 LIMIT 17`,             // streamed limit
 	}
 	for _, compiled := range []bool{true, false} {
@@ -50,8 +51,10 @@ func TestRowsMatchesResult(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%q: %v", q, err)
 			}
-			// db.Query runs the classic materialize-everything path.
+			// The materializing executor is the reference.
+			db.SetStreamExec(false)
 			want, err := db.Query(sel)
+			db.SetStreamExec(true)
 			if err != nil {
 				t.Fatalf("compiled=%v %q: %v", compiled, q, err)
 			}

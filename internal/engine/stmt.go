@@ -59,12 +59,14 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...sqltypes.Value) (*Resul
 }
 
 // Query runs the statement with the given bind values and returns a
-// streaming cursor. It rejects non-SELECT statements.
+// streaming cursor pulling the plan's operator tree batch-at-a-time —
+// every query shape streams, joins and grouping included. It rejects
+// non-SELECT statements.
 func (st *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
 	return st.QueryContext(context.Background(), args...)
 }
 
-// QueryContext is Query with cancellation checked at batch boundaries.
+// QueryContext is Query with cancellation polled inside every operator.
 func (st *Stmt) QueryContext(ctx context.Context, args ...sqltypes.Value) (*Rows, error) {
 	if !st.isSelect {
 		return nil, fmt.Errorf("engine: not a query: %s", st.sql)

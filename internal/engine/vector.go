@@ -36,7 +36,7 @@ import (
 )
 
 // vecExpr evaluates an expression for the selected rows of a batch.
-type vecExpr func(b *batch, sel []int32, out []sqltypes.Value)
+type vecExpr func(b *Batch, sel []int32, out []sqltypes.Value)
 
 // ---------------------------------------------------------------- scratch
 
@@ -120,7 +120,7 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 		if ve.env.params == nil && ve.env.clientBinds {
 			ex := ve.ex
 			n := x.N
-			return func(b *batch, sel []int32, out []sqltypes.Value) {
+			return func(b *Batch, sel []int32, out []sqltypes.Value) {
 				v, err := ex.bind(n)
 				if err != nil {
 					for _, i := range sel {
@@ -138,7 +138,7 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 		if !ok {
 			break // ambiguous or correlated: interpreter semantics via lift
 		}
-		return func(b *batch, sel []int32, out []sqltypes.Value) {
+		return func(b *Batch, sel []int32, out []sqltypes.Value) {
 			rows := b.rows
 			for _, i := range sel {
 				out[i] = rows[i][idx]
@@ -153,7 +153,7 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 	case *sqlast.IsNullExpr:
 		sub := ve.compile(x.X)
 		not := x.Not
-		return func(b *batch, sel []int32, out []sqltypes.Value) {
+		return func(b *Batch, sel []int32, out []sqltypes.Value) {
 			sub(b, sel, out)
 			for _, i := range sel {
 				if b.errs[i] != nil {
@@ -189,7 +189,7 @@ func (ve *venv) compile(e sqlast.Expr) vecExpr {
 
 // vecConst broadcasts a constant.
 func vecConst(v sqltypes.Value) vecExpr {
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		for _, i := range sel {
 			out[i] = v
 		}
@@ -202,7 +202,7 @@ func vecConst(v sqltypes.Value) vecExpr {
 func (ve *venv) lift(e sqlast.Expr) vecExpr {
 	if fn, ok := ve.env.compile(e); ok {
 		ex := ve.ex
-		return func(b *batch, sel []int32, out []sqltypes.Value) {
+		return func(b *Batch, sel []int32, out []sqltypes.Value) {
 			rows := b.rows
 			for _, i := range sel {
 				v, err := fn(ex, rows[i])
@@ -215,7 +215,7 @@ func (ve *venv) lift(e sqlast.Expr) vecExpr {
 		}
 	}
 	ex, sc := ve.ex, ve.sc
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		rows := b.rows
 		for _, i := range sel {
 			sc.row = rows[i]
@@ -290,7 +290,7 @@ func (ve *venv) compileCompare(x *sqlast.BinaryExpr) vecExpr {
 	l, r := ve.compile(x.L), ve.compile(x.R)
 	want := compareWant(x.Op)
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		lbuf := st.takeVals(n)
@@ -317,7 +317,7 @@ func (ve *venv) compileCompare(x *sqlast.BinaryExpr) vecExpr {
 func (ve *venv) binOp(x *sqlast.BinaryExpr, op func(a, b sqltypes.Value) (sqltypes.Value, error)) vecExpr {
 	l, r := ve.compile(x.L), ve.compile(x.R)
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		lbuf := st.takeVals(n)
@@ -348,7 +348,7 @@ func (ve *venv) compileLogical(x *sqlast.BinaryExpr) vecExpr {
 	l, r := ve.compile(x.L), ve.compile(x.R)
 	isAnd := x.Op == "AND"
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		lbuf := st.takeVals(n)
@@ -391,7 +391,7 @@ func (ve *venv) compileLogical(x *sqlast.BinaryExpr) vecExpr {
 func (ve *venv) compileUnary(x *sqlast.UnaryExpr) vecExpr {
 	sub := ve.compile(x.X)
 	if x.Op == "-" {
-		return func(b *batch, sel []int32, out []sqltypes.Value) {
+		return func(b *Batch, sel []int32, out []sqltypes.Value) {
 			sub(b, sel, out)
 			for _, i := range sel {
 				if b.errs[i] != nil {
@@ -407,7 +407,7 @@ func (ve *venv) compileUnary(x *sqlast.UnaryExpr) vecExpr {
 		}
 	}
 	// NOT with three-valued logic
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		sub(b, sel, out)
 		for _, i := range sel {
 			if b.errs[i] != nil {
@@ -426,7 +426,7 @@ func (ve *venv) compileBetween(x *sqlast.BetweenExpr) vecExpr {
 	sub, lo, hi := ve.compile(x.X), ve.compile(x.Lo), ve.compile(x.Hi)
 	not := x.Not
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		vbuf := st.takeVals(n)
@@ -482,7 +482,7 @@ func (ve *venv) compileIn(x *sqlast.InExpr) vecExpr {
 		set[string(kb)] = append(set[string(kb)], v)
 	}
 	var probe []byte
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		sub(b, sel, out)
 		for _, i := range sel {
 			if b.errs[i] != nil {
@@ -532,7 +532,7 @@ func (ve *venv) compileInSubquery(x *sqlast.InExpr) vecExpr {
 	sub, not := x.Sub, x.Not
 	cols := make([][]sqltypes.Value, len(comps))
 	var keyBuf []byte
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		selBuf := st.takeSel(len(sel))
@@ -585,7 +585,7 @@ func (ve *venv) compileInSubquery(x *sqlast.InExpr) vecExpr {
 func (ve *venv) compileExists(x *sqlast.ExistsExpr) vecExpr {
 	ex, sc := ve.ex, ve.sc
 	sub, not := x.Sub, x.Not
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		rows := b.rows
 		for _, i := range sel {
 			sc.row = rows[i]
@@ -603,7 +603,7 @@ func (ve *venv) compileLike(x *sqlast.LikeExpr) vecExpr {
 	sub, pat := ve.compile(x.X), ve.compile(x.Pattern)
 	not := x.Not
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		sub(b, sel, out)
@@ -644,7 +644,7 @@ func (ve *venv) compileCase(x *sqlast.CaseExpr) vecExpr {
 		elseFn = ve.compile(x.Else)
 	}
 	st := ve.vs
-	return func(b *batch, sel []int32, out []sqltypes.Value) {
+	return func(b *Batch, sel []int32, out []sqltypes.Value) {
 		n := len(b.rows)
 		m := st.mark()
 		var opbuf []sqltypes.Value
@@ -730,7 +730,7 @@ func (ex *exec) vecKeys(exprs []sqlast.Expr, bindings []*binding, sc *scope) *ve
 // like the row loops' per-row short-circuit; a non-nil nullMask additionally
 // flags them so outer joins can emit them null-extended. Group-by callers
 // pass dropNulls=false: NULL is a valid group key.
-func (ks *vecKeySet) compute(b *batch, dropNulls bool, nullMask []bool) []int32 {
+func (ks *vecKeySet) compute(b *Batch, dropNulls bool, nullMask []bool) []int32 {
 	st := &ks.ex.vs
 	sel := b.sel
 	for j, prog := range ks.progs {

@@ -316,9 +316,11 @@ func (c *Conn) QueryRows(sql string, args ...any) (*engine.Rows, error) {
 }
 
 // QueryContext executes a SELECT with bind-parameter values, returning a
-// streaming cursor; ctx cancellation is checked at batch boundaries. Only
-// queries are accepted. See engine.Rows for the cursor's concurrency
-// contract (iteration happens outside the DBMS lock).
+// streaming cursor over the engine's operator tree — every query shape
+// streams batch-at-a-time, joins and grouping included; ctx cancellation
+// is polled inside every operator. Only queries are accepted. See
+// engine.Rows for the cursor's concurrency contract (each batch pull
+// briefly re-acquires the DBMS lock).
 func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*engine.Rows, error) {
 	vals, err := bindValues(args)
 	if err != nil {

@@ -68,12 +68,13 @@ func (st *Stmt) SQL() string { return st.raw }
 func (st *Stmt) Close() error { return nil }
 
 // Query executes a prepared SELECT with the given bind values and returns
-// a streaming cursor.
+// a streaming cursor over the engine's operator tree (every query shape
+// streams batch-at-a-time).
 func (st *Stmt) Query(args ...any) (*engine.Rows, error) {
 	return st.QueryContext(context.Background(), args...)
 }
 
-// QueryContext is Query with cancellation checked at batch boundaries.
+// QueryContext is Query with cancellation polled inside every operator.
 func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*engine.Rows, error) {
 	if st.sel == nil {
 		return nil, fmt.Errorf("middleware: not a query: %s (use Exec)", st.raw)

@@ -8,7 +8,11 @@
 # plan_misses/op) so repeated-execution speedups stay attributable, and the
 # per-binding plan-cache hit rate of the parameterized-query benchmark
 # (param_hits_per_op, from BenchmarkQueryParam's param_hits/op metric) so
-# the binds-vs-inlined-literals delta is machine-readable too.
+# the binds-vs-inlined-literals delta is machine-readable too. The streaming
+# executor's counters (rows_streamed_per_op — rows moved between physical
+# operators per execution — and peak_batch, the largest batch emitted) are
+# recorded so accidental materialization in the operator tree shows up as a
+# counter regression, not just a latency blip.
 # Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
@@ -33,6 +37,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 /^Benchmark/ {
 	name = $1
 	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""; parhits = ""
+	streamed = ""; peak = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")         nsop   = $(i - 1)
 		if ($(i) == "B/op")          bop    = $(i - 1)
@@ -40,6 +45,8 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 		if ($(i) == "plan_hits/op")  phits  = $(i - 1)
 		if ($(i) == "plan_misses/op") pmiss = $(i - 1)
 		if ($(i) == "param_hits/op") parhits = $(i - 1)
+		if ($(i) == "rows_streamed/op") streamed = $(i - 1)
+		if ($(i) == "peak_batch")    peak   = $(i - 1)
 	}
 	if (nsop == "") next
 	if (n++) printf ",\n"
@@ -49,6 +56,8 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 	if (phits != "")  printf ", \"plan_hits_per_op\": %s", phits
 	if (pmiss != "")  printf ", \"plan_misses_per_op\": %s", pmiss
 	if (parhits != "") printf ", \"param_hits_per_op\": %s", parhits
+	if (streamed != "") printf ", \"rows_streamed_per_op\": %s", streamed
+	if (peak != "")   printf ", \"peak_batch\": %s", peak
 	printf "}"
 }
 END { print "\n  ]\n}" }
