@@ -11,7 +11,11 @@ package mtbase
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mtbase/internal/bench"
 	"mtbase/internal/engine"
@@ -269,6 +273,158 @@ func BenchmarkQueryParam(b *testing.B) {
 			b.ReportMetric(float64(db.Stats.PlanCacheHits)/float64(b.N), "param_hits/op")
 		})
 	}
+}
+
+// BenchmarkQueryScaling measures intra-query parallel speedup: Q1 at the
+// canonical level (the conversion-heavy worst case) on a dataset large
+// enough for the morsel paths to engage, at 1/2/4/8 workers. The par1
+// sub-benchmark is the serial oracle; the ns/op ratio across the series is
+// the scaling curve bench.sh records into BENCH_*.json.
+func BenchmarkQueryScaling(b *testing.B) {
+	// Bigger than benchSF so every parallel operator (scan filter,
+	// aggregate columns, join builds, sort runs) clears the 2-morsel
+	// threshold at the default morsel size.
+	cfg := mth.Config{SF: 0.02, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.Canonical)
+	db := inst.Srv.DB()
+	defer db.SetParallelism(0)
+	q, err := mth.QueryByID(cfg.SF, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("q1-canonical/par%d", par), func(b *testing.B) {
+			db.SetParallelism(par)
+			// Warm plan and UDF caches so the series compares execution.
+			if _, err := mth.RunOnMT(conn, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mth.RunOnMT(conn, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(par), "workers")
+		})
+	}
+}
+
+// BenchmarkMixedReadWrite measures read throughput while writers commit
+// continuously: background goroutines insert into and update a side table
+// (publishing fresh table snapshots under DB.mu) while the measured loop
+// runs parallel aggregate scans over lineitem and advances an open cursor
+// pinned before the writes began. Reported metrics: qps (measured reads
+// per second), read latency p50/p99 in milliseconds, and the write commits
+// per second that overlapped them — the snapshot-isolation concurrency
+// story in one number set.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	cfg := mth.Config{SF: 0.01, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.O4)
+	db := inst.Srv.DB()
+	defer db.SetParallelism(0)
+	db.SetParallelism(4)
+	if _, err := db.ExecSQL(`CREATE TABLE bench_audit (id INTEGER NOT NULL, v INTEGER NOT NULL)`); err != nil {
+		b.Fatal(err)
+	}
+	q, err := mth.QueryByID(cfg.SF, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mth.RunOnMT(conn, q); err != nil { // warm caches
+		b.Fatal(err)
+	}
+
+	// Cursor pinned before any writer commits; advanced between reads and
+	// drained after the writers stop — it must still see its snapshot.
+	cursor, err := db.QueryRows(`SELECT l_orderkey FROM lineitem`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cursor.Close()
+
+	stop := make(chan struct{})
+	var writes int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.ExecSQL(fmt.Sprintf(`INSERT INTO bench_audit VALUES (%d, %d)`, w*1_000_000+i, i)); err != nil {
+					b.Error(err)
+					return
+				}
+				if i%8 == 0 {
+					if _, err := db.ExecSQL(fmt.Sprintf(`UPDATE bench_audit SET v = v + 1 WHERE id %% 13 = %d`, i%13)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				atomic.AddInt64(&writes, 1)
+			}
+		}(w)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := mth.RunOnMT(conn, q); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+		if !cursor.Next() {
+			b.Fatal("open cursor exhausted early or failed:", cursor.Err())
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.99), "p99_ms")
+	b.ReportMetric(float64(writes)/elapsed.Seconds(), "writes_per_sec")
 }
 
 // BenchmarkRewrite isolates the middleware's own cost: parse + canonical

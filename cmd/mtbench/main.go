@@ -9,6 +9,12 @@
 //	mtbench -table 3,4,5 -sf 0.05    # the PostgreSQL-mode tables, bigger
 //	mtbench -figure 5 -tenants 1,10,100,1000
 //	mtbench -all                     # everything (takes a while)
+//	mtbench -table 3 -parallelism 4  # intra-query parallel scans
+//	mtbench -mixed -concurrency 4 -parallelism 2 -ops 200
+//
+// The -mixed mode measures read throughput (qps, p50/p99 latency) while
+// background writers commit continuously — the copy-on-write snapshot
+// concurrency demonstration.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"mtbase/internal/bench"
 	"mtbase/internal/engine"
 	"mtbase/internal/mth"
+	"mtbase/internal/optimizer"
 )
 
 func main() {
@@ -38,11 +45,43 @@ func main() {
 		progress    = flag.Bool("progress", false, "print per-measurement progress")
 		printBatch  = flag.Bool("print-batch-size", false, "print the engine's execution batch size and exit")
 		noPlanCache = flag.Bool("no-plan-cache", false, "disable the statement plan caches (A/B the pre-cache behaviour)")
+		parallelism = flag.Int("parallelism", 0, "intra-query worker count (0 = engine default GOMAXPROCS, 1 = serial)")
+		mixed       = flag.Bool("mixed", false, "run the mixed read/write throughput mode")
+		concurrency = flag.Int("concurrency", 1, "concurrent reader connections for -mixed")
+		writers     = flag.Int("writers", 2, "background writer goroutines for -mixed")
+		ops         = flag.Int("ops", 64, "total measured reads for -mixed")
+		level       = flag.String("level", "o4", "optimization level for -mixed")
+		mixedQuery  = flag.Int("mixed-query", 6, "measured query id for -mixed")
 	)
 	flag.Parse()
 
 	if *printBatch {
 		fmt.Println(engine.BatchSize)
+		return
+	}
+
+	if *mixed {
+		lv, err := optimizer.ParseLevel(*level)
+		if err != nil {
+			fatal(err)
+		}
+		spec := bench.MixedSpec{
+			SF: *sf, Tenants: *tenants, Mode: engine.ModePostgres, Level: lv,
+			QueryID: *mixedQuery, Concurrency: *concurrency,
+			Parallelism: *parallelism, Writers: *writers, Ops: *ops,
+		}
+		if *dist != "" {
+			spec.Dist = mth.Distribution(*dist)
+		}
+		var progressW io.Writer
+		if *progress {
+			progressW = os.Stderr
+		}
+		res, err := bench.RunMixed(spec, progressW)
+		if err != nil {
+			fatal(err)
+		}
+		res.WriteMixed(os.Stdout)
 		return
 	}
 
@@ -83,6 +122,7 @@ func main() {
 		spec.Repeats = *repeats
 		spec.Queries = queryIDs
 		spec.NoPlanCache = *noPlanCache
+		spec.Parallelism = *parallelism
 		if *dist != "" {
 			spec.Dist = mth.Distribution(*dist)
 		}
@@ -99,6 +139,7 @@ func main() {
 			fatal(err)
 		}
 		spec.Repeats = *repeats
+		spec.Parallelism = *parallelism
 		if len(queryIDs) > 0 {
 			spec.QueryIDs = queryIDs
 		}

@@ -31,6 +31,13 @@
 //     for every query shape — joins, grouping, ordering, DISTINCT,
 //     subqueries — and every entry point has a Context variant polled for
 //     cancellation inside every operator (ADR-003/ADR-004 in DESIGN.md).
+//     Statements read immutable copy-on-write snapshots pinned at exec
+//     creation — writers publish new snapshots under DB.mu, so readers,
+//     open cursors and writers overlap without blocking — and large scans,
+//     aggregate columns, join builds and sorts fan out morsel-parallel
+//     across a worker pool (DB.SetParallelism; results are byte-identical
+//     at every setting, parallelism 1 being the serial differential
+//     oracle; ADR-005 in DESIGN.md).
 //   - mtsql — MTSQL semantics: generality, comparability, conversion algebra
 //   - rewrite — the canonical MTSQL→SQL rewrite algorithm (§3)
 //   - optimizer — the o1–o4 / inl-only optimization passes (§4)
@@ -38,7 +45,8 @@
 //     Conn.Prepare gives prepared MTSQL statements whose rewrite is cached
 //     against the parameterized text and shared across bindings
 //   - mth — the MT-H benchmark: dbgen, 22 queries, validation (§5)
-//   - bench — the experiment driver for every table and figure (§6)
+//   - bench — the experiment driver for every table and figure (§6), plus
+//     the mixed read/write throughput mode (mtbench -mixed)
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

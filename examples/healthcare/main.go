@@ -34,7 +34,7 @@ func main() {
 	// Show the skew.
 	db := inst.Srv.DB()
 	counts := make(map[int64]int)
-	for _, row := range db.Table("lineitem").Rows {
+	for _, row := range db.Table("lineitem").Heap() {
 		counts[row[0].I]++
 	}
 	fmt.Printf("procedure records: provider 1 holds %d, provider 200 holds %d\n\n",

@@ -34,6 +34,11 @@ type OptSpec struct {
 	// NoPlanCache disables the statement plan caches (middleware and
 	// engine), restoring per-execution lowering for A/B comparison.
 	NoPlanCache bool
+
+	// Parallelism sets the engine's intra-query worker count for the
+	// measured runs (0 keeps the engine default, GOMAXPROCS; 1 is the
+	// serial oracle).
+	Parallelism int
 }
 
 // Levels evaluated in every table (Table 6 of the paper).
@@ -88,6 +93,9 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 	}
 	if spec.NoPlanCache {
 		inst.Srv.SetStatementCaching(false)
+	}
+	if spec.Parallelism > 0 {
+		inst.Srv.DB().SetParallelism(spec.Parallelism)
 	}
 	conn, err := inst.Connect(spec.C, spec.Scope)
 	if err != nil {
@@ -271,6 +279,7 @@ type ScaleSpec struct {
 	Mode         engine.Mode
 	QueryIDs     []int // default Q1, Q6, Q22
 	Repeats      int
+	Parallelism  int // intra-query workers; 0 = engine default
 }
 
 // ScaleResult holds response times relative to plain TPC-H (= 1.0).
@@ -329,6 +338,9 @@ func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
 		conn, err := inst.Connect(1, "IN ()")
 		if err != nil {
 			return nil, err
+		}
+		if spec.Parallelism > 0 {
+			inst.Srv.DB().SetParallelism(spec.Parallelism)
 		}
 		for _, level := range scaleLevels {
 			conn.SetOptLevel(level)

@@ -377,7 +377,7 @@ func TestQueryContextCancel(t *testing.T) {
 	// Blow the table up past several batches so the scan must hit a
 	// boundary check.
 	tab := db.Table("items")
-	row := append([]sqltypes.Value(nil), tab.Rows[0]...)
+	row := append([]sqltypes.Value(nil), tab.Heap()[0]...)
 	for i := 0; i < 5000; i++ {
 		r := append([]sqltypes.Value(nil), row...)
 		tab.AppendRow(r)

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqltypes"
@@ -40,6 +42,7 @@ type compiledExpr func(ex *exec, row []sqltypes.Value) (sqltypes.Value, error)
 // invokes it instead of the one that happened to build it.
 type cenv struct {
 	db       *DB
+	cat      *catalog // the compiling exec's pinned catalog (UDF resolution)
 	bindings []*binding
 	params   *[]sqltypes.Value // non-nil only inside UDF body plans
 
@@ -58,7 +61,7 @@ func (ex *exec) compile(e sqlast.Expr, bindings []*binding, sc *scope) compiledE
 	if ex.db.noCompile {
 		return nil
 	}
-	env := &cenv{db: ex.db, bindings: bindings, clientBinds: !scopeHasParams(sc)}
+	env := &cenv{db: ex.db, cat: ex.cat, bindings: bindings, clientBinds: !scopeHasParams(sc)}
 	fn, ok := env.compile(e)
 	if !ok {
 		return nil
@@ -714,7 +717,7 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 			return sqltypes.NewString(v.AsString()), nil
 		})
 	}
-	fn := env.db.Function(x.Name)
+	fn := env.function(x.Name)
 	if fn == nil {
 		return nil, false // interpreter raises "unknown function"
 	}
@@ -731,6 +734,16 @@ func (env *cenv) compileFunc(x *sqlast.FuncCall) (compiledExpr, bool) {
 		site.prefix = []byte(fn.Name)
 	}
 	return site.call, true
+}
+
+// function resolves a UDF against the compiling exec's pinned catalog so a
+// compiled closure and its interpreter fallback agree on which function
+// definition a name means, even if DDL swaps the live catalog mid-query.
+func (env *cenv) function(name string) *Function {
+	if env.cat != nil {
+		return env.cat.function(name)
+	}
+	return env.db.Function(name)
 }
 
 func (env *cenv) compileArgs(exprs []sqlast.Expr) ([]compiledExpr, bool) {
@@ -804,10 +817,11 @@ func (env *cenv) compileRound(x *sqlast.FuncCall) (compiledExpr, bool) {
 // map probe and one insert, not two of each, while results stay visible
 // across call sites of the same function.
 //
-// The site carries no exec: the executing exec arrives per call, so sites
-// inside plan-cached UDF body projections serve every execution of the plan.
-// The buf/argv scratch is shared mutable state, which is safe because DB.mu
-// serializes statement execution and recursive re-entry copies argv before
+// The site carries no exec: the executing exec arrives per call. The
+// buf/argv scratch is mutable state, which is safe because every compiled
+// closure — including UDF body projections, which PR 6 made per-exec
+// (ex.udfProj) — belongs to exactly one exec, each parallel worker compiles
+// its own closures (workerClone), and recursive re-entry copies argv before
 // the body resolves $n (execUDFBody).
 type udfSite struct {
 	fn     *Function
@@ -835,7 +849,7 @@ func (s *udfSite) call(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 	}
 	s.buf = buf
 	if v, ok := ex.udfCache[string(buf)]; ok {
-		ex.db.Stats.UDFCacheHits++
+		atomic.AddInt64(&ex.db.Stats.UDFCacheHits, 1)
 		return v, nil
 	}
 	// Materialize the key before executing the body: a recursive function
@@ -871,17 +885,19 @@ func (s *udfSite) call(ex *exec, row []sqltypes.Value) (sqltypes.Value, error) {
 //
 // udfPlans live on the statement Plan and survive across executions; the
 // entries derive exclusively from dep-pinned tables, so plan validation
-// doubles as their invalidation. curArgs/buf are scratch serialized by
-// DB.mu and save/restored around recursion — they never carry state between
-// statements.
+// doubles as their invalidation. mu guards the entries map: concurrent
+// executions (and parallel workers within one) share the plan, and all of
+// them pinned identical snapshots of the dep tables — a plan is only handed
+// out after validation against the same versions the exec pinned, and any
+// version bump produces a fresh plan object — so whichever execution builds
+// an entry first builds the same relation every other sharer would.
 type udfPlan struct {
+	mu          sync.Mutex
 	ok          bool
 	body        *sqlast.Select
 	proj        sqlast.Expr
 	whereParams []int // 1-based parameter indices the WHERE references
-	curArgs     []sqltypes.Value
 	entries     map[string]*udfPlanEntry
-	buf         []byte
 }
 
 // udfPlanEntryCap bounds the relations a udfPlan accumulates: conversion
@@ -892,11 +908,12 @@ type udfPlan struct {
 const udfPlanEntryCap = 4096
 
 // udfPlanEntry is the body's FROM/WHERE relation for one tuple of
-// WHERE-referenced arguments, with the projection compiled against it.
+// WHERE-referenced arguments. It is immutable once inserted; the projection
+// closure compiled against it is per-exec (ex.udfProj), because compiled
+// closures capture their exec's scratch and must not cross goroutines.
 type udfPlanEntry struct {
 	rows     [][]sqltypes.Value
 	bindings []*binding
-	projFn   compiledExpr // nil → interpret the projection
 }
 
 // planUDF analyses fn's body once per *plan* and returns its lowering. The
@@ -905,17 +922,20 @@ type udfPlanEntry struct {
 // its executions; version-based plan invalidation (plan.go) discards them
 // the moment any table a body reads changes.
 func (ex *exec) planUDF(fn *Function) *udfPlan {
-	if plan, ok := ex.plan.udfPlans[fn]; ok {
+	p := ex.plan
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if plan, ok := p.udfPlans[fn]; ok {
 		return plan
 	}
 	plan := buildUDFPlan(fn.Body)
 	if ex.db.noCompile {
 		plan = &udfPlan{}
 	}
-	if ex.plan.udfPlans == nil {
-		ex.plan.udfPlans = make(map[*Function]*udfPlan)
+	if p.udfPlans == nil {
+		p.udfPlans = make(map[*Function]*udfPlan)
 	}
-	ex.plan.udfPlans[fn] = plan
+	p.udfPlans[fn] = plan
 	return plan
 }
 
@@ -958,7 +978,7 @@ func buildUDFPlan(body *sqlast.Select) *udfPlan {
 // runQuery(body, scope-with-params) followed by taking the first row's only
 // column (NULL over an empty result), the contract of callUDF.
 func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Value, error) {
-	buf := plan.buf[:0]
+	buf := ex.keyBuf[:0]
 	for _, n := range plan.whereParams {
 		if n >= 1 && n <= len(args) {
 			buf = sqltypes.AppendKey(buf, args[n-1])
@@ -966,12 +986,27 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 			buf = append(buf, 'x')
 		}
 	}
-	plan.buf = buf
-	entry, ok := plan.entries[string(buf)]
-	if !ok {
-		if len(plan.entries) >= udfPlanEntryCap {
-			plan.entries = make(map[string]*udfPlanEntry)
-		}
+	ex.keyBuf = buf
+	// Materialize the key before any nested evaluation: building the entry
+	// relation below can call UDFs in the WHERE, which reuse ex.keyBuf.
+	key := string(buf)
+
+	// Per-exec memo first: parallel workers would otherwise serialize on
+	// Plan.mu for every call. The memo key carries the plan identity —
+	// different functions share the exec-level map — and entries are
+	// immutable, so a memoized pointer stays valid even if the plan-level
+	// map restarts on overflow.
+	memoKey := udfEntryKey{plan: plan, key: key}
+	if entry := ex.udfEntries[memoKey]; entry != nil {
+		return ex.projectPlannedUDF(plan, entry, args)
+	}
+	plan.mu.Lock()
+	entry := plan.entries[key]
+	plan.mu.Unlock()
+	if entry == nil {
+		// Build outside the lock: the relation derives only from dep-pinned
+		// snapshots plus args, so two racing builders produce identical rows
+		// and the first insert wins.
 		psc := rootScope()
 		psc.params = args
 		rel, err := ex.fromWhereRelation(plan.body, psc)
@@ -979,26 +1014,60 @@ func (ex *exec) runPlannedUDF(plan *udfPlan, args []sqltypes.Value) (sqltypes.Va
 			return sqltypes.Null, err
 		}
 		entry = &udfPlanEntry{rows: rel.rows, bindings: rel.bindings}
-		env := &cenv{db: ex.db, bindings: rel.bindings, params: &plan.curArgs}
-		if fn, ok := env.compile(plan.proj); ok {
-			entry.projFn = fn
+		plan.mu.Lock()
+		if existing := plan.entries[key]; existing != nil {
+			entry = existing
+		} else {
+			if len(plan.entries) >= udfPlanEntryCap {
+				plan.entries = make(map[string]*udfPlanEntry)
+			}
+			plan.entries[key] = entry
 		}
-		plan.entries[string(buf)] = entry
+		plan.mu.Unlock()
+	}
+	if ex.udfEntries == nil {
+		ex.udfEntries = make(map[udfEntryKey]*udfPlanEntry)
+	}
+	ex.udfEntries[memoKey] = entry
+	return ex.projectPlannedUDF(plan, entry, args)
+}
+
+// udfEntryKey identifies a planned-UDF relation in the per-exec memo:
+// the owning plan (one per function) plus the encoded WHERE parameters.
+type udfEntryKey struct {
+	plan *udfPlan
+	key  string
+}
+
+// projectPlannedUDF evaluates the body projection over an entry's cached
+// relation — the per-call tail of runPlannedUDF once the relation is known.
+func (ex *exec) projectPlannedUDF(plan *udfPlan, entry *udfPlanEntry, args []sqltypes.Value) (sqltypes.Value, error) {
+	// The projection closure is compiled per exec: its $n lowering reads
+	// *ex.udfArgs, and the closure itself may capture exec-owned scratch, so
+	// sharing it across concurrent executions of the same plan would race.
+	projFn, tried := ex.udfProj[entry]
+	if !tried {
+		env := &cenv{db: ex.db, cat: ex.cat, bindings: entry.bindings, params: &ex.udfArgs}
+		projFn, _ = env.compile(plan.proj)
+		if ex.udfProj == nil {
+			ex.udfProj = make(map[*udfPlanEntry]compiledExpr)
+		}
+		ex.udfProj[entry] = projFn // nil marks "tried, interpret instead"
 	}
 
 	// The interpreter projects every row and returns the first; evaluating
 	// all rows keeps error behaviour identical when later rows fail.
-	// curArgs must be a copy: args is typically a call site's reused argv
+	// udfArgs must be a copy: args is typically a call site's reused argv
 	// slice, and a recursive call through the same site would overwrite it
 	// while the enclosing call's $n closures still read it.
-	savedArgs := plan.curArgs
-	plan.curArgs = append([]sqltypes.Value(nil), args...)
-	defer func() { plan.curArgs = savedArgs }()
+	savedArgs := ex.udfArgs
+	ex.udfArgs = append([]sqltypes.Value(nil), args...)
+	defer func() { ex.udfArgs = savedArgs }()
 
 	out := sqltypes.Null
-	if entry.projFn != nil {
+	if projFn != nil {
 		for i, row := range entry.rows {
-			v, err := entry.projFn(ex, row)
+			v, err := projFn(ex, row)
 			if err != nil {
 				return sqltypes.Null, err
 			}

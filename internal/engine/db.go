@@ -34,9 +34,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
@@ -72,18 +74,49 @@ type Column struct {
 	NotNull bool
 }
 
-// Table is an in-memory heap of rows plus lazily built hash indexes.
+// tableData is one immutable snapshot of a table: the row heap plus the
+// hash indexes built over exactly that heap. Writers never mutate a
+// published tableData — they build a new one and swap the table's data
+// pointer — so any reader holding a tableData sees a frozen, internally
+// consistent heap/index pair for as long as it keeps the pointer.
+type tableData struct {
+	rows [][]sqltypes.Value
+
+	// Indexes are built lazily per snapshot; idxMu only serializes the
+	// build so concurrent readers of one snapshot construct each index
+	// once. The heap itself needs no locking — it is immutable.
+	idxMu   sync.Mutex
+	indexes map[string]*hashIndex // keyed by lower-case comma-joined cols
+}
+
+// Table is an in-memory table whose row heap lives behind an atomically
+// swapped snapshot pointer (copy-on-write): readers pin the current
+// tableData and scan it without holding DB.mu, writers build a replacement
+// under DB.mu and publish it at statement end.
 type Table struct {
 	Name    string
 	Cols    []Column
 	PK      []string // primary key column names (may be empty)
-	Rows    [][]sqltypes.Value
 	colIdx  map[string]int
-	indexes map[string]*hashIndex // keyed by lower-case comma-joined cols
-	version uint64                // bumped on every write; invalidates indexes
+	data    atomic.Pointer[tableData]
+	version uint64 // read/written atomically; bumped on every publish
+	db      *DB    // owning DB, so AppendRow/BulkLoad can self-serialize
 
 	Constraints []sqlast.Constraint // FK / CHECK retained for validation
 }
+
+// newTableData wraps rows as a fresh snapshot with no indexes built yet.
+func newTableData(rows [][]sqltypes.Value) *tableData {
+	return &tableData{rows: rows}
+}
+
+// Heap returns the table's current immutable row snapshot. The returned
+// slice must not be modified; it stays valid (and frozen) across
+// concurrent writes, which publish new snapshots instead of mutating it.
+func (t *Table) Heap() [][]sqltypes.Value { return t.data.Load().rows }
+
+// RowCount returns the number of rows in the current snapshot.
+func (t *Table) RowCount() int { return len(t.Heap()) }
 
 // ColIndex returns the ordinal of a column (case-insensitive), or -1.
 func (t *Table) ColIndex(name string) int {
@@ -102,9 +135,12 @@ func (t *Table) ColNames() []string {
 	return names
 }
 
-func (t *Table) invalidate() {
-	t.version++
-	t.indexes = nil
+// publish installs rows as the table's new current snapshot and bumps the
+// version (invalidating cached plans that depend on the table). Callers
+// must hold DB.mu — writers are serialized; only readers run lock-free.
+func (t *Table) publish(rows [][]sqltypes.Value) {
+	t.data.Store(newTableData(rows))
+	atomic.AddUint64(&t.version, 1)
 }
 
 // Function is a SQL-bodied scalar function.
@@ -122,13 +158,49 @@ type Result struct {
 	Affected int
 }
 
-// DB is an embedded SQL database.
-type DB struct {
-	mu     sync.Mutex
-	mode   Mode
+// catalog is one immutable snapshot of the schema: tables, views and
+// functions. DDL clones the maps under DB.mu and swaps the DB's catalog
+// pointer, so an executing statement keeps resolving names against the
+// catalog it captured at creation even while DDL runs concurrently.
+type catalog struct {
 	tables map[string]*Table
 	views  map[string]*sqlast.Select
 	funcs  map[string]*Function
+}
+
+func (c *catalog) table(name string) *Table         { return c.tables[strings.ToLower(name)] }
+func (c *catalog) function(name string) *Function   { return c.funcs[strings.ToLower(name)] }
+func (c *catalog) view(name string) *sqlast.Select  { return c.views[strings.ToLower(name)] }
+
+// clone returns a shallow copy of the catalog with fresh maps, the
+// starting point for every DDL mutation.
+func (c *catalog) clone() *catalog {
+	nc := &catalog{
+		tables: make(map[string]*Table, len(c.tables)+1),
+		views:  make(map[string]*sqlast.Select, len(c.views)+1),
+		funcs:  make(map[string]*Function, len(c.funcs)+1),
+	}
+	for k, v := range c.tables {
+		nc.tables[k] = v
+	}
+	for k, v := range c.views {
+		nc.views[k] = v
+	}
+	for k, v := range c.funcs {
+		nc.funcs[k] = v
+	}
+	return nc
+}
+
+// DB is an embedded SQL database.
+type DB struct {
+	mu   sync.Mutex
+	mode Mode
+	cat  atomic.Pointer[catalog] // current schema snapshot; DDL swaps it
+
+	// par is the degree of intra-query parallelism (SetParallelism);
+	// 0 means GOMAXPROCS. Read under mu at exec creation.
+	par int
 
 	// noCompile forces the tree-walking interpreter for every expression.
 	// The differential property test uses it to prove the compiled and
@@ -161,6 +233,30 @@ func (db *DB) SetCompileExprs(on bool) { db.noCompile = !on }
 // rely on it.
 func (db *DB) SetStreamExec(on bool) { db.streamOff = !on }
 
+// SetParallelism sets the degree of intra-query parallelism for morsel
+// scans, aggregate evaluation, sort runs and join builds. n <= 0 restores
+// the default (GOMAXPROCS); 1 keeps the serial execution path, which the
+// differential tests use as the oracle. Results are identical at every
+// setting — parallel operators emit morsels in heap order and fold
+// aggregates in row order, so even float sums match the serial path byte
+// for byte.
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.par = n
+}
+
+// parallelism resolves the effective worker count; callers hold db.mu.
+func (db *DB) parallelism() int {
+	if db.par > 0 {
+		return db.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Stats counts interesting engine events.
 type Stats struct {
 	UDFCalls     int64 // UDF body executions (cache misses in ModePostgres)
@@ -182,26 +278,47 @@ type Stats struct {
 	PeakBatch    int64
 }
 
+// Snapshot returns an atomically read copy of the counters, safe to call
+// while parallel queries are updating them. The fields stay plain int64s
+// (updated via sync/atomic) so single-threaded tests and benchmarks can
+// keep resetting with db.Stats = Stats{}.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		UDFCalls:               atomic.LoadInt64(&s.UDFCalls),
+		UDFCacheHits:           atomic.LoadInt64(&s.UDFCacheHits),
+		PlanCacheHits:          atomic.LoadInt64(&s.PlanCacheHits),
+		PlanCacheMisses:        atomic.LoadInt64(&s.PlanCacheMisses),
+		PlanCacheInvalidations: atomic.LoadInt64(&s.PlanCacheInvalidations),
+		RowsStreamed:           atomic.LoadInt64(&s.RowsStreamed),
+		PeakBatch:              atomic.LoadInt64(&s.PeakBatch),
+	}
+}
+
 // Open returns an empty database in the given mode.
 func Open(mode Mode) *DB {
-	return &DB{
-		mode:   mode,
+	db := &DB{mode: mode}
+	db.cat.Store(&catalog{
 		tables: make(map[string]*Table),
 		views:  make(map[string]*sqlast.Select),
 		funcs:  make(map[string]*Function),
-	}
+	})
+	return db
 }
 
 // Mode reports the emulation mode.
 func (db *DB) Mode() Mode { return db.mode }
 
+// catalogNow returns the current schema snapshot.
+func (db *DB) catalogNow() *catalog { return db.cat.Load() }
+
 // Table returns a table by name (case-insensitive) or nil.
-func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
+func (db *DB) Table(name string) *Table { return db.catalogNow().table(name) }
 
 // TableNames returns all table names, sorted.
 func (db *DB) TableNames() []string {
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	cat := db.catalogNow()
+	names := make([]string, 0, len(cat.tables))
+	for _, t := range cat.tables {
 		names = append(names, t.Name)
 	}
 	sort.Strings(names)
@@ -209,7 +326,7 @@ func (db *DB) TableNames() []string {
 }
 
 // Function returns a registered function by name (case-insensitive) or nil.
-func (db *DB) Function(name string) *Function { return db.funcs[strings.ToLower(name)] }
+func (db *DB) Function(name string) *Function { return db.catalogNow().function(name) }
 
 // ExecSQL parses and executes a single statement through the plan cache:
 // repeated texts reuse the cached lowering as long as every referenced
@@ -228,12 +345,12 @@ func (db *DB) ExecArgs(sql string, args ...sqltypes.Value) (*Result, error) {
 // boundaries, so a cancelled context aborts a long scan within one batch.
 func (db *DB) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (*Result, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	p, err := db.planForLocked(sql)
 	if err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
-	return db.execPlanLocked(ctx, p, args)
+	return db.execPlanUnlock(ctx, p, args)
 }
 
 // ExecScript executes a ;-separated script, returning the last result.
@@ -255,8 +372,7 @@ func (db *DB) ExecScript(sql string) (*Result, error) {
 // Exec executes a parsed statement through an ephemeral (uncached) plan.
 func (db *DB) Exec(stmt sqlast.Statement) (*Result, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execPlanLocked(context.Background(), db.buildPlanLocked("", stmt), nil)
+	return db.execPlanUnlock(context.Background(), db.buildPlanLocked("", stmt), nil)
 }
 
 // newExecArgs builds the per-statement execution state with validated,
@@ -272,18 +388,35 @@ func (db *DB) newExecArgs(ctx context.Context, p *Plan, args []sqltypes.Value) (
 	return ex, nil
 }
 
-// execPlanLocked dispatches one statement execution under db.mu.
+// execPlanUnlock dispatches one statement execution. It is entered with
+// db.mu held and releases the lock itself: a SELECT pins its catalog and
+// table snapshots while still under the lock (inside newExecArgs), then
+// runs lock-free against those immutable snapshots, so scans, open cursors
+// and writers overlap. Writes and DDL stay under the lock end to end and
+// publish new snapshots before releasing it.
+func (db *DB) execPlanUnlock(ctx context.Context, p *Plan, args []sqltypes.Value) (*Result, error) {
+	if sel, ok := p.stmt.(*sqlast.Select); ok {
+		if p.arityErr != nil {
+			db.mu.Unlock()
+			return nil, p.arityErr
+		}
+		ex, err := db.newExecArgs(ctx, p, args)
+		db.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return ex.runQuery(sel, rootScope())
+	}
+	defer db.mu.Unlock()
+	return db.execPlanLocked(ctx, p, args)
+}
+
+// execPlanLocked dispatches one write or DDL statement under db.mu.
 func (db *DB) execPlanLocked(ctx context.Context, p *Plan, args []sqltypes.Value) (*Result, error) {
 	if p.arityErr != nil {
 		return nil, p.arityErr
 	}
 	switch s := p.stmt.(type) {
-	case *sqlast.Select:
-		ex, err := db.newExecArgs(ctx, p, args)
-		if err != nil {
-			return nil, err
-		}
-		return ex.runQuery(s, rootScope())
 	case *sqlast.Insert:
 		ex, err := db.newExecArgs(ctx, p, args)
 		if err != nil {
@@ -315,17 +448,23 @@ func (db *DB) execPlanLocked(ctx context.Context, p *Plan, args []sqltypes.Value
 		return db.createFunction(s)
 	case *sqlast.DropTable:
 		key := strings.ToLower(s.Name)
-		if _, ok := db.tables[key]; !ok {
+		cat := db.catalogNow()
+		if _, ok := cat.tables[key]; !ok {
 			return nil, fmt.Errorf("engine: no such table %s", s.Name)
 		}
-		delete(db.tables, key)
+		nc := cat.clone()
+		delete(nc.tables, key)
+		db.cat.Store(nc)
 		return &Result{}, nil
 	case *sqlast.DropView:
 		key := strings.ToLower(s.Name)
-		if _, ok := db.views[key]; !ok {
+		cat := db.catalogNow()
+		if _, ok := cat.views[key]; !ok {
 			return nil, fmt.Errorf("engine: no such view %s", s.Name)
 		}
-		delete(db.views, key)
+		nc := cat.clone()
+		delete(nc.views, key)
+		db.cat.Store(nc)
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", p.stmt)
@@ -334,14 +473,13 @@ func (db *DB) execPlanLocked(ctx context.Context, p *Plan, args []sqltypes.Value
 // Query executes a SELECT through an ephemeral plan.
 func (db *DB) Query(sel *sqlast.Select) (*Result, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execPlanLocked(context.Background(), db.buildPlanLocked("", sel), nil)
+	return db.execPlanUnlock(context.Background(), db.buildPlanLocked("", sel), nil)
 }
 
 // QuerySQL parses and executes a SELECT through the plan cache, returning
-// the fully materialized Result. Unlike an explicitly opened Rows cursor,
-// the whole execution — projection included — runs under DB.mu, so the
-// call stays atomic with respect to concurrent writers.
+// the fully materialized Result. The execution runs against the table
+// snapshots current when the call started, so the result is atomic with
+// respect to concurrent writers without holding DB.mu for the scan.
 func (db *DB) QuerySQL(sql string) (*Result, error) {
 	db.mu.Lock()
 	p, err := db.planForLocked(sql)
@@ -357,8 +495,7 @@ func (db *DB) QuerySQL(sql string) (*Result, error) {
 		}
 		return nil, fmt.Errorf("engine: not a query: %s", sql)
 	}
-	defer db.mu.Unlock()
-	return db.execPlanLocked(context.Background(), p, nil)
+	return db.execPlanUnlock(context.Background(), p, nil)
 }
 
 // QueryRows parses and executes a SELECT through the plan cache, returning
@@ -386,8 +523,7 @@ func (db *DB) QueryContext(ctx context.Context, sql string, args ...sqltypes.Val
 		}
 		return nil, fmt.Errorf("engine: not a query: %s", sql)
 	}
-	defer db.mu.Unlock()
-	return db.queryRowsLocked(ctx, p, sel, args)
+	return db.queryRowsUnlock(ctx, p, sel, args)
 }
 
 // ---------------------------------------------------------------- DDL
@@ -410,10 +546,12 @@ func kindOfType(t sqlast.TypeName) (sqltypes.Kind, error) {
 
 func (db *DB) createTable(ct *sqlast.CreateTable) (*Result, error) {
 	key := strings.ToLower(ct.Name)
-	if _, exists := db.tables[key]; exists {
+	cat := db.catalogNow()
+	if _, exists := cat.tables[key]; exists {
 		return nil, fmt.Errorf("engine: table %s already exists", ct.Name)
 	}
-	t := &Table{Name: ct.Name, colIdx: make(map[string]int)}
+	t := &Table{Name: ct.Name, colIdx: make(map[string]int), db: db}
+	t.data.Store(newTableData(nil))
 	for i, cd := range ct.Columns {
 		kind, err := kindOfType(cd.Type)
 		if err != nil {
@@ -434,7 +572,9 @@ func (db *DB) createTable(ct *sqlast.CreateTable) (*Result, error) {
 			t.Constraints = append(t.Constraints, con)
 		}
 	}
-	db.tables[key] = t
+	nc := cat.clone()
+	nc.tables[key] = t
+	db.cat.Store(nc)
 	return &Result{}, nil
 }
 
@@ -443,57 +583,84 @@ func (db *DB) createTable(ct *sqlast.CreateTable) (*Result, error) {
 func (db *DB) CreateTableDirect(name string, cols []Column, pk []string) *Table {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t := &Table{Name: name, Cols: cols, PK: pk, colIdx: make(map[string]int)}
+	t := &Table{Name: name, Cols: cols, PK: pk, colIdx: make(map[string]int), db: db}
+	t.data.Store(newTableData(nil))
 	for i, c := range cols {
 		t.colIdx[strings.ToLower(c.Name)] = i
 	}
-	db.tables[strings.ToLower(name)] = t
+	nc := db.catalogNow().clone()
+	nc.tables[strings.ToLower(name)] = t
+	db.cat.Store(nc)
 	return t
 }
 
 // AppendRow adds a row to a table without per-statement overhead. The row
-// is not copied; callers must not retain it.
+// is not copied; callers must not retain it. The append is serialized
+// against other writers under DB.mu and published as a new snapshot, so
+// concurrent readers keep scanning the heap they pinned.
 func (t *Table) AppendRow(row []sqltypes.Value) {
-	t.Rows = append(t.Rows, row)
-	t.invalidate()
+	t.BulkLoad([][]sqltypes.Value{row})
 }
 
-// BulkLoad appends many rows and invalidates indexes once.
+// BulkLoad appends many rows and publishes one new snapshot.
 func (t *Table) BulkLoad(rows [][]sqltypes.Value) {
-	t.Rows = append(t.Rows, rows...)
-	t.invalidate()
+	if t.db != nil {
+		t.db.mu.Lock()
+		defer t.db.mu.Unlock()
+	}
+	// Appending to the previous snapshot's slice is safe even when the
+	// backing array is shared: writers are serialized, and readers of the
+	// old snapshot are bounded by the old slice length.
+	t.publish(append(t.Heap(), rows...))
+}
+
+// ReplaceRows publishes rows as the table's entire new heap, the
+// copy-on-write replacement for in-place heap surgery by external callers
+// (the middleware's revoke path compacts tenant tables this way).
+func (t *Table) ReplaceRows(rows [][]sqltypes.Value) {
+	if t.db != nil {
+		t.db.mu.Lock()
+		defer t.db.mu.Unlock()
+	}
+	t.publish(rows)
 }
 
 func (db *DB) createView(cv *sqlast.CreateView) (*Result, error) {
 	key := strings.ToLower(cv.Name)
-	if _, exists := db.views[key]; exists {
+	cat := db.catalogNow()
+	if _, exists := cat.views[key]; exists {
 		return nil, fmt.Errorf("engine: view %s already exists", cv.Name)
 	}
-	if _, exists := db.tables[key]; exists {
+	if _, exists := cat.tables[key]; exists {
 		return nil, fmt.Errorf("engine: %s already names a table", cv.Name)
 	}
-	db.views[key] = cv.Sub
+	nc := cat.clone()
+	nc.views[key] = cv.Sub
+	db.cat.Store(nc)
 	return &Result{}, nil
 }
 
 func (db *DB) createFunction(cf *sqlast.CreateFunction) (*Result, error) {
 	key := strings.ToLower(cf.Name)
-	if _, exists := db.funcs[key]; exists {
+	cat := db.catalogNow()
+	if _, exists := cat.funcs[key]; exists {
 		return nil, fmt.Errorf("engine: function %s already exists", cf.Name)
 	}
-	db.funcs[key] = &Function{
+	nc := cat.clone()
+	nc.funcs[key] = &Function{
 		Name:      cf.Name,
 		NumParams: len(cf.ParamTypes),
 		Body:      cf.Body,
 		Immutable: cf.Immutable,
 	}
+	db.cat.Store(nc)
 	return &Result{}, nil
 }
 
 // ---------------------------------------------------------------- DML
 
 func (db *DB) insert(ex *exec, ins *sqlast.Insert) (*Result, error) {
-	t := db.tables[strings.ToLower(ins.Table)]
+	t := db.catalogNow().table(ins.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", ins.Table)
 	}
@@ -533,6 +700,13 @@ func (db *DB) insert(ex *exec, ins *sqlast.Insert) (*Result, error) {
 		}
 	}
 
+	// Stage coerced rows first and publish once at the end: an error leaves
+	// the table untouched, and concurrent readers never observe a partial
+	// insert — the new snapshot appears atomically.
+	// Appending past the previous snapshot's length may share its backing
+	// array; that is safe because writers are serialized and readers of the
+	// old snapshot are bounded by the old slice length.
+	staged := t.Heap()
 	for _, src := range srcRows {
 		if len(src) != len(colOrder) {
 			return nil, fmt.Errorf("engine: INSERT into %s: %d values for %d columns", t.Name, len(src), len(colOrder))
@@ -550,9 +724,9 @@ func (db *DB) insert(ex *exec, ins *sqlast.Insert) (*Result, error) {
 				return nil, fmt.Errorf("engine: NULL in NOT NULL column %s.%s", t.Name, c.Name)
 			}
 		}
-		t.Rows = append(t.Rows, row)
+		staged = append(staged, row)
 	}
-	t.invalidate()
+	t.publish(staged)
 	return &Result{Affected: len(srcRows)}, nil
 }
 
@@ -575,7 +749,7 @@ func coerce(v sqltypes.Value, kind sqltypes.Kind) (sqltypes.Value, error) {
 }
 
 func (db *DB) update(ex *exec, up *sqlast.Update) (*Result, error) {
-	t := db.tables[strings.ToLower(up.Table)]
+	t := db.catalogNow().table(up.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", up.Table)
 	}
@@ -600,8 +774,15 @@ func (db *DB) update(ex *exec, up *sqlast.Update) (*Result, error) {
 	if allCompiled && !db.noCompile {
 		return db.updateBatched(ex, t, up, sc)
 	}
+	// Copy-on-write: the scan walks the pristine snapshot, updated rows are
+	// cloned into a staged spine, and the new heap is published only after
+	// the last row succeeds. The table stays consistent for the whole
+	// statement — predicates and assignments (subqueries included) observe
+	// pre-update state for every row, and an error publishes nothing.
+	heap := t.Heap()
+	var staged [][]sqltypes.Value
 	affected := 0
-	for _, row := range t.Rows {
+	for ri, row := range heap {
 		sc.row = row
 		if up.Where != nil {
 			var v sqltypes.Value
@@ -641,13 +822,18 @@ func (db *DB) update(ex *exec, up *sqlast.Update) (*Result, error) {
 			}
 			newVals[i] = cv
 		}
-		for i, a := range up.Sets {
-			row[t.ColIndex(a.Column)] = newVals[i]
+		if staged == nil {
+			staged = append([][]sqltypes.Value(nil), heap...)
 		}
+		nr := append([]sqltypes.Value(nil), row...)
+		for i, a := range up.Sets {
+			nr[t.ColIndex(a.Column)] = newVals[i]
+		}
+		staged[ri] = nr
 		affected++
 	}
 	if affected > 0 {
-		t.invalidate()
+		t.publish(staged)
 	}
 	return &Result{Affected: affected}, nil
 }
@@ -667,8 +853,10 @@ func (db *DB) hasUDFCall(e sqlast.Expr) bool {
 }
 
 // updateBatched evaluates the UPDATE predicate and assignments column-wise
-// per batch and applies the new values in row order afterwards, aborting at
+// per batch and stages the new rows in row order afterwards, aborting at
 // the first poisoned row exactly where the row loop would have stopped.
+// Like the row loop it is copy-on-write: updated rows are cloned into a
+// staged spine published only when the whole statement succeeds.
 func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*Result, error) {
 	var vpred vecExpr
 	if up.Where != nil {
@@ -684,7 +872,9 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 	}
 	newVals := make([]sqltypes.Value, len(up.Sets))
 	affected := 0
-	src := scanOp{rows: t.Rows}
+	heap := t.Heap()
+	var staged [][]sqltypes.Value
+	src := scanOp{rows: heap}
 	var b Batch
 	for src.next(&b) {
 		if err := ex.cancelled(); err != nil {
@@ -714,8 +904,7 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 			vs(&b, sel, setCols[j])
 			sel = b.compactSel(selBuf, sel)
 		}
-		// Apply in row order; a poisoned row aborts with rows before it
-		// already updated, matching the row loop's partial application.
+		// Stage in row order; a poisoned row aborts with nothing published.
 		si := 0
 		for i := 0; i < n; i++ {
 			if b.errs[i] != nil {
@@ -736,37 +925,44 @@ func (db *DB) updateBatched(ex *exec, t *Table, up *sqlast.Update, sc *scope) (*
 				}
 				newVals[j] = cv
 			}
-			for j := range up.Sets {
-				row[colIdx[j]] = newVals[j]
+			if staged == nil {
+				staged = append([][]sqltypes.Value(nil), heap...)
 			}
+			nr := append([]sqltypes.Value(nil), row...)
+			for j := range up.Sets {
+				nr[colIdx[j]] = newVals[j]
+			}
+			staged[b.base+i] = nr
 			affected++
 		}
 		ex.vs.release(m)
 	}
 	if affected > 0 {
-		t.invalidate()
+		t.publish(staged)
 	}
 	return &Result{Affected: affected}, nil
 }
 
 func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
-	t := db.tables[strings.ToLower(del.Table)]
+	t := db.catalogNow().table(del.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: no such table %s", del.Table)
 	}
 	sc := tableScope(t)
-	// Both paths stage the kept rows in a fresh slice: the table is pristine
-	// for the whole scan — predicates with subqueries over the same table
-	// observe identical state row-at-a-time and batch-ahead, and an erroring
-	// predicate leaves the table untouched instead of half-compacted.
+	heap := t.Heap()
+	// Both paths stage the kept rows in a fresh slice and publish once at
+	// the end: the snapshot is pristine for the whole scan — predicates with
+	// subqueries over the same table observe identical state row-at-a-time
+	// and batch-ahead, an erroring predicate publishes nothing, and
+	// concurrent readers keep their pinned heap.
 	if del.Where != nil && !db.noCompile {
 		// Batched path: the predicate runs column-wise per batch; the
 		// keep/drop walk then follows row order, so the first poisoned row
 		// aborts exactly where the row loop would have stopped.
 		vpred := ex.vecCompile(del.Where, sc.bindings, sc)
-		kept := make([][]sqltypes.Value, 0, len(t.Rows))
+		kept := make([][]sqltypes.Value, 0, len(heap))
 		affected := 0
-		src := scanOp{rows: t.Rows}
+		src := scanOp{rows: heap}
 		var b Batch
 		for src.next(&b) {
 			if err := ex.cancelled(); err != nil {
@@ -787,9 +983,8 @@ func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
 			}
 			ex.vs.release(m)
 		}
-		t.Rows = kept
 		if affected > 0 {
-			t.invalidate()
+			t.publish(kept)
 		}
 		return &Result{Affected: affected}, nil
 	}
@@ -797,9 +992,9 @@ func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
 	if del.Where != nil {
 		pred = ex.compile(del.Where, sc.bindings, sc)
 	}
-	kept := make([][]sqltypes.Value, 0, len(t.Rows))
+	kept := make([][]sqltypes.Value, 0, len(heap))
 	affected := 0
-	for _, row := range t.Rows {
+	for _, row := range heap {
 		sc.row = row
 		drop := del.Where == nil
 		if del.Where != nil {
@@ -822,9 +1017,8 @@ func (db *DB) delete(ex *exec, del *sqlast.Delete) (*Result, error) {
 			kept = append(kept, row)
 		}
 	}
-	t.Rows = kept
 	if affected > 0 {
-		t.invalidate()
+		t.publish(kept)
 	}
 	return &Result{Affected: affected}, nil
 }
@@ -845,15 +1039,16 @@ func tableScope(t *Table) *scope {
 func (db *DB) ValidateConstraints() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	names := make([]string, 0, len(db.tables))
-	for k := range db.tables {
+	cat := db.catalogNow()
+	names := make([]string, 0, len(cat.tables))
+	for k := range cat.tables {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t := db.tables[name]
+		t := cat.tables[name]
 		for _, con := range t.Constraints {
-			if err := db.validateConstraint(t, con); err != nil {
+			if err := db.validateConstraint(cat, t, con); err != nil {
 				return err
 			}
 		}
@@ -861,10 +1056,10 @@ func (db *DB) ValidateConstraints() error {
 	return nil
 }
 
-func (db *DB) validateConstraint(t *Table, con sqlast.Constraint) error {
+func (db *DB) validateConstraint(cat *catalog, t *Table, con sqlast.Constraint) error {
 	switch con.Kind {
 	case sqlast.ConstraintForeignKey:
-		ref := db.tables[strings.ToLower(con.RefTable)]
+		ref := cat.table(con.RefTable)
 		if ref == nil {
 			return fmt.Errorf("engine: constraint %s references missing table %s", con.Name, con.RefTable)
 		}
@@ -880,7 +1075,7 @@ func (db *DB) validateConstraint(t *Table, con sqlast.Constraint) error {
 			}
 		}
 		var key []byte
-		for _, row := range t.Rows {
+		for _, row := range t.Heap() {
 			key = key[:0]
 			null := false
 			for _, i := range srcIdx {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"unicode/utf8"
 
 	"mtbase/internal/sqlast"
@@ -20,9 +21,41 @@ import (
 type exec struct {
 	db       *DB
 	plan     *Plan
-	udfCache map[string]sqltypes.Value
-	keyBuf   []byte // scratch for UDF cache keys; reused across calls
-	depth    int    // subquery/UDF nesting guard
+	udfCache map[string]sqltypes.Value // statement-wide UDF result memo (per worker)
+	keyBuf   []byte                    // scratch for UDF cache keys; reused across calls
+	depth    int                       // subquery/UDF nesting guard
+
+	// cat is the schema snapshot captured at exec creation: every name
+	// resolution during execution — tables, views, UDFs, compiled call
+	// sites — goes through it, so a statement sees one consistent catalog
+	// even while DDL swaps the DB's current one.
+	cat *catalog
+
+	// snap pins the heap snapshot of every table in cat at exec creation
+	// (under DB.mu, so the pin set is a transactionally consistent cut).
+	// All heap and index reads during execution route through it; the
+	// statement therefore observes frozen data while writers publish new
+	// snapshots concurrently. Worker clones share the same set.
+	snap *snapshotSet
+
+	// par is the degree of intra-query parallelism this execution may use
+	// (1 = serial). Worker clones and nested executions run serial.
+	par int
+
+	// udfProj caches per-execution compiled projections of planned UDF
+	// bodies: entries (rows + bindings) are shared across executions on the
+	// plan, but the projection closure resolves $n through udfArgs, which
+	// is execution state — so each exec compiles its own. udfEntries memoizes
+	// plan-level entry lookups so hot call paths skip Plan.mu after the
+	// first probe of a key.
+	udfProj    map[*udfPlanEntry]compiledExpr
+	udfEntries map[udfEntryKey]*udfPlanEntry
+	udfArgs    []sqltypes.Value // current planned-UDF argument frame
+
+	// pool holds this statement's parallel workers; it persists across
+	// parallel sections so worker caches (compiled projections, scratch
+	// stacks) warm up once per statement, not once per operator.
+	pool *workerPool
 
 	// subqCache memoizes results of subqueries that did not touch any
 	// enclosing scope during execution (uncorrelated subqueries) — the
@@ -98,13 +131,76 @@ type inSet struct {
 }
 
 func (db *DB) newExec(p *Plan) *exec {
+	cat := db.catalogNow()
 	return &exec{
 		db:         db,
 		plan:       p,
+		cat:        cat,
+		snap:       newSnapshotSet(cat),
+		par:        db.parallelism(),
 		udfCache:   make(map[string]sqltypes.Value),
 		subqCache:  make(map[int32]*Result),
 		inSetCache: make(map[int32]*inSet),
 		nextDynID:  p.nSubq,
+	}
+}
+
+// snapshotSet is the set of heap snapshots one statement reads: every table
+// of the exec's catalog, pinned at exec creation under DB.mu. The map is
+// immutable after construction, so workers share it without locking.
+type snapshotSet struct {
+	m map[*Table]*tableData
+}
+
+func newSnapshotSet(cat *catalog) *snapshotSet {
+	m := make(map[*Table]*tableData, len(cat.tables))
+	for _, t := range cat.tables {
+		m[t] = t.data.Load()
+	}
+	return &snapshotSet{m: m}
+}
+
+// pin returns the statement's snapshot of t. Tables outside the pinned
+// catalog (created after the exec, or detached) fall back to their current
+// snapshot — still immutable, just not part of the statement's cut.
+func (s *snapshotSet) pin(t *Table) *tableData {
+	if d, ok := s.m[t]; ok {
+		return d
+	}
+	return t.data.Load()
+}
+
+// heap returns the statement-pinned row snapshot of t.
+func (ex *exec) heap(t *Table) [][]sqltypes.Value { return ex.snap.pin(t).rows }
+
+// tableIndex returns a hash index built over the statement-pinned snapshot
+// of t — heap and index always describe the same frozen rows.
+func (ex *exec) tableIndex(t *Table, cols []string) (*hashIndex, error) {
+	return ex.snap.pin(t).index(t, cols)
+}
+
+// function resolves a UDF in the exec's pinned catalog.
+func (ex *exec) function(name string) *Function { return ex.cat.function(name) }
+
+// workerClone builds a per-worker execution state for parallel operators:
+// it shares the immutable statement context (plan, binds, catalog, pinned
+// snapshots, cancellation) and owns everything mutable — caches, scratch
+// stack, key buffers. Workers run serial (par = 1) so parallel sections
+// never nest.
+func (ex *exec) workerClone() *exec {
+	return &exec{
+		db:         ex.db,
+		plan:       ex.plan,
+		cat:        ex.cat,
+		snap:       ex.snap,
+		par:        1,
+		depth:      ex.depth,
+		binds:      ex.binds,
+		ctx:        ex.ctx,
+		udfCache:   make(map[string]sqltypes.Value),
+		subqCache:  make(map[int32]*Result),
+		inSetCache: make(map[int32]*inSet),
+		nextDynID:  ex.plan.nSubq,
 	}
 }
 
@@ -852,7 +948,7 @@ func (ex *exec) evalFunc(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, error) 
 		return sqltypes.NewString(v.AsString()), nil
 	}
 	// user-defined function
-	fn := ex.db.Function(x.Name)
+	fn := ex.function(x.Name)
 	if fn == nil {
 		return sqltypes.Null, fmt.Errorf("engine: unknown function %s", x.Name)
 	}
@@ -891,7 +987,7 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 		}
 		ex.keyBuf = buf
 		if v, ok := ex.udfCache[string(buf)]; ok {
-			ex.db.Stats.UDFCacheHits++
+			atomic.AddInt64(&ex.db.Stats.UDFCacheHits, 1)
 			return v, nil
 		}
 		key = string(buf)
@@ -909,7 +1005,7 @@ func (ex *exec) callUDF(fn *Function, args []sqltypes.Value) (sqltypes.Value, er
 // execUDFBody runs a function body uncached — the shared tail of callUDF and
 // the compiled call sites, which probe the statement cache themselves.
 func (ex *exec) execUDFBody(fn *Function, args []sqltypes.Value) (sqltypes.Value, error) {
-	ex.db.Stats.UDFCalls++
+	atomic.AddInt64(&ex.db.Stats.UDFCalls, 1)
 	if ex.depth > 64 {
 		return sqltypes.Null, fmt.Errorf("engine: UDF recursion too deep in %s", fn.Name)
 	}
@@ -962,7 +1058,20 @@ func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, er
 	defer func() { sc.row, sc.group = savedRow, savedGroup }()
 
 	acc := aggAcc{op: upper, distinct: x.Distinct}
-	if vecFn := g.aggVec[arg]; vecFn != nil && g.scr != nil {
+	if ex.par > 1 && ex.depth == 0 && len(g.rows) >= 2*morselLen() {
+		// Morsel-parallel accumulation for large groups: workers compute the
+		// argument column for disjoint chunks of the group's rows, then the
+		// values fold serially in row order — identical sums, ties and
+		// DISTINCT sets as the serial paths, just computed on all cores.
+		// This is where Q1's conversion-function work parallelizes.
+		col, err := ex.parallelAggColumn(arg, sc, g.rows)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		for _, v := range col {
+			acc.add(v)
+		}
+	} else if vecFn := g.aggVec[arg]; vecFn != nil && g.scr != nil {
 		// Batched accumulation: the argument program fills a column per
 		// window of group rows; values accumulate from the column in row
 		// order, so sums, ties and DISTINCT sets match the row loop exactly.

@@ -80,7 +80,7 @@ func (ex *exec) runQueryMaterialized(sel *sqlast.Select, parent *scope) (*Result
 	if sel.Distinct {
 		res.dedupe()
 	}
-	res.sortAndTrim(sel.Limit)
+	res.sortAndTrim(ex, sel.Limit)
 	return res.finish(), nil
 }
 
@@ -120,14 +120,14 @@ func (r *execResult) dedupe() {
 	}
 }
 
-func (r *execResult) sortAndTrim(limit int64) {
+func (r *execResult) sortAndTrim(ex *exec, limit int64) {
 	if len(r.desc) > 0 && len(r.Rows) > 1 {
 		idx := make([]int32, len(r.Rows))
 		for i := range idx {
 			idx[i] = int32(i)
 		}
 		keys, desc := r.keyCols, r.desc
-		stableSortIdx(idx, func(a, b int32) bool {
+		less := func(a, b int32) bool {
 			for k := range desc {
 				c := compareNullsFirst(keys[k][a], keys[k][b])
 				if desc[k] {
@@ -138,7 +138,14 @@ func (r *execResult) sortAndTrim(limit int64) {
 				}
 			}
 			return false
-		})
+		}
+		// Parallel sorted runs merge into the same order a global stable
+		// sort produces (earlier run wins ties).
+		if ex != nil && ex.par > 1 && ex.depth == 0 && len(idx) >= 2*morselLen() {
+			parallelSortIdx(ex.par, idx, less)
+		} else {
+			stableSortIdx(idx, less)
+		}
 		rows := make([][]sqltypes.Value, len(idx))
 		for i, j := range idx {
 			rows[i] = r.Rows[j]
@@ -890,7 +897,7 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 			}
 		}
 		if len(probeCols) > 0 {
-			idx, err := r.base.index(probeCols)
+			idx, err := ex.tableIndex(r.base, probeCols)
 			if err != nil {
 				return nil, err
 			}
@@ -906,7 +913,7 @@ func (ex *exec) filterRelation(r *relation, conjs []*conjunct, parent *scope) (*
 			ids := idx.probe(vals)
 			rows = make([][]sqltypes.Value, len(ids))
 			for i, id := range ids {
-				rows[i] = r.base.Rows[id]
+				rows[i] = r.rows[id]
 			}
 		} else {
 			rest = conjs
@@ -1104,7 +1111,7 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 			cols = append(cols, cr.Name)
 		}
 		if simple {
-			idx, err := r.base.index(cols)
+			idx, err := ex.tableIndex(r.base, cols)
 			if err != nil {
 				return nil, err
 			}
@@ -1135,7 +1142,7 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 					ck := newRowChunk(total, out.width)
 					for _, i := range sel {
 						for _, id := range buckets[i] {
-							out.rows = append(out.rows, ck.concat(b.rows[i], r.base.Rows[id]))
+							out.rows = append(out.rows, ck.concat(b.rows[i], r.rows[id]))
 						}
 					}
 					ex.vs.release(m)
@@ -1163,7 +1170,7 @@ func (ex *exec) hashJoin(l, r *relation, pairs []equiPair, parent *scope) (*rela
 				var ids []int
 				ids, buf = idx.probeBuf(buf, vals)
 				for _, id := range ids {
-					out.rows = append(out.rows, concatRows(lr, r.base.Rows[id], out.width))
+					out.rows = append(out.rows, concatRows(lr, r.rows[id], out.width))
 				}
 			}
 			return out, nil
@@ -1239,6 +1246,22 @@ func (ex *exec) buildJoinHash(r *relation, pairs []equiPair, parent *scope) (map
 	rsc := r.scopeFor(parent)
 	build := make(map[string][]int, len(r.rows))
 	var buf []byte
+	// Morsel-parallel build: workers encode the key column for disjoint row
+	// ranges, then the map inserts run serially in row order — bucket
+	// contents and order match the serial build exactly.
+	if !ex.db.noCompile && ex.par > 1 && ex.depth == 0 && len(r.rows) >= 2*morselLen() {
+		keys, err := ex.parallelJoinKeys(r, pairs, parent)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range keys {
+			if k == nil {
+				continue // NULL key: never participates in an equi join
+			}
+			build[string(k)] = append(build[string(k)], i)
+		}
+		return build, nil
+	}
 	if rks := ex.vecKeys(pairExprs(pairs, true), r.bindings, rsc); rks != nil {
 		src := scanOp{rows: r.rows}
 		var b Batch
@@ -1303,7 +1326,7 @@ func (ex *exec) buildTableExpr(te sqlast.TableExpr, parent *scope) (*relation, e
 
 func (ex *exec) buildTableName(t *sqlast.TableName, parent *scope) (*relation, error) {
 	key := strings.ToLower(t.Name)
-	if view, ok := ex.db.views[key]; ok {
+	if view, ok := ex.cat.views[key]; ok {
 		sub := sqlast.CloneSelect(view)
 		res, err := ex.runQuery(sub, &scope{parent: parent})
 		if err != nil {
@@ -1312,12 +1335,12 @@ func (ex *exec) buildTableName(t *sqlast.TableName, parent *scope) (*relation, e
 		b := newBinding(t.Binding(), res.Cols)
 		return &relation{bindings: []*binding{b}, rows: res.Rows, width: len(res.Cols)}, nil
 	}
-	tab := ex.db.tables[key]
+	tab := ex.cat.tables[key]
 	if tab == nil {
 		return nil, fmt.Errorf("engine: no such table %s", t.Name)
 	}
 	b := newBinding(t.Binding(), tab.ColNames())
-	return &relation{bindings: []*binding{b}, rows: tab.Rows, width: len(tab.Cols), base: tab}, nil
+	return &relation{bindings: []*binding{b}, rows: ex.heap(tab), width: len(tab.Cols), base: tab}, nil
 }
 
 func (ex *exec) buildJoin(j *sqlast.JoinExpr, parent *scope) (*relation, error) {

@@ -36,6 +36,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqltypes"
@@ -69,12 +70,17 @@ func resetKeyCols(cols [][]sqltypes.Value, n int) [][]sqltypes.Value {
 }
 
 // noteStream records one emitted batch in the engine counters: total rows
-// streamed between operators and the largest single batch seen.
+// streamed between operators and the largest single batch seen. Counters
+// are updated atomically — parallel workers and concurrent statements all
+// stream batches at once.
 func (ex *exec) noteStream(n int) {
 	st := &ex.db.Stats
-	st.RowsStreamed += int64(n)
-	if int64(n) > st.PeakBatch {
-		st.PeakBatch = int64(n)
+	atomic.AddInt64(&st.RowsStreamed, int64(n))
+	for {
+		peak := atomic.LoadInt64(&st.PeakBatch)
+		if int64(n) <= peak || atomic.CompareAndSwapInt64(&st.PeakBatch, peak, int64(n)) {
+			return
+		}
 	}
 }
 
@@ -134,7 +140,8 @@ type indexScanOperator struct {
 }
 
 func (s *indexScanOperator) Open(ex *exec) error {
-	idx, err := s.tab.index(s.cols)
+	heap := ex.heap(s.tab)
+	idx, err := ex.tableIndex(s.tab, s.cols)
 	if err != nil {
 		return err
 	}
@@ -150,7 +157,7 @@ func (s *indexScanOperator) Open(ex *exec) error {
 	ids := idx.probe(vals)
 	rows := make([][]sqltypes.Value, len(ids))
 	for i, id := range ids {
-		rows[i] = s.tab.Rows[id]
+		rows[i] = heap[id]
 	}
 	s.scan.rows = rows
 	return s.scan.Open(ex)
@@ -320,7 +327,7 @@ func (j *joinOperator) Open(ex *exec) error {
 				cols = append(cols, cr.Name)
 			}
 			if simple {
-				idx, err := j.rrel.base.index(cols)
+				idx, err := ex.tableIndex(j.rrel.base, cols)
 				if err != nil {
 					return err
 				}
@@ -410,7 +417,7 @@ func (j *joinOperator) fillPending(ex *exec, b *Batch) error {
 		ck := newRowChunk(total, width)
 		for _, i := range sel {
 			for _, id := range j.buckets[i] {
-				j.pending = append(j.pending, ck.concat(b.rows[i], j.rrel.base.Rows[id]))
+				j.pending = append(j.pending, ck.concat(b.rows[i], j.rrel.rows[id]))
 			}
 		}
 		ex.vs.release(m)
@@ -437,7 +444,7 @@ func (j *joinOperator) fillPending(ex *exec, b *Batch) error {
 			var ids []int
 			ids, j.buf = j.idx.probeBuf(j.buf, vals)
 			for _, id := range ids {
-				j.pending = append(j.pending, concatRows(lr, j.rrel.base.Rows[id], width))
+				j.pending = append(j.pending, concatRows(lr, j.rrel.rows[id], width))
 			}
 		}
 	case j.lks != nil: // compiled hash probe
@@ -1238,7 +1245,7 @@ func (o *sortOperator) Open(ex *exec) error {
 		}
 	}
 	res := &execResult{Rows: o.rows, keyCols: o.keyCols, desc: o.desc}
-	res.sortAndTrim(-1)
+	res.sortAndTrim(ex, -1)
 	o.rows = res.Rows
 	return nil
 }
@@ -1516,6 +1523,14 @@ func (ex *exec) filterPipe(p *pipe, conjs []*conjunct, parent *scope) *pipe {
 	if len(rest) == 0 {
 		return &pipe{op: src, rel: rel}
 	}
+	// Morsel-parallel fused scan+filter: engages only for a plain heap scan
+	// (src untouched by the index rewrite above) that is large enough to
+	// split, on a parallel top-level execution.
+	if sc, isScan := src.(*scanOperator); isScan && rel.base != nil && len(rel.bindings) == 1 &&
+		ex.par > 1 && ex.depth == 0 && len(sc.rows) >= 2*morselLen() {
+		po := newParallelScanFilter(ex, sc.rows, rel, rest, parent)
+		return &pipe{op: po, rel: &relation{bindings: rel.bindings, width: rel.width}}
+	}
 	fo := newFilterOperator(ex, src, rel, rest, parent)
 	return &pipe{op: fo, rel: &relation{bindings: rel.bindings, width: rel.width}}
 }
@@ -1527,7 +1542,7 @@ func (ex *exec) buildTablePipe(te sqlast.TableExpr, parent *scope) (*pipe, error
 	switch t := te.(type) {
 	case *sqlast.TableName:
 		key := strings.ToLower(t.Name)
-		if view, ok := ex.db.views[key]; ok {
+		if view, ok := ex.cat.views[key]; ok {
 			sub := sqlast.CloneSelect(view)
 			root, err := ex.buildQueryOp(sub, &scope{parent: parent})
 			if err != nil {
@@ -1539,14 +1554,15 @@ func (ex *exec) buildTablePipe(te sqlast.TableExpr, parent *scope) (*pipe, error
 				rel: &relation{bindings: []*binding{b}, width: len(root.cols)},
 			}, nil
 		}
-		tab := ex.db.tables[key]
+		tab := ex.cat.tables[key]
 		if tab == nil {
 			return nil, fmt.Errorf("engine: no such table %s", t.Name)
 		}
+		heap := ex.heap(tab)
 		b := newBinding(t.Binding(), tab.ColNames())
 		return &pipe{
-			op:  &scanOperator{rows: tab.Rows},
-			rel: &relation{bindings: []*binding{b}, rows: tab.Rows, width: len(tab.Cols), base: tab},
+			op:  &scanOperator{rows: heap},
+			rel: &relation{bindings: []*binding{b}, rows: heap, width: len(tab.Cols), base: tab},
 		}, nil
 	case *sqlast.DerivedTable:
 		root, err := ex.buildQueryOp(t.Sub, &scope{parent: parent})

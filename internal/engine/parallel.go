@@ -1,0 +1,450 @@
+package engine
+
+// This file implements morsel-driven intra-query parallelism (ADR-005).
+// Scans split the pinned table heap into morsels — batch-aligned contiguous
+// row ranges — assigned to a bounded worker pool by static striping: worker
+// w owns morsels w, w+par, w+2·par, … (see parallelFor for why striping
+// beats dynamic claiming here). Each worker owns a workerClone of the
+// statement's exec — private caches, scratch stack and compiled programs —
+// and shares only immutable statement state: the plan, the pinned catalog
+// and heap snapshots, the bind values.
+//
+// Determinism discipline: morsels partition the heap in row order and all
+// merges fold per-morsel results back in morsel order, so every parallel
+// path produces byte-identical output to the serial one (parallelism 1 is
+// the differential oracle):
+//   - aggregate columns are computed per-morsel, then folded serially in
+//     row order — float sums see the same addition order, DISTINCT sets and
+//     MIN/MAX ties resolve identically;
+//   - filters emit survivors in morsel order, matching the serial stream;
+//   - join builds encode keys per-morsel and insert serially in row order,
+//     so hash buckets keep build insertion order;
+//   - sorts stable-sort per-morsel runs and k-way merge with the earlier
+//     run winning ties, which is equivalent to one global stable sort.
+// Error parity: each worker walks its stripe in increasing morsel order and
+// stops once its next morsel is at or past the lowest failing index seen so
+// far (parallelFor's minFail protocol), so the surfaced error is always the
+// one the serial path would have hit first (lowest failing morsel, first
+// failing batch within it).
+//
+// Group-by bucketing stays serial by design: bucket assignment is a cheap
+// hash per row, first-seen group order is part of the engine's output
+// contract, and the expensive part of grouped queries — evaluating
+// aggregate argument expressions, conversion UDFs included — parallelizes
+// inside each group through parallelAggColumn instead.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// morselSize is the number of rows one worker claims at a time. It is a
+// multiple of batchSize so parallel workers see exactly the batch
+// boundaries the serial path would, which keeps error reporting and scratch
+// behaviour aligned. Package-level and atomic: tests shrink it to force
+// parallel paths on small tables.
+var morselSize int64 = 4 * batchSize
+
+func morselLen() int { return int(atomic.LoadInt64(&morselSize)) }
+
+// SetMorselSize overrides the scheduling granule (rows per morsel), rounded
+// up to a whole number of batches; n <= 0 restores the default. Parallel
+// paths engage only for inputs of at least two morsels, so lowering this
+// lets tests exercise them on small heaps.
+func SetMorselSize(n int) {
+	if n <= 0 {
+		atomic.StoreInt64(&morselSize, 4*batchSize)
+		return
+	}
+	if n < batchSize {
+		n = batchSize
+	}
+	n = (n + batchSize - 1) / batchSize * batchSize
+	atomic.StoreInt64(&morselSize, int64(n))
+}
+
+// parallelFor runs fn(worker, item) for every item in [0, n) on up to par
+// goroutines. Assignment is striped: worker w processes items w, w+par,
+// w+2·par, … in increasing order. The static stripe — rather than dynamic
+// claiming — is deliberate: a statement runs many parallel sections over
+// the same heap (one per aggregate column, scan, join build), and striping
+// sends the same rows to the same worker every time, so per-worker memo
+// caches (conversion-UDF results above all) hit across sections instead of
+// every worker redundantly computing every distinct value. Morsel work is
+// uniform per row, so stealing would buy little against that cache loss.
+//
+// Error protocol: minFail tracks the lowest failing item index. Workers
+// process their stripe in increasing order and stop once their next item is
+// at or past minFail, so when parallelFor returns, every item below the
+// final minFail has fully completed — the returned error is exactly the one
+// a serial in-order loop would have surfaced first.
+func parallelFor(par, n int, fn func(worker, item int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	minFail := int64(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += par {
+				if int64(i) >= atomic.LoadInt64(&minFail) {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errs[i] = err
+					for {
+						m := atomic.LoadInt64(&minFail)
+						if int64(i) >= m || atomic.CompareAndSwapInt64(&minFail, m, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := atomic.LoadInt64(&minFail); m < int64(n) {
+		return errs[m]
+	}
+	return nil
+}
+
+// workerPool lazily materializes one workerClone per pool slot; workers are
+// only built for slots that actually claim work. The pool lives on the exec
+// (ex.workerPool) for the whole statement, so worker-owned caches —
+// compiled UDF projections, scratch stacks, entry memos — persist across
+// parallel sections instead of being rebuilt per operator.
+type workerPool struct {
+	ex      *exec
+	workers []*exec
+}
+
+// workerPool returns the statement's persistent pool. Parallel sections run
+// one at a time within a statement (the consumer pulls batches serially and
+// each section blocks until its parallelFor returns), so reusing the same
+// workers across sections never overlaps two users of one clone.
+func (ex *exec) workerPool() *workerPool {
+	if ex.pool == nil {
+		ex.pool = &workerPool{ex: ex, workers: make([]*exec, ex.par)}
+	}
+	return ex.pool
+}
+
+func (p *workerPool) worker(w int) *exec {
+	if p.workers[w] == nil {
+		p.workers[w] = p.ex.workerClone()
+	}
+	return p.workers[w]
+}
+
+// ---------------------------------------------------------------- aggregate
+
+// parallelAggColumn evaluates one aggregate argument expression for every
+// row of a group, morsel-parallel: workers fill disjoint ranges of one
+// output column, each through its own compiled program (or interpreter when
+// compilation is off — same per-mode semantics as the serial branches of
+// evalAggregate). The caller folds the column serially in row order.
+func (ex *exec) parallelAggColumn(arg sqlast.Expr, sc *scope, rows [][]sqltypes.Value) ([]sqltypes.Value, error) {
+	morsel := morselLen()
+	n := len(rows)
+	nm := (n + morsel - 1) / morsel
+	col := make([]sqltypes.Value, n)
+	pool := ex.workerPool()
+	type wstate struct {
+		prog vecExpr
+		sc   *scope
+	}
+	states := make([]*wstate, ex.par)
+	err := parallelFor(ex.par, nm, func(w, m int) error {
+		we := pool.worker(w)
+		ws := states[w]
+		if ws == nil {
+			wsc := &scope{parent: sc.parent, bindings: sc.bindings}
+			ws = &wstate{sc: wsc, prog: we.vecCompile(arg, sc.bindings, wsc)}
+			states[w] = ws
+		}
+		lo := m * morsel
+		hi := lo + morsel
+		if hi > n {
+			hi = n
+		}
+		if ws.prog != nil {
+			src := scanOp{rows: rows[lo:hi]}
+			var b Batch
+			for src.next(&b) {
+				if err := we.cancelled(); err != nil {
+					return err
+				}
+				out := col[lo+b.base : lo+b.base+len(b.rows)]
+				ws.prog(&b, b.sel, out)
+				if err := b.firstErr(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := lo; i < hi; i++ {
+			if i%batchSize == 0 {
+				if err := we.cancelled(); err != nil {
+					return err
+				}
+			}
+			ws.sc.row = rows[i]
+			v, err := we.eval(arg, ws.sc)
+			if err != nil {
+				return err
+			}
+			col[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// ---------------------------------------------------------------- scan+filter
+
+// parallelScanFilter is the fused morsel-parallel scan+filter operator: it
+// replaces the scanOperator→filterOperator pair over a base-table heap when
+// the execution runs parallel. Open fans the morsels out to the pool — each
+// worker filters its morsels with privately compiled conjunct programs —
+// and Next streams the surviving rows in heap order.
+//
+// On a poisoned row the serial pipeline emits every batch before the
+// failing one and then surfaces the row's error; this operator reproduces
+// that: survivors of morsels (and batches within the failing morsel) ahead
+// of the first error are emitted, then Next returns the same error.
+type parallelScanFilter struct {
+	ex     *exec
+	rows   [][]sqltypes.Value
+	rel    *relation
+	conjs  []sqlast.Expr
+	parent *scope
+
+	kept [][]sqltypes.Value
+	err  error
+	pos  int
+	out  Batch
+}
+
+func newParallelScanFilter(ex *exec, rows [][]sqltypes.Value, rel *relation, conjs []*conjunct, parent *scope) *parallelScanFilter {
+	exprs := make([]sqlast.Expr, len(conjs))
+	for i, c := range conjs {
+		exprs[i] = c.expr
+	}
+	return &parallelScanFilter{ex: ex, rows: rows, rel: rel, conjs: exprs, parent: parent}
+}
+
+func (o *parallelScanFilter) Open(ex *exec) error {
+	morsel := morselLen()
+	n := len(o.rows)
+	nm := (n + morsel - 1) / morsel
+	outs := make([][][]sqltypes.Value, nm)
+	merrs := make([]error, nm)
+	pool := o.ex.workerPool()
+	type wstate struct {
+		sc    *scope
+		progs []vecExpr
+	}
+	states := make([]*wstate, o.ex.par)
+	parallelFor(o.ex.par, nm, func(w, m int) error {
+		we := pool.worker(w)
+		ws := states[w]
+		if ws == nil {
+			ws = &wstate{sc: o.rel.scopeFor(o.parent)}
+			if !we.db.noCompile {
+				ws.progs = make([]vecExpr, len(o.conjs))
+				for i, e := range o.conjs {
+					ws.progs[i] = we.vecCompile(e, o.rel.bindings, ws.sc)
+				}
+			}
+			states[w] = ws
+		}
+		lo := m * morsel
+		hi := lo + morsel
+		if hi > n {
+			hi = n
+		}
+		f := &filterOp{src: &scanOp{rows: o.rows[lo:hi]}, ex: we, sc: ws.sc}
+		if ws.progs != nil {
+			f.progs = ws.progs
+		} else {
+			f.exprs = o.conjs
+		}
+		var b Batch
+		var kept [][]sqltypes.Value
+		for f.next(&b) {
+			if err := we.cancelled(); err != nil {
+				merrs[m] = err
+				return err
+			}
+			for _, i := range b.sel {
+				kept = append(kept, b.rows[i])
+			}
+		}
+		outs[m] = kept // survivors ahead of a failing batch still emit
+		if f.failed != nil {
+			merrs[m] = f.failed
+			return f.failed
+		}
+		return nil
+	})
+	for m := 0; m < nm; m++ {
+		o.kept = append(o.kept, outs[m]...)
+		if merrs[m] != nil {
+			o.err = merrs[m]
+			break
+		}
+	}
+	o.pos = 0
+	return nil
+}
+
+func (o *parallelScanFilter) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if o.pos >= len(o.kept) {
+		return nil, o.err
+	}
+	n := len(o.kept) - o.pos
+	if n > batchSize {
+		n = batchSize
+	}
+	o.out.window(o.kept[o.pos : o.pos+n])
+	o.pos += n
+	ex.noteStream(n)
+	return &o.out, nil
+}
+
+func (o *parallelScanFilter) Close() {
+	o.kept = nil
+	o.err = nil
+}
+
+// ---------------------------------------------------------------- join build
+
+// parallelJoinKeys encodes the build-side join keys of rows morsel-parallel:
+// workers fill disjoint ranges of one key column (nil = NULL key, dropped
+// from equi joins), each with privately compiled key programs. The caller
+// inserts into the hash map serially in row order, so bucket contents and
+// order are identical to the serial build.
+func (ex *exec) parallelJoinKeys(r *relation, pairs []equiPair, parent *scope) ([][]byte, error) {
+	morsel := morselLen()
+	n := len(r.rows)
+	nm := (n + morsel - 1) / morsel
+	keys := make([][]byte, n)
+	pool := ex.workerPool()
+	type wstate struct {
+		sc  *scope
+		rks *vecKeySet
+	}
+	states := make([]*wstate, ex.par)
+	err := parallelFor(ex.par, nm, func(w, m int) error {
+		we := pool.worker(w)
+		ws := states[w]
+		if ws == nil {
+			wsc := r.scopeFor(parent)
+			ws = &wstate{sc: wsc, rks: we.vecKeys(pairExprs(pairs, true), r.bindings, wsc)}
+			states[w] = ws
+		}
+		lo := m * morsel
+		hi := lo + morsel
+		if hi > n {
+			hi = n
+		}
+		src := scanOp{rows: r.rows[lo:hi]}
+		var b Batch
+		for src.next(&b) {
+			if err := we.cancelled(); err != nil {
+				return err
+			}
+			mk := we.vs.mark()
+			sel := ws.rks.compute(&b, true, nil)
+			if err := b.firstErr(); err != nil {
+				return err
+			}
+			for _, i := range sel {
+				buf := encodeKeyCols(nil, ws.rks.cols, i)
+				keys[lo+b.base+int(i)] = buf
+			}
+			we.vs.release(mk)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// ---------------------------------------------------------------- sort
+
+// parallelSortIdx stable-sorts idx like stableSortIdx, but parallel: the
+// index splits into contiguous runs, workers stable-sort the runs
+// independently, and a k-way merge picks the smallest head — the earliest
+// run winning ties — which is order-equivalent to one global stable sort.
+func parallelSortIdx(par int, idx []int32, less func(a, b int32) bool) {
+	n := len(idx)
+	runLen := (n + par - 1) / par
+	if runLen < batchSize {
+		runLen = batchSize
+	}
+	nr := (n + runLen - 1) / runLen
+	if nr < 2 {
+		stableSortIdx(idx, less)
+		return
+	}
+	bounds := make([][2]int, nr)
+	for r := 0; r < nr; r++ {
+		lo := r * runLen
+		hi := lo + runLen
+		if hi > n {
+			hi = n
+		}
+		bounds[r] = [2]int{lo, hi}
+	}
+	parallelFor(par, nr, func(_, r int) error {
+		stableSortIdx(idx[bounds[r][0]:bounds[r][1]], less)
+		return nil
+	})
+	out := make([]int32, 0, n)
+	heads := make([]int, nr)
+	for r := range heads {
+		heads[r] = bounds[r][0]
+	}
+	for len(out) < n {
+		best := -1
+		for r := 0; r < nr; r++ {
+			if heads[r] >= bounds[r][1] {
+				continue
+			}
+			if best < 0 || less(idx[heads[r]], idx[heads[best]]) {
+				best = r
+			}
+		}
+		out = append(out, idx[heads[best]])
+		heads[best]++
+	}
+	copy(idx, out)
+}

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
@@ -54,10 +56,13 @@ type planDep struct {
 }
 
 // Plan is an immutable, reentrant lowering of one statement plus the
-// artifacts shared by its executions. The only mutable fields — udfPlans and
-// the scratch inside each udfPlan — are written under DB.mu, which
-// serializes statement execution; they carry no per-execution semantics.
+// artifacts shared by its executions. The only mutable fields — udfPlans,
+// analysis, and the entry memo inside each udfPlan — are lazily filled
+// caches guarded by mu: SELECT executions run outside DB.mu and may share
+// one plan concurrently. lastUse is written only under DB.mu (cache
+// bookkeeping happens at lookup, before execution leaves the lock).
 type Plan struct {
+	mu        sync.Mutex
 	stmt      sqlast.Statement
 	key       planKey
 	subqIDs   map[*sqlast.Select]int32 // plan-stable subquery IDs
@@ -84,8 +89,8 @@ type Plan struct {
 	// Select nodes (conjunct split, OR factoring, alias map, grouped-ness) —
 	// the part of physical operator tree construction that does not depend
 	// on the data. The physical tree itself is rebuilt per execution: join
-	// order and index choices are data-dependent. Filled lazily under DB.mu,
-	// like udfPlans.
+	// order and index choices are data-dependent. Filled lazily under
+	// Plan.mu, like udfPlans.
 	analysis map[*sqlast.Select]*selAnalysis
 }
 
@@ -126,6 +131,8 @@ func (ex *exec) selectAnalysis(sel *sqlast.Select) *selAnalysis {
 	if _, owned := p.subqIDs[sel]; !owned {
 		return analyzeSelect(sel)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if a, ok := p.analysis[sel]; ok {
 		return a
 	}
@@ -299,6 +306,7 @@ func selectLevelExprs(s *sqlast.Select) []sqlast.Expr {
 // when any referenced name does not resolve — execution will surface the
 // error, and a later CREATE must not hit a stale plan.
 func (db *DB) collectDepsLocked(stmt sqlast.Statement) ([]planDep, bool) {
+	cat := db.catalogNow()
 	var deps []planDep
 	seen := make(map[string]bool)
 	ok := true
@@ -315,7 +323,7 @@ func (db *DB) collectDepsLocked(stmt sqlast.Statement) ([]planDep, bool) {
 			return
 		}
 		seen[key] = true
-		fn := db.funcs[strings.ToLower(name)]
+		fn := cat.funcs[strings.ToLower(name)]
 		if fn == nil {
 			ok = false
 			return
@@ -341,13 +349,13 @@ func (db *DB) collectDepsLocked(stmt sqlast.Statement) ([]planDep, bool) {
 			return
 		}
 		seen[key] = true
-		if view, isView := db.views[lower]; isView {
+		if view, isView := cat.views[lower]; isView {
 			deps = append(deps, planDep{name: lower, view: view})
 			visitSelDeps(view)
 			return
 		}
-		if tab := db.tables[lower]; tab != nil {
-			deps = append(deps, planDep{name: lower, tab: tab, version: tab.version})
+		if tab := cat.tables[lower]; tab != nil {
+			deps = append(deps, planDep{name: lower, tab: tab, version: atomic.LoadUint64(&tab.version)})
 			return
 		}
 		ok = false
@@ -406,19 +414,20 @@ func (db *DB) collectDepsLocked(stmt sqlast.Statement) ([]planDep, bool) {
 // planValidLocked reports whether every dependency still resolves to the
 // same object at the same version.
 func (db *DB) planValidLocked(p *Plan) bool {
+	cat := db.catalogNow()
 	for i := range p.deps {
 		d := &p.deps[i]
 		switch {
 		case d.tab != nil:
-			if db.tables[d.name] != d.tab || d.tab.version != d.version {
+			if cat.tables[d.name] != d.tab || atomic.LoadUint64(&d.tab.version) != d.version {
 				return false
 			}
 		case d.view != nil:
-			if db.views[d.name] != d.view {
+			if cat.views[d.name] != d.view {
 				return false
 			}
 		case d.fn != nil:
-			if db.funcs[d.name] != d.fn {
+			if cat.funcs[d.name] != d.fn {
 				return false
 			}
 		}
@@ -496,6 +505,7 @@ func (db *DB) selectArityLocked(sel *sqlast.Select, depth int) (n int, known boo
 	if depth > 24 {
 		return 0, false
 	}
+	cat := db.catalogNow()
 	type bnd struct {
 		name  string
 		width int
@@ -506,7 +516,7 @@ func (db *DB) selectArityLocked(sel *sqlast.Select, depth int) (n int, known boo
 		switch t := te.(type) {
 		case *sqlast.TableName:
 			lower := strings.ToLower(t.Name)
-			if view, isView := db.views[lower]; isView {
+			if view, isView := cat.views[lower]; isView {
 				w, wok := db.selectArityLocked(view, depth+1)
 				if !wok {
 					return false
@@ -514,7 +524,7 @@ func (db *DB) selectArityLocked(sel *sqlast.Select, depth int) (n int, known boo
 				bnds = append(bnds, bnd{strings.ToLower(t.Binding()), w})
 				return true
 			}
-			if tab := db.tables[lower]; tab != nil {
+			if tab := cat.tables[lower]; tab != nil {
 				bnds = append(bnds, bnd{strings.ToLower(t.Binding()), len(tab.Cols)})
 				return true
 			}
@@ -660,7 +670,7 @@ func (db *DB) paramKindsLocked(stmt sqlast.Statement, n int) []sqltypes.Kind {
 
 	// DML statements evaluate against their target table's layout.
 	tableKindOf := func(name string) func(cr *sqlast.ColumnRef) sqltypes.Kind {
-		t := db.tables[strings.ToLower(name)]
+		t := db.catalogNow().table(name)
 		return func(cr *sqlast.ColumnRef) sqltypes.Kind {
 			if t == nil {
 				return sqltypes.KindNull
@@ -687,7 +697,7 @@ func (db *DB) paramKindsLocked(stmt sqlast.Statement, n int) []sqltypes.Kind {
 	case *sqlast.Delete:
 		hintExprs(st.Where, tableKindOf(st.Table))
 	case *sqlast.Insert:
-		if t := db.tables[strings.ToLower(st.Table)]; t != nil && st.Sub == nil {
+		if t := db.catalogNow().table(st.Table); t != nil && st.Sub == nil {
 			cols := st.Columns
 			if len(cols) == 0 {
 				cols = t.ColNames()
@@ -723,7 +733,7 @@ func (db *DB) colKindResolverLocked(sel *sqlast.Select) func(cr *sqlast.ColumnRe
 	addTE = func(te sqlast.TableExpr) {
 		switch t := te.(type) {
 		case *sqlast.TableName:
-			tab := db.tables[strings.ToLower(t.Name)]
+			tab := db.catalogNow().table(t.Name)
 			if tab == nil {
 				return
 			}
@@ -765,14 +775,14 @@ func (db *DB) planForLocked(sql string) (*Plan, error) {
 	key := planKey{sql: sql, compiled: !db.noCompile}
 	if p, ok := db.plans[key]; ok {
 		if db.planValidLocked(p) {
-			db.Stats.PlanCacheHits++
+			atomic.AddInt64(&db.Stats.PlanCacheHits, 1)
 			db.planClock++
 			p.lastUse = db.planClock
 			return p, nil
 		}
-		db.Stats.PlanCacheInvalidations++
+		atomic.AddInt64(&db.Stats.PlanCacheInvalidations, 1)
 		np := db.buildPlanLocked(sql, p.stmt)
-		db.Stats.PlanCacheMisses++
+		atomic.AddInt64(&db.Stats.PlanCacheMisses, 1)
 		if np.cacheable {
 			db.storePlanLocked(np)
 		} else {
@@ -787,7 +797,7 @@ func (db *DB) planForLocked(sql string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.Stats.PlanCacheMisses++
+	atomic.AddInt64(&db.Stats.PlanCacheMisses, 1)
 	p := db.buildPlanLocked(sql, stmt)
 	db.storePlanLocked(p)
 	return p, nil
@@ -840,7 +850,7 @@ func (db *DB) revalidatePlanLocked(p *Plan) *Plan {
 	if db.planValidLocked(p) {
 		return p
 	}
-	db.Stats.PlanCacheInvalidations++
+	atomic.AddInt64(&db.Stats.PlanCacheInvalidations, 1)
 	np := db.buildPlanLocked(p.key.sql, p.stmt)
 	if np.cacheable {
 		db.storePlanLocked(np)
@@ -863,11 +873,11 @@ func (db *DB) ExecPlanArgs(p *Plan, args ...sqltypes.Value) (*Result, error) {
 }
 
 // ExecPlanContext executes a prepared plan with bind-parameter values,
-// honouring ctx cancellation at batch boundaries.
+// honouring ctx cancellation at batch boundaries. SELECTs pin their table
+// snapshots under the lock and then run lock-free (execPlanUnlock).
 func (db *DB) ExecPlanContext(ctx context.Context, p *Plan, args ...sqltypes.Value) (*Result, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execPlanLocked(ctx, db.revalidatePlanLocked(p), args)
+	return db.execPlanUnlock(ctx, db.revalidatePlanLocked(p), args)
 }
 
 // InvalidatePlans drops every cached plan (and resets nothing else); used

@@ -8,15 +8,15 @@ package engine
 // the tree's pipeline breakers (hash-join builds, group buckets, sort
 // buffers) hold, never by the full result set.
 //
-// Concurrency: the tree is built under DB.mu when the cursor is created;
-// each batch pull re-acquires DB.mu for the duration of one root.Next call
-// (operators touch plan-level shared state — UDF body plans, subquery
-// memos — and the table heaps, both of which DB.mu serializes). Between
-// pulls the lock is free, so an open cursor never starves writers. A scan
-// windows the heap slice captured at build time: in-place updates committed
-// between pulls are visible to later batches, exactly like holding a
-// Result's rows across a write — interleaving DML/DDL with an open cursor
-// remains the caller's synchronization problem.
+// Concurrency: the cursor's exec pins its catalog and every table heap
+// snapshot under DB.mu at creation (newExecArgs), then the lock is released
+// and never touched again — batch pulls run entirely against those
+// immutable snapshots. An open cursor therefore observes one consistent
+// database state for its whole lifetime, no matter how many writers commit
+// between pulls (writers publish fresh snapshots; they never mutate pinned
+// ones), never starves writers, and never deadlocks on Close. Plan-level
+// shared state the pulls touch (UDF body plans, select analyses) is
+// internally synchronized (Plan.mu, udfPlan.mu).
 
 import (
 	"context"
@@ -101,18 +101,15 @@ func (r *Rows) Next() bool {
 	return true
 }
 
-// pull fetches the next batch from the root operator under DB.mu, opening
-// the tree on the first call. It reports false on exhaustion or error
-// (r.err set).
+// pull fetches the next batch from the root operator, opening the tree on
+// the first call. It runs lock-free against the exec's pinned snapshots
+// and reports false on exhaustion or error (r.err set).
 func (r *Rows) pull() bool {
 	ex := r.ex
 	if err := ex.cancelled(); err != nil {
 		r.err = err
 		return false
 	}
-	db := ex.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if !r.opened {
 		r.opened = true
 		if err := r.root.Open(ex); err != nil {
@@ -196,15 +193,19 @@ func (r *Rows) Collect() (*Result, error) {
 	return res, nil
 }
 
-// queryRowsLocked builds the cursor for one SELECT execution under db.mu:
-// plan validation, bind coercion and operator tree construction happen
-// here; all execution — scans, joins, grouping, ordering — is deferred to
-// the cursor's batch pulls.
-func (db *DB) queryRowsLocked(ctx context.Context, p *Plan, sel *sqlast.Select, args []sqltypes.Value) (*Rows, error) {
+// queryRowsUnlock builds the cursor for one SELECT execution. It is
+// entered with db.mu held: bind coercion and snapshot pinning (newExecArgs)
+// happen under the lock, which is then released — operator tree
+// construction and all execution run against the exec's immutable pinned
+// snapshots, overlapping freely with writers and other cursors.
+func (db *DB) queryRowsUnlock(ctx context.Context, p *Plan, sel *sqlast.Select, args []sqltypes.Value) (*Rows, error) {
 	if p.arityErr != nil {
+		db.mu.Unlock()
 		return nil, p.arityErr
 	}
 	ex, err := db.newExecArgs(ctx, p, args)
+	streamOff := db.streamOff
+	db.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +214,7 @@ func (db *DB) queryRowsLocked(ctx context.Context, p *Plan, sel *sqlast.Select, 
 	if err := ex.cancelled(); err != nil {
 		return nil, err
 	}
-	if db.streamOff {
+	if streamOff {
 		res, err := ex.runQueryMaterialized(sel, rootScope())
 		if err != nil {
 			return nil, err

@@ -271,6 +271,10 @@ func TestCollectPropagatesFirstError(t *testing.T) {
 func TestStreamedJoinBoundedMemory(t *testing.T) {
 	const n = 50000
 	db := streamTestDB(t, n)
+	// Parallel scans materialize survivor pointers per morsel before the
+	// first row comes out; the bounded-memory property is a claim about the
+	// serial pipeline, so pin it.
+	db.SetParallelism(1)
 	db.Stats = Stats{}
 	rows, err := db.QueryRows(`SELECT f.id, d.name FROM fact f, dim d WHERE f.k = d.k AND f.id % 2 = 0`)
 	if err != nil {

@@ -87,8 +87,9 @@ func (st *vecStack) takeSel(n int) []int32 {
 
 // venv is the vectorizing compilation environment: the row-compile
 // environment over the same bindings, the executing exec (vecExprs are
-// built per execution, unlike row closures, so capturing it is safe), and
-// the scope interpreter lifting runs in.
+// built per execution — and per parallel worker, each of which compiles its
+// own programs against its workerClone — so capturing it is safe), and the
+// scope interpreter lifting runs in.
 type venv struct {
 	env *cenv
 	ex  *exec
@@ -104,7 +105,7 @@ func (ex *exec) vecCompile(e sqlast.Expr, bindings []*binding, sc *scope) vecExp
 	if ex.db.noCompile {
 		return nil
 	}
-	env := &cenv{db: ex.db, bindings: bindings, clientBinds: !scopeHasParams(sc)}
+	env := &cenv{db: ex.db, cat: ex.cat, bindings: bindings, clientBinds: !scopeHasParams(sc)}
 	ve := &venv{env: env, ex: ex, sc: sc, vs: &ex.vs}
 	return ve.compile(e)
 }

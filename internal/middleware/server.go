@@ -169,14 +169,18 @@ func (s *Server) revokeLocked(grantee, owner int64, table string, p sqlast.Privi
 	key := privKey{grantee: grantee, owner: owner, table: strings.ToLower(table), priv: p}
 	delete(s.privs, key)
 	mt := s.db.Table("mt_privileges")
-	kept := mt.Rows[:0]
-	for _, row := range mt.Rows {
+	// Build the kept set in a fresh slice: snapshots published to readers
+	// are immutable, so the old backing array must not be compacted in
+	// place.
+	heap := mt.Heap()
+	kept := make([][]sqltypes.Value, 0, len(heap))
+	for _, row := range heap {
 		if row[0].I == grantee && row[1].I == owner && row[2].S == strings.ToLower(table) && row[3].S == string(p) {
 			continue
 		}
 		kept = append(kept, row)
 	}
-	mt.Rows = kept
+	mt.ReplaceRows(kept)
 }
 
 // hasPrivilege checks a privilege, honouring database-wide grants.

@@ -133,10 +133,10 @@ func TestBuildMTAndConstraints(t *testing.T) {
 	}
 	// Row counts.
 	db := inst.Srv.DB()
-	if n := len(db.Table("lineitem").Rows); n < 1500 {
+	if n := db.Table("lineitem").RowCount(); n < 1500 {
 		t.Errorf("lineitem rows = %d", n)
 	}
-	if n := len(db.Table("region").Rows); n != 5 {
+	if n := db.Table("region").RowCount(); n != 5 {
 		t.Errorf("region rows = %d", n)
 	}
 }

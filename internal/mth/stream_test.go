@@ -74,6 +74,54 @@ func TestStreamDifferentialQ1toQ22(t *testing.T) {
 	}
 }
 
+// TestParallelDifferentialQ1toQ22 is the acceptance gate for morsel-driven
+// parallel execution: every MT-H query at canonical, O3 and O4, in both
+// compile modes, must produce byte-identical results at parallelism 8 and
+// at parallelism 1 (the serial oracle). The morsel size is shrunk so the
+// parallel scan, aggregate, join-build and sort paths all engage on the
+// small differential dataset.
+func TestParallelDifferentialQ1toQ22(t *testing.T) {
+	engine.SetMorselSize(1)
+	defer engine.SetMorselSize(0)
+	cfg := Config{SF: 0.002, Tenants: 3, Dist: Uniform, Seed: 7, Mode: engine.ModePostgres}
+	inst, err := LoadMT(Generate(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := inst.Srv.DB()
+	defer db.SetParallelism(0)
+	defer db.SetCompileExprs(true)
+
+	for _, level := range []optimizer.Level{optimizer.Canonical, optimizer.O3, optimizer.O4} {
+		conn.SetOptLevel(level)
+		for _, compiled := range []bool{true, false} {
+			db.SetCompileExprs(compiled)
+			for _, q := range Queries(cfg.SF) {
+				db.SetParallelism(1)
+				serial, err := RunOnMT(conn, q)
+				if err != nil {
+					t.Fatalf("level=%v compiled=%v Q%d serial: %v", level, compiled, q.ID, err)
+				}
+				db.SetParallelism(8)
+				parallel, err := RunOnMT(conn, q)
+				if err != nil {
+					t.Fatalf("level=%v compiled=%v Q%d parallel: %v", level, compiled, q.ID, err)
+				}
+				if sk, pk := exactKey(serial), exactKey(parallel); sk != pk {
+					t.Errorf("level=%v compiled=%v Q%d: parallelism 8 differs from serial oracle", level, compiled, q.ID)
+				}
+			}
+		}
+	}
+}
+
 // TestStreamCursorMatchesResult drains the middleware cursor for the
 // conversion-heavy queries and compares against the materialized result —
 // the end-to-end path mtsh streams through.

@@ -12,7 +12,12 @@
 # executor's counters (rows_streamed_per_op — rows moved between physical
 # operators per execution — and peak_batch, the largest batch emitted) are
 # recorded so accidental materialization in the operator tree shows up as a
-# counter regression, not just a latency blip.
+# counter regression, not just a latency blip. BenchmarkQueryScaling's
+# workers metric records the intra-query parallelism of each point in the
+# Q1 scaling series, and BenchmarkMixedReadWrite contributes qps, p50_ms,
+# p99_ms and writes_per_sec for the read-while-writing workload. "cpus"
+# records how many CPUs the host actually had — a flat scaling series on a
+# single-CPU host is expected, not a regression.
 # Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
@@ -26,18 +31,19 @@ while [ -e "$out" ]; do
 	n=$((n + 1))
 done
 batch_size="$(go run ./cmd/mtbench -print-batch-size)"
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3' \
+go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3|BenchmarkMixedReadWrite' \
 	-benchtime="$benchtime" -benchmem | tee "$raw"
 
-awk -v date="$stamp" -v batch="$batch_size" '
-BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"benchmarks\": [\n", date, batch }
+awk -v date="$stamp" -v batch="$batch_size" -v cpus="$cpus" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, batch, cpus }
 /^Benchmark/ {
 	name = $1
 	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""; parhits = ""
-	streamed = ""; peak = ""
+	streamed = ""; peak = ""; workers = ""; qps = ""; p50 = ""; p99 = ""; wps = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")         nsop   = $(i - 1)
 		if ($(i) == "B/op")          bop    = $(i - 1)
@@ -47,6 +53,11 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 		if ($(i) == "param_hits/op") parhits = $(i - 1)
 		if ($(i) == "rows_streamed/op") streamed = $(i - 1)
 		if ($(i) == "peak_batch")    peak   = $(i - 1)
+		if ($(i) == "workers")       workers = $(i - 1)
+		if ($(i) == "qps")           qps    = $(i - 1)
+		if ($(i) == "p50_ms")        p50    = $(i - 1)
+		if ($(i) == "p99_ms")        p99    = $(i - 1)
+		if ($(i) == "writes_per_sec") wps   = $(i - 1)
 	}
 	if (nsop == "") next
 	if (n++) printf ",\n"
@@ -58,6 +69,11 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"bench
 	if (parhits != "") printf ", \"param_hits_per_op\": %s", parhits
 	if (streamed != "") printf ", \"rows_streamed_per_op\": %s", streamed
 	if (peak != "")   printf ", \"peak_batch\": %s", peak
+	if (workers != "") printf ", \"workers\": %s", workers
+	if (qps != "")    printf ", \"qps\": %s", qps
+	if (p50 != "")    printf ", \"p50_ms\": %s", p50
+	if (p99 != "")    printf ", \"p99_ms\": %s", p99
+	if (wps != "")    printf ", \"writes_per_sec\": %s", wps
 	printf "}"
 }
 END { print "\n  ]\n}" }
