@@ -128,6 +128,64 @@ func BenchmarkQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQuerySpill measures the memory-bound execution path: Q1 (wide
+// grouped aggregation) and Q18 (join + group + sort over the largest
+// intermediate) at the unlimited default, a 1MB cap and a 64KB cap. The
+// capped runs overflow sort buffers, group tables and join builds to
+// disk; spill_runs/op, spill_mb/op and peak_mem_bytes report how much of
+// each statement went through the external path. The unlimited row is the
+// latency baseline — no accountant is armed there, so its memory metrics
+// read zero by design.
+func BenchmarkQuerySpill(b *testing.B) {
+	cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.O4)
+	db := inst.Srv.DB()
+	db.SetSpillDir(b.TempDir())
+	defer db.SetSpillDir("")
+	defer db.SetMemoryLimit(0)
+	for _, id := range []int{1, 18} {
+		q, err := mth.QueryByID(cfg.SF, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lim := range []struct {
+			name  string
+			bytes int64
+		}{{"unlimited", 0}, {"mem1MB", 1 << 20}, {"mem64KB", 64 << 10}} {
+			b.Run(fmt.Sprintf("%s/%s", q.Name, lim.name), func(b *testing.B) {
+				db.SetMemoryLimit(lim.bytes)
+				// Warm plan and UDF caches so the series compares execution.
+				if _, err := mth.RunOnMT(conn, q); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				db.Stats = engine.Stats{}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mth.RunOnMT(conn, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st := db.Stats.Snapshot()
+				b.ReportMetric(float64(st.SpillRuns)/float64(b.N), "spill_runs/op")
+				b.ReportMetric(float64(st.SpillBytes)/float64(b.N)/(1<<20), "spill_mb/op")
+				b.ReportMetric(float64(st.PeakMemBytes), "peak_mem_bytes")
+			})
+		}
+	}
+}
+
 // BenchmarkQueryPlanCache isolates per-statement planning cost on the
 // conversion-heavy Q1 at the canonical level (the worst-case statement
 // text the rewrite emits). "cold" drops the middleware statement caches and

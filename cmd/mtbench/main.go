@@ -10,6 +10,7 @@
 //	mtbench -figure 5 -tenants 1,10,100,1000
 //	mtbench -all                     # everything (takes a while)
 //	mtbench -table 3 -parallelism 4  # intra-query parallel scans
+//	mtbench -table 3 -memlimit 64KB  # bounded memory: statements spill to disk
 //	mtbench -mixed -concurrency 4 -parallelism 2 -ops 200
 //
 // The -mixed mode measures read throughput (qps, p50/p99 latency) while
@@ -46,6 +47,7 @@ func main() {
 		printBatch  = flag.Bool("print-batch-size", false, "print the engine's execution batch size and exit")
 		noPlanCache = flag.Bool("no-plan-cache", false, "disable the statement plan caches (A/B the pre-cache behaviour)")
 		parallelism = flag.Int("parallelism", 0, "intra-query worker count (0 = engine default GOMAXPROCS, 1 = serial)")
+		memlimit    = flag.String("memlimit", "", "per-statement memory cap, e.g. 64KB, 1MB (empty = unlimited; capped statements spill to disk)")
 		mixed       = flag.Bool("mixed", false, "run the mixed read/write throughput mode")
 		concurrency = flag.Int("concurrency", 1, "concurrent reader connections for -mixed")
 		writers     = flag.Int("writers", 2, "background writer goroutines for -mixed")
@@ -60,6 +62,14 @@ func main() {
 		return
 	}
 
+	var memBytes int64
+	if *memlimit != "" {
+		var err error
+		if memBytes, err = engine.ParseMemLimit(*memlimit); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *mixed {
 		lv, err := optimizer.ParseLevel(*level)
 		if err != nil {
@@ -69,6 +79,7 @@ func main() {
 			SF: *sf, Tenants: *tenants, Mode: engine.ModePostgres, Level: lv,
 			QueryID: *mixedQuery, Concurrency: *concurrency,
 			Parallelism: *parallelism, Writers: *writers, Ops: *ops,
+			MemLimit: memBytes,
 		}
 		if *dist != "" {
 			spec.Dist = mth.Distribution(*dist)
@@ -123,6 +134,7 @@ func main() {
 		spec.Queries = queryIDs
 		spec.NoPlanCache = *noPlanCache
 		spec.Parallelism = *parallelism
+		spec.MemLimit = memBytes
 		if *dist != "" {
 			spec.Dist = mth.Distribution(*dist)
 		}
@@ -140,6 +152,7 @@ func main() {
 		}
 		spec.Repeats = *repeats
 		spec.Parallelism = *parallelism
+		spec.MemLimit = memBytes
 		if len(queryIDs) > 0 {
 			spec.QueryIDs = queryIDs
 		}

@@ -39,6 +39,11 @@ type OptSpec struct {
 	// measured runs (0 keeps the engine default, GOMAXPROCS; 1 is the
 	// serial oracle).
 	Parallelism int
+
+	// MemLimit caps per-statement working memory in bytes (0 keeps the
+	// unlimited default); capped runs overflow sort buffers, group
+	// tables and join builds to disk and the table reports what spilled.
+	MemLimit int64
 }
 
 // Levels evaluated in every table (Table 6 of the paper).
@@ -57,6 +62,8 @@ type OptResult struct {
 	Allocs     map[optimizer.Level][]uint64  // heap allocations of the measured run
 	PlanHits   map[optimizer.Level][]int64   // engine plan-cache hits across the runs
 	PlanMisses map[optimizer.Level][]int64   // engine plan-cache misses (builds)
+	SpillRuns  map[optimizer.Level][]int64   // spill runs written (memory-capped runs)
+	PeakMem    map[optimizer.Level][]int64   // accounted peak bytes of the measured runs
 }
 
 func (s OptSpec) repeats() int {
@@ -97,6 +104,9 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 	if spec.Parallelism > 0 {
 		inst.Srv.DB().SetParallelism(spec.Parallelism)
 	}
+	if spec.MemLimit > 0 {
+		inst.Srv.DB().SetMemoryLimit(spec.MemLimit)
+	}
 	conn, err := inst.Connect(spec.C, spec.Scope)
 	if err != nil {
 		return nil, err
@@ -117,6 +127,8 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 		Allocs:     make(map[optimizer.Level][]uint64),
 		PlanHits:   make(map[optimizer.Level][]int64),
 		PlanMisses: make(map[optimizer.Level][]int64),
+		SpillRuns:  make(map[optimizer.Level][]int64),
+		PeakMem:    make(map[optimizer.Level][]int64),
 	}
 
 	for _, id := range ids {
@@ -149,6 +161,9 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 			res.Allocs[level] = append(res.Allocs[level], allocs)
 			res.PlanHits[level] = append(res.PlanHits[level], db.Stats.PlanCacheHits)
 			res.PlanMisses[level] = append(res.PlanMisses[level], db.Stats.PlanCacheMisses)
+			st := db.Stats.Snapshot()
+			res.SpillRuns[level] = append(res.SpillRuns[level], st.SpillRuns)
+			res.PeakMem[level] = append(res.PeakMem[level], st.PeakMemBytes)
 			if progress != nil {
 				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls, plan cache %d/%d hit/miss)\n",
 					spec.Label, level, id, secs, db.Stats.UDFCalls,
@@ -244,6 +259,16 @@ func (r *OptResult) WriteTable(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	if r.Spec.MemLimit > 0 {
+		fmt.Fprintf(w, "spill runs / peak accounted KB per level (memory limit %d bytes):\n", r.Spec.MemLimit)
+		for _, level := range levels {
+			fmt.Fprintf(w, "%-10s", level.String())
+			for i := range r.SpillRuns[level] {
+				fmt.Fprintf(w, " %8s", fmt.Sprintf("%d/%d", r.SpillRuns[level][i], r.PeakMem[level][i]>>10))
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // sig2 formats seconds with two significant digits, like the paper.
@@ -279,7 +304,8 @@ type ScaleSpec struct {
 	Mode         engine.Mode
 	QueryIDs     []int // default Q1, Q6, Q22
 	Repeats      int
-	Parallelism  int // intra-query workers; 0 = engine default
+	Parallelism  int   // intra-query workers; 0 = engine default
+	MemLimit     int64 // per-statement memory cap in bytes; 0 = unlimited
 }
 
 // ScaleResult holds response times relative to plain TPC-H (= 1.0).
@@ -341,6 +367,9 @@ func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
 		}
 		if spec.Parallelism > 0 {
 			inst.Srv.DB().SetParallelism(spec.Parallelism)
+		}
+		if spec.MemLimit > 0 {
+			inst.Srv.DB().SetMemoryLimit(spec.MemLimit)
 		}
 		for _, level := range scaleLevels {
 			conn.SetOptLevel(level)

@@ -33,9 +33,10 @@ type MixedSpec struct {
 	Level       optimizer.Level
 	QueryID     int // measured read query; default Q6
 	Concurrency int // concurrent reader connections; default 1
-	Parallelism int // intra-query workers per read; 0 = engine default
-	Writers     int // background writer goroutines; default 2
-	Ops         int // total measured reads across all readers; default 64
+	Parallelism int   // intra-query workers per read; 0 = engine default
+	Writers     int   // background writer goroutines; default 2
+	Ops         int   // total measured reads across all readers; default 64
+	MemLimit    int64 // per-statement memory cap in bytes; 0 = unlimited
 }
 
 // MixedResult holds the measured throughput numbers.
@@ -87,6 +88,9 @@ func RunMixed(spec MixedSpec, progress io.Writer) (*MixedResult, error) {
 	db := inst.Srv.DB()
 	if spec.Parallelism > 0 {
 		db.SetParallelism(spec.Parallelism)
+	}
+	if spec.MemLimit > 0 {
+		db.SetMemoryLimit(spec.MemLimit)
 	}
 	if _, err := db.ExecSQL(`CREATE TABLE bench_audit (id INTEGER NOT NULL, v INTEGER NOT NULL)`); err != nil {
 		return nil, err

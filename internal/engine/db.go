@@ -218,6 +218,15 @@ type DB struct {
 	planClock   uint64
 	noPlanCache bool
 
+	// memLimit caps the bytes one statement's pipeline breakers may retain
+	// before spilling to disk (SetMemoryLimit); 0 means unlimited. spillDir
+	// is where overflow files go ("" = system temp). spillfs is the
+	// injectable spill filesystem hook package tests use to fail I/O
+	// mid-run; nil selects the real one.
+	memLimit int64
+	spillDir string
+	spillfs  spillFS
+
 	// Stats accumulates counters across statements; benchmarks reset it.
 	Stats Stats
 }
@@ -276,6 +285,15 @@ type Stats struct {
 	// report them per operation to catch accidental materialization.
 	RowsStreamed int64
 	PeakBatch    int64
+
+	// Spill counters (SetMemoryLimit): SpillRuns counts overflow files
+	// created (sorted runs and Grace join partitions alike), SpillBytes the
+	// bytes written to them, and PeakMemBytes the highest accounted
+	// pipeline-breaker footprint any single statement reached. All stay
+	// zero under the default unlimited budget.
+	SpillRuns    int64
+	SpillBytes   int64
+	PeakMemBytes int64
 }
 
 // Snapshot returns an atomically read copy of the counters, safe to call
@@ -291,12 +309,16 @@ func (s *Stats) Snapshot() Stats {
 		PlanCacheInvalidations: atomic.LoadInt64(&s.PlanCacheInvalidations),
 		RowsStreamed:           atomic.LoadInt64(&s.RowsStreamed),
 		PeakBatch:              atomic.LoadInt64(&s.PeakBatch),
+		SpillRuns:              atomic.LoadInt64(&s.SpillRuns),
+		SpillBytes:             atomic.LoadInt64(&s.SpillBytes),
+		PeakMemBytes:           atomic.LoadInt64(&s.PeakMemBytes),
 	}
 }
 
 // Open returns an empty database in the given mode.
 func Open(mode Mode) *DB {
 	db := &DB{mode: mode}
+	db.applyEnvMemLimit()
 	db.cat.Store(&catalog{
 		tables: make(map[string]*Table),
 		views:  make(map[string]*sqlast.Select),
@@ -405,7 +427,11 @@ func (db *DB) execPlanUnlock(ctx context.Context, p *Plan, args []sqltypes.Value
 		if err != nil {
 			return nil, err
 		}
-		return ex.runQuery(sel, rootScope())
+		res, err := ex.runQuery(sel, rootScope())
+		// The statement is over: any spill file an errored subtree abandoned
+		// before its operator Close could run is removed here.
+		ex.releaseSpills()
+		return res, err
 	}
 	defer db.mu.Unlock()
 	return db.execPlanLocked(ctx, p, args)

@@ -86,6 +86,13 @@ type exec struct {
 	// ctx carries the caller's cancellation; batch loops poll it at batch
 	// boundaries (exec.cancelled). nil means non-cancellable.
 	ctx context.Context
+
+	// acct is the statement's memory accountant (nil = unlimited); worker
+	// clones share it, so parallel charges fold into one budget. spills
+	// tracks every live overflow file for cleanup at Rows.Close/statement
+	// end (see spill.go); it is shared with worker clones too.
+	acct   *memAccountant
+	spills *spillRegistry
 }
 
 // bind resolves statement-level parameter $n against this execution's bind
@@ -132,7 +139,7 @@ type inSet struct {
 
 func (db *DB) newExec(p *Plan) *exec {
 	cat := db.catalogNow()
-	return &exec{
+	ex := &exec{
 		db:         db,
 		plan:       p,
 		cat:        cat,
@@ -143,6 +150,11 @@ func (db *DB) newExec(p *Plan) *exec {
 		inSetCache: make(map[int32]*inSet),
 		nextDynID:  p.nSubq,
 	}
+	if db.memLimit > 0 {
+		ex.acct = &memAccountant{limit: db.memLimit, db: db}
+		ex.spills = &spillRegistry{}
+	}
+	return ex
 }
 
 // snapshotSet is the set of heap snapshots one statement reads: every table
@@ -197,6 +209,8 @@ func (ex *exec) workerClone() *exec {
 		depth:      ex.depth,
 		binds:      ex.binds,
 		ctx:        ex.ctx,
+		acct:       ex.acct,
+		spills:     ex.spills,
 		udfCache:   make(map[string]sqltypes.Value),
 		subqCache:  make(map[int32]*Result),
 		inSetCache: make(map[int32]*inSet),
@@ -261,6 +275,20 @@ type groupCtx struct {
 	rows   [][]sqltypes.Value
 	aggVec map[sqlast.Expr]vecExpr
 	scr    *aggScratch
+
+	// precomp holds aggregate results computed incrementally while merging
+	// spilled group runs (operator.go): the group's rows were streamed
+	// through per-site accumulators and are no longer resident, so
+	// evalAggregate answers from here instead of folding rows. Keyed by
+	// call-site node; an error recorded for a site is raised only when the
+	// site is actually evaluated, preserving HAVING/CASE short-circuiting.
+	precomp map[*sqlast.FuncCall]precompAgg
+}
+
+// precompAgg is one precomputed aggregate call-site result.
+type precompAgg struct {
+	v   sqltypes.Value
+	err error
 }
 
 // aggScratch is the reusable batch state aggregate evaluation streams group
@@ -1043,6 +1071,13 @@ func (ex *exec) evalAggregate(x *sqlast.FuncCall, sc *scope) (sqltypes.Value, er
 	g := sc.group
 	if g == nil {
 		return sqltypes.Null, fmt.Errorf("engine: aggregate %s outside grouped context", x.Name)
+	}
+	if g.precomp != nil {
+		// Spill-merge path: the group's rows already streamed through this
+		// site's accumulator in row order; answer from the stored result.
+		if pv, ok := g.precomp[x]; ok {
+			return pv.v, pv.err
+		}
 	}
 	upper := strings.ToUpper(x.Name)
 	if upper == "COUNT" && x.Star {

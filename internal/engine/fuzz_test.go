@@ -1,0 +1,366 @@
+package engine_test
+
+// Randomized differential fuzzer over the mtdbgen (MT-H) schemas: random
+// SELECTs — joins, GROUP BY, ORDER BY, DISTINCT, IN- and EXISTS-subqueries —
+// are cross-checked through every execution arm the engine offers: the
+// streaming operator tree vs the materializing executor, compiled vs
+// interpreted expressions, parallelism 1 vs 8, and unlimited vs a tiny
+// memory limit that forces every pipeline breaker through the spill path.
+// All arms must agree byte for byte.
+//
+// The generator emits only total expressions (no division), because a
+// spilled statement may evaluate expressions an in-memory LIMIT run never
+// reaches — the one accepted divergence of the overflow design (DESIGN.md
+// ADR-006). The native FuzzQuery target, whose mutated inputs can contain
+// anything, therefore treats error/success disagreement on capped arms as
+// out of scope while still requiring byte identity whenever both runs
+// succeed, and hard agreement on the materialized/interpreted/parallel arms.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mth"
+	"mtbase/internal/optimizer"
+)
+
+// fuzzKey renders an outcome order- and type-sensitively; errors render as
+// their text so error agreement is part of the differential claim.
+func fuzzKey(res *engine.Result, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Cols, "|"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			fmt.Fprintf(&sb, "%v:%s", v.K, v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ------------------------------------------------------------- generator
+
+// mtGen generates random SELECTs over the MT-H tenant view. Expressions are
+// typed (numeric, string, date pools per table set) so generated queries
+// plan cleanly, and total, so results carry no data-dependent errors.
+type mtGen struct {
+	r *rand.Rand
+}
+
+type fuzzCols struct {
+	nums  []string
+	strs  [][2]string // column, sample constant
+	dates []string
+}
+
+var (
+	lineitemCols = fuzzCols{
+		nums: []string{"l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax"},
+		strs: [][2]string{
+			{"l_returnflag", "R"}, {"l_linestatus", "O"},
+			{"l_shipmode", "TRUCK"}, {"l_shipinstruct", "DELIVER IN PERSON"},
+		},
+		dates: []string{"l_shipdate", "l_commitdate", "l_receiptdate"},
+	}
+	ordersCols = fuzzCols{
+		nums:  []string{"o_shippriority", "o_totalprice", "o_custkey"},
+		strs:  [][2]string{{"o_orderstatus", "O"}, {"o_orderpriority", "1-URGENT"}},
+		dates: []string{"o_orderdate"},
+	}
+	customerCols = fuzzCols{
+		nums: []string{"c_custkey", "c_nationkey", "c_acctbal"},
+		strs: [][2]string{{"c_mktsegment", "BUILDING"}, {"c_name", "Customer#000000001"}},
+	}
+	supplierCols = fuzzCols{
+		nums: []string{"s_suppkey", "s_nationkey", "s_acctbal"},
+		strs: [][2]string{{"s_name", "Supplier#000000001"}},
+	}
+)
+
+func merge(cs ...fuzzCols) fuzzCols {
+	var out fuzzCols
+	for _, c := range cs {
+		out.nums = append(out.nums, c.nums...)
+		out.strs = append(out.strs, c.strs...)
+		out.dates = append(out.dates, c.dates...)
+	}
+	return out
+}
+
+func (g *mtGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// numExpr is a total numeric expression: columns, small constants, and
+// +, -, * (never division — see the package comment).
+func (g *mtGen) numExpr(c fuzzCols, depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(4) == 0 {
+			return fmt.Sprintf("%d", g.r.Intn(5000))
+		}
+		return g.pick(c.nums)
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)",
+		g.numExpr(c, depth-1), ops[g.r.Intn(len(ops))], g.numExpr(c, depth-1))
+}
+
+func (g *mtGen) pred(c fuzzCols, depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+			return fmt.Sprintf("(%s %s %s)",
+				g.numExpr(c, 1), cmps[g.r.Intn(len(cmps))], g.numExpr(c, 1))
+		case 1:
+			sc := c.strs[g.r.Intn(len(c.strs))]
+			cmps := []string{"=", "<>", "<", ">="}
+			return fmt.Sprintf("(%s %s '%s')", sc[0], cmps[g.r.Intn(len(cmps))], sc[1])
+		default:
+			if len(c.dates) >= 2 {
+				cmps := []string{"<", "<=", ">", ">="}
+				return fmt.Sprintf("(%s %s %s)",
+					g.pick(c.dates), cmps[g.r.Intn(len(cmps))], g.pick(c.dates))
+			}
+			return fmt.Sprintf("(%s >= %d)", g.pick(c.nums), g.r.Intn(2000))
+		}
+	}
+	conj := []string{"AND", "OR"}
+	return fmt.Sprintf("(%s %s %s)",
+		g.pred(c, depth-1), conj[g.r.Intn(2)], g.pred(c, depth-1))
+}
+
+// query emits one random SELECT covering the breaker-heavy shapes: sorts,
+// grouped aggregation, inner and LEFT joins, DISTINCT, IN and EXISTS.
+func (g *mtGen) query() string {
+	switch g.r.Intn(9) {
+	case 0: // filtered scan through the external sort
+		return fmt.Sprintf(
+			"SELECT l_orderkey, l_linenumber, %s AS e FROM lineitem WHERE %s ORDER BY e, l_orderkey, l_linenumber LIMIT %d",
+			g.numExpr(lineitemCols, 2), g.pred(lineitemCols, 2), 50+g.r.Intn(400))
+	case 1: // grouped aggregation with HAVING
+		return fmt.Sprintf(
+			"SELECT l_returnflag, l_linestatus, COUNT(*) AS n, SUM(%s) AS s, AVG(%s) AS a, MIN(l_quantity) AS mn, MAX(l_extendedprice) AS mx "+
+				"FROM lineitem WHERE %s GROUP BY l_returnflag, l_linestatus HAVING COUNT(*) > %d ORDER BY l_returnflag, l_linestatus",
+			g.numExpr(lineitemCols, 2), g.numExpr(lineitemCols, 1), g.pred(lineitemCols, 2), g.r.Intn(4))
+	case 2: // hash join orders ⋈ lineitem with residual predicate
+		both := merge(ordersCols, lineitemCols)
+		return fmt.Sprintf(
+			"SELECT o_orderkey, o_totalprice, l_linenumber, %s AS e FROM orders, lineitem "+
+				"WHERE o_orderkey = l_orderkey AND %s ORDER BY o_orderkey, l_linenumber, e LIMIT %d",
+			g.numExpr(both, 1), g.pred(both, 1), 100+g.r.Intn(300))
+	case 3: // LEFT JOIN with null-extended right side
+		return fmt.Sprintf(
+			"SELECT c_custkey, c_acctbal, o_orderkey, o_totalprice FROM customer LEFT JOIN orders ON c_custkey = o_custkey "+
+				"WHERE %s ORDER BY c_custkey, o_orderkey",
+			g.pred(customerCols, 1))
+	case 4: // DISTINCT over an expression
+		return fmt.Sprintf(
+			"SELECT DISTINCT %s AS e, l_returnflag FROM lineitem WHERE %s ORDER BY e, l_returnflag",
+			g.numExpr(lineitemCols, 1), g.pred(lineitemCols, 1))
+	case 5: // uncorrelated IN subquery
+		return fmt.Sprintf(
+			"SELECT o_orderkey, o_totalprice FROM orders WHERE o_custkey IN "+
+				"(SELECT c_custkey FROM customer WHERE %s) AND %s ORDER BY o_orderkey LIMIT %d",
+			g.pred(customerCols, 1), g.pred(ordersCols, 1), 100+g.r.Intn(300))
+	case 6: // three-way join into grouped aggregation
+		all := merge(customerCols, ordersCols, lineitemCols)
+		return fmt.Sprintf(
+			"SELECT c_nationkey, COUNT(*) AS n, SUM(%s) AS s FROM customer, orders, lineitem "+
+				"WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND %s GROUP BY c_nationkey ORDER BY c_nationkey",
+			g.numExpr(lineitemCols, 1), g.pred(all, 1))
+	case 7: // correlated EXISTS
+		return fmt.Sprintf(
+			"SELECT c_custkey, c_name FROM customer WHERE EXISTS "+
+				"(SELECT 1 FROM orders WHERE o_custkey = c_custkey AND %s) ORDER BY c_custkey",
+			g.pred(ordersCols, 1))
+	default: // join against the globally shared tables
+		both := merge(supplierCols, fuzzCols{nums: []string{"n_nationkey", "n_regionkey"}})
+		return fmt.Sprintf(
+			"SELECT s_suppkey, s_name, n_name FROM supplier, nation WHERE s_nationkey = n_nationkey AND %s ORDER BY s_suppkey",
+			g.pred(both, 1))
+	}
+}
+
+// ------------------------------------------------------------- arms
+
+type fuzzArms struct {
+	db   *engine.DB
+	conn *middleware.Conn
+}
+
+func newFuzzArms(tb testing.TB) *fuzzArms {
+	cfg := mth.Config{SF: 0.001, Tenants: 2, Dist: mth.Uniform, Seed: 11, Mode: engine.ModePostgres}
+	inst, err := mth.LoadMT(mth.Generate(cfg))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := inst.GrantReadTo(1); err != nil {
+		tb.Fatal(err)
+	}
+	conn, err := inst.Connect(1, "IN ()")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	conn.SetOptLevel(optimizer.O4)
+	return &fuzzArms{db: inst.Srv.DB(), conn: conn}
+}
+
+func (a *fuzzArms) reset() {
+	a.db.SetStreamExec(true)
+	a.db.SetCompileExprs(true)
+	a.db.SetParallelism(1)
+	a.db.SetMemoryLimit(0)
+}
+
+// run executes sql through the cursor path (which honors every knob,
+// including the materializing fallback) under a timeout: mutated fuzz
+// inputs can drop a join predicate and turn into multi-million-row cross
+// products, and one such exec must not stall the whole fuzz loop.
+func (a *fuzzArms) run(sql string, timeout time.Duration) string {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	rows, err := a.conn.QueryContext(ctx, sql)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	res, err := rows.Collect()
+	rows.Close()
+	return fuzzKey(res, err)
+}
+
+func timedOut(key string) bool {
+	return strings.Contains(key, context.DeadlineExceeded.Error())
+}
+
+// fuzzMemLimit forces every breaker through the overflow path on the small
+// fuzz dataset.
+const fuzzMemLimit = 48 << 10
+
+// check runs sql through every arm and compares against the serial,
+// streamed, compiled, unlimited baseline. strict requires bit-identical
+// outcomes everywhere (the generated corpus is total, so even errors must
+// agree textually); lenient mode — for arbitrary mutated inputs — skips
+// error/success disagreement on the capped arms only.
+func (a *fuzzArms) check(t *testing.T, sql string, strict bool) {
+	t.Helper()
+	timeout := 2 * time.Minute
+	if !strict {
+		timeout = 5 * time.Second
+	}
+	a.reset()
+	base := a.run(sql, timeout)
+	baseErr := strings.HasPrefix(base, "error: ")
+	if baseErr && !strict {
+		// The planner rejected a mutated input (or a pathological one timed
+		// out); nothing to cross-check beyond "no panic".
+		return
+	}
+	arms := []struct {
+		name   string
+		prep   func()
+		capped bool
+	}{
+		{"materialized", func() { a.db.SetStreamExec(false) }, false},
+		{"interpreted", func() { a.db.SetCompileExprs(false) }, false},
+		{"parallel-8", func() { a.db.SetParallelism(8) }, false},
+		{"capped", func() { a.db.SetMemoryLimit(fuzzMemLimit) }, true},
+		{"capped-parallel-8", func() {
+			a.db.SetMemoryLimit(fuzzMemLimit)
+			a.db.SetParallelism(8)
+		}, true},
+		{"capped-interpreted", func() {
+			a.db.SetMemoryLimit(fuzzMemLimit)
+			a.db.SetCompileExprs(false)
+		}, true},
+	}
+	for _, arm := range arms {
+		a.reset()
+		arm.prep()
+		got := a.run(sql, timeout)
+		a.reset()
+		if got == base {
+			continue
+		}
+		if !strict && timedOut(got) {
+			// A capped or parallel arm can legitimately be slower than the
+			// baseline; a timeout is not a divergence.
+			continue
+		}
+		gotErr := strings.HasPrefix(got, "error: ")
+		if !strict && arm.capped && (gotErr != baseErr) && !strings.Contains(got, "spill") {
+			// Accepted divergence: a capped run evaluates expressions an
+			// in-memory LIMIT run never reaches (or vice versa). Spill
+			// infrastructure errors are never acceptable.
+			continue
+		}
+		t.Errorf("%s arm diverges on %q:\n--- arm\n%s--- baseline\n%s", arm.name, sql, got, base)
+	}
+}
+
+// TestQueryFuzz is the seeded randomized differential suite: every
+// generated query must produce identical bytes through all six arms, the
+// capped arms must actually spill, and no temp file may outlive the run.
+func TestQueryFuzz(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 25
+	}
+	a := newFuzzArms(t)
+	dir := t.TempDir()
+	a.db.SetSpillDir(dir)
+	engine.SetMorselSize(1)
+	defer engine.SetMorselSize(0)
+	defer a.reset()
+	a.db.Stats = engine.Stats{}
+	levels := []optimizer.Level{optimizer.Canonical, optimizer.O3, optimizer.O4}
+	g := &mtGen{r: rand.New(rand.NewSource(20260808))}
+	for i := 0; i < seeds; i++ {
+		a.conn.SetOptLevel(levels[i%len(levels)])
+		a.check(t, g.query(), true)
+	}
+	if a.db.Stats.Snapshot().SpillRuns == 0 {
+		t.Error("fuzz run never spilled: capped arms ran in memory")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("%d spill files leaked", len(ents))
+	}
+}
+
+// FuzzQuery is the native fuzz target: arbitrary SQL (seeded with the 22
+// MT-H queries and a sample of generated shapes) must never panic the
+// engine, and whenever the baseline succeeds, every arm must agree as
+// described in check.
+func FuzzQuery(f *testing.F) {
+	for _, q := range mth.Queries(0.001) {
+		f.Add(q.SQL)
+	}
+	g := &mtGen{r: rand.New(rand.NewSource(5))}
+	for i := 0; i < 24; i++ {
+		f.Add(g.query())
+	}
+	a := newFuzzArms(f)
+	a.db.SetSpillDir(f.TempDir())
+	f.Fuzz(func(t *testing.T, sql string) {
+		if len(sql) > 4096 {
+			t.Skip("oversized input")
+		}
+		a.check(t, sql, false)
+	})
+}

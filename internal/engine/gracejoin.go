@@ -1,0 +1,741 @@
+package engine
+
+// This file implements the Grace hash join overflow path: when a statement
+// memory limit is set and a join's build side exceeds the budget, build and
+// probe rows are partitioned to disk by a salted hash of their equi-join
+// key, each partition is joined independently (recursing with a fresh salt
+// when a build partition still doesn't fit), and the joined tuples merge
+// back ordered by probe sequence number.
+//
+// Byte-identity with the in-memory join follows from three invariants:
+//   - a key lands in exactly one partition, so all matches of one probe row
+//     are produced together, in build-file order — and partition files
+//     preserve original arrival order (sequential writes, sequential
+//     re-reads, including through re-partitioning);
+//   - every output record carries its probe row's global sequence number,
+//     assigned in probe-stream order, and the output spiller's stable sort
+//     plus earlier-run-wins merge reassembles the exact in-memory emission
+//     order;
+//   - NULL keys behave as in memory: dropped for inner joins, immediately
+//     null-extended (with their sequence number) for left outer joins.
+//
+// Exclusions, by design: the cross product (no equi pairs) and the
+// pair-less LEFT JOIN degenerate to a single partition and stay in-memory
+// (charged, never spilled); the index fast path probes the table's
+// persistent index and retains no transient build at all.
+
+import (
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// graceParts is the partition fan-out per level.
+const graceParts = 16
+
+// maxGraceDepth bounds re-partitioning; a build partition that still
+// exceeds the budget at the deepest level is joined in memory.
+const maxGraceDepth = 3
+
+// joinBucketBytes approximates the per-row overhead of the build hash
+// table's bucket lists.
+const joinBucketBytes = 16
+
+// graceHash is the partitioning hash (FNV-1a over the encoded key, salted
+// per recursion level so a skewed partition redistributes).
+func graceHash(key []byte, salt int) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(salt)) * 16777619
+	for _, c := range key {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// graceState drives one spilled join: partition writers for both sides, the
+// output spiller ordered by probe sequence, and the merge the operator
+// drains at Next.
+type graceState struct {
+	pairs []equiPair
+	width int
+
+	// Left outer join hooks: nulls is the right-width null extension and
+	// louter evaluates the residual ON conjuncts per candidate.
+	outer  bool
+	nulls  []sqltypes.Value
+	louter *leftOuterOperator
+
+	buildParts []*partWriter
+	probeParts []*partWriter
+	probeSeq   int64
+
+	out    *spiller
+	merge  *mergeIter
+	buf    []byte
+	rowBuf [][]sqltypes.Value
+	ran    bool
+}
+
+func newGraceState(ex *exec, pairs []equiPair, width int) *graceState {
+	return &graceState{
+		pairs:      pairs,
+		width:      width,
+		out:        newSpiller(ex, func(a, b *spillRec) bool { return a.seq < b.seq }),
+		buildParts: newPartSet(ex),
+		probeParts: newPartSet(ex),
+	}
+}
+
+func newPartSet(ex *exec) []*partWriter {
+	ps := make([]*partWriter, graceParts)
+	for i := range ps {
+		ps[i] = &partWriter{ex: ex}
+	}
+	return ps
+}
+
+func finishParts(ps []*partWriter) error {
+	for _, p := range ps {
+		if err := p.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *graceState) close() {
+	for _, p := range g.buildParts {
+		p.drop()
+	}
+	for _, p := range g.probeParts {
+		p.drop()
+	}
+	if g.merge != nil {
+		g.merge.close()
+		g.merge = nil
+	}
+	if g.out != nil {
+		g.out.close()
+		g.out = nil
+	}
+}
+
+// forEachKeyedRow invokes fn for every row of b whose join key has no NULL
+// component, in selection order, with the key encoded exactly as the hash
+// probe encodes it. It uses the compiled key set when available and the
+// interpreter otherwise — the same split as the in-memory paths.
+func (ex *exec) forEachKeyedRow(b *Batch, ks *vecKeySet, sc *scope, exprs []sqlast.Expr, buf []byte, fn func(i int32, key []byte) error) ([]byte, error) {
+	if ks != nil {
+		m := ex.vs.mark()
+		sel := ks.compute(b, true, nil)
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			return buf, err
+		}
+		for _, i := range sel {
+			buf = encodeKeyCols(buf[:0], ks.cols, i)
+			if err := fn(i, buf); err != nil {
+				ex.vs.release(m)
+				return buf, err
+			}
+		}
+		ex.vs.release(m)
+		return buf, nil
+	}
+	for _, i := range b.sel {
+		buf = buf[:0]
+		null := false
+		for _, e := range exprs {
+			sc.row = b.rows[i]
+			v, err := ex.eval(e, sc)
+			if err != nil {
+				return buf, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			buf = sqltypes.AppendKey(buf, v)
+		}
+		if null {
+			continue
+		}
+		if err := fn(i, buf); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// partitionBuildBatch routes one batch of build rows into the build
+// partition files.
+func (g *graceState) partitionBuildBatch(ex *exec, b *Batch, ks *vecKeySet, sc *scope, exprs []sqlast.Expr) error {
+	var err error
+	g.buf, err = ex.forEachKeyedRow(b, ks, sc, exprs, g.buf, func(i int32, key []byte) error {
+		p := g.buildParts[graceHash(key, 0)%graceParts]
+		return p.write(&spillRec{key: key, row: b.rows[i]})
+	})
+	return err
+}
+
+// partitionBuildRows streams already-materialized build rows (table heap or
+// the rows drained before the budget overflowed) through the partitioner.
+func (g *graceState) partitionBuildRows(ex *exec, rows [][]sqltypes.Value, ks *vecKeySet, sc *scope, exprs []sqlast.Expr) error {
+	src := scanOp{rows: rows}
+	var b Batch
+	for src.next(&b) {
+		if err := ex.cancelled(); err != nil {
+			return err
+		}
+		if err := g.partitionBuildBatch(ex, &b, ks, sc, exprs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionProbeBatch routes one batch of inner-join probe rows, assigning
+// global sequence numbers in stream order. NULL-key rows are dropped — they
+// cannot match.
+func (g *graceState) partitionProbeBatch(ex *exec, b *Batch, ks *vecKeySet, sc *scope, exprs []sqlast.Expr) error {
+	var err error
+	g.buf, err = ex.forEachKeyedRow(b, ks, sc, exprs, g.buf, func(i int32, key []byte) error {
+		seq := g.probeSeq
+		g.probeSeq++
+		p := g.probeParts[graceHash(key, 0)%graceParts]
+		return p.write(&spillRec{seq: seq, key: key, row: b.rows[i]})
+	})
+	return err
+}
+
+// runPartitions joins every partition pair and opens the output merge.
+func (g *graceState) runPartitions(ex *exec) error {
+	if err := finishParts(g.buildParts); err != nil {
+		return err
+	}
+	if err := finishParts(g.probeParts); err != nil {
+		return err
+	}
+	for i := 0; i < graceParts; i++ {
+		if err := ex.cancelled(); err != nil {
+			return err
+		}
+		if err := g.processPartition(ex, g.buildParts[i], g.probeParts[i], 1, 1); err != nil {
+			return err
+		}
+	}
+	var err error
+	g.merge, err = g.out.drain()
+	return err
+}
+
+// emitOut appends one joined tuple to the output spiller, overflowing the
+// buffered records to disk whenever the budget is exceeded.
+func (g *graceState) emitOut(ex *exec, seq int64, combined []sqltypes.Value) error {
+	g.out.add(spillRec{seq: seq, row: combined}, rowBytes(combined))
+	return g.out.maybeFlush()
+}
+
+// processPartition loads one build partition into a hash table (file order
+// = original build order, so bucket lists match the in-memory build) and
+// streams the matching probe partition through it. A build partition that
+// exceeds the budget re-partitions both sides with the next salt; at
+// maxGraceDepth it is joined in memory regardless.
+func (g *graceState) processPartition(ex *exec, bp, pp *partWriter, salt, depth int) error {
+	defer bp.drop()
+	defer pp.drop()
+	if pp.file == nil {
+		return nil // no probe rows: nothing can be emitted
+	}
+	if bp.file == nil && !g.outer {
+		return nil // inner join with no build rows: no matches
+	}
+	var brows [][]sqltypes.Value
+	var bkeys []string
+	var charged int64
+	defer func() { ex.acct.release(charged) }()
+	if bp.file != nil {
+		r, err := bp.open()
+		if err != nil {
+			return err
+		}
+		var rec spillRec
+		var add int64
+		n := 0
+		for {
+			ok, err := r.next(&rec)
+			if err != nil {
+				r.close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			brows = append(brows, rec.row)
+			bkeys = append(bkeys, string(rec.key))
+			add += rowBytes(rec.row) + int64(len(rec.key)) + joinBucketBytes
+			n++
+			if n%batchSize == 0 {
+				ex.acct.charge(add)
+				charged += add
+				add = 0
+				if ex.acct.over() && depth < maxGraceDepth {
+					r.close()
+					ex.acct.release(charged)
+					charged = 0
+					return g.subPartition(ex, bp, pp, salt, depth)
+				}
+			}
+		}
+		r.close()
+		ex.acct.charge(add)
+		charged += add
+	}
+	build := make(map[string][]int, len(brows))
+	for i, k := range bkeys {
+		build[k] = append(build[k], i)
+	}
+	r, err := pp.open()
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	var rec spillRec
+	for {
+		ok, err := r.next(&rec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ids := build[string(rec.key)]
+		if g.outer {
+			matched := false
+			for _, ri := range ids {
+				combined := concatRows(rec.row, brows[ri], g.width)
+				okm, err := g.louter.matchResidual(ex, combined)
+				if err != nil {
+					return err
+				}
+				if okm {
+					matched = true
+					if err := g.emitOut(ex, rec.seq, combined); err != nil {
+						return err
+					}
+				}
+			}
+			if !matched {
+				if err := g.emitOut(ex, rec.seq, concatRows(rec.row, g.nulls, g.width)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for _, ri := range ids {
+			if err := g.emitOut(ex, rec.seq, concatRows(rec.row, brows[ri], g.width)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// subPartition redistributes an oversized partition pair with the next
+// salt and joins each sub-partition.
+func (g *graceState) subPartition(ex *exec, bp, pp *partWriter, salt, depth int) error {
+	subB := newPartSet(ex)
+	subP := newPartSet(ex)
+	redistribute := func(src *partWriter, dst []*partWriter) error {
+		if src.file == nil {
+			return nil
+		}
+		r, err := src.open()
+		if err != nil {
+			return err
+		}
+		defer r.close()
+		var rec spillRec
+		for {
+			ok, err := r.next(&rec)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := dst[graceHash(rec.key, salt)%graceParts].write(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := redistribute(bp, subB); err != nil {
+		return err
+	}
+	if err := redistribute(pp, subP); err != nil {
+		return err
+	}
+	if err := finishParts(subB); err != nil {
+		return err
+	}
+	if err := finishParts(subP); err != nil {
+		return err
+	}
+	bp.drop()
+	pp.drop()
+	for i := 0; i < graceParts; i++ {
+		if err := g.processPartition(ex, subB[i], subP[i], salt+1, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit streams the merged output in batch windows.
+func (g *graceState) emit(ex *exec, out *Batch) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	g.rowBuf = g.rowBuf[:0]
+	for len(g.rowBuf) < batchSize {
+		rec, err := g.merge.next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			break
+		}
+		g.rowBuf = append(g.rowBuf, rec.row)
+	}
+	if len(g.rowBuf) == 0 {
+		return nil, nil
+	}
+	out.window(g.rowBuf)
+	ex.noteStream(len(g.rowBuf))
+	return out, nil
+}
+
+// openChargedBuild is the memory-limited replacement for the inner join's
+// hash build: it charges the build side at batch granularity and, when the
+// budget overflows, releases the charges and partitions everything —
+// already-drained rows first, then the rest of the build stream without
+// ever materializing it.
+func (j *joinOperator) openChargedBuild(ex *exec) error {
+	j.acct = ex.acct
+	brel := &relation{bindings: j.rrel.bindings, width: j.rrel.width}
+	rsc := brel.scopeFor(j.parent)
+	rexprs := pairExprs(j.pairs, true)
+	rks := ex.vecKeys(rexprs, j.rrel.bindings, rsc)
+	rows := j.rrel.rows
+	streamed := rows == nil
+	spill := false
+	if streamed {
+		if err := j.right.Open(ex); err != nil {
+			return err
+		}
+		for !spill {
+			b, err := j.right.Next(ex)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			var add int64
+			for _, i := range b.sel {
+				rows = append(rows, b.rows[i])
+				add += rowBytes(b.rows[i]) + joinBucketBytes
+			}
+			ex.acct.charge(add)
+			j.charged += add
+			if ex.acct.over() {
+				spill = true
+			}
+		}
+	} else {
+		var add int64
+		for i := range rows {
+			add += rowBytes(rows[i]) + joinBucketBytes
+			if (i+1)%batchSize == 0 {
+				ex.acct.charge(add)
+				j.charged += add
+				add = 0
+				if ex.acct.over() {
+					spill = true
+					break
+				}
+			}
+		}
+		if !spill {
+			ex.acct.charge(add)
+			j.charged += add
+			spill = ex.acct.over()
+		}
+	}
+	if !spill {
+		j.rightRows = rows
+		build, err := ex.buildJoinHash(&relation{bindings: j.rrel.bindings, rows: rows, width: j.rrel.width}, j.pairs, j.parent)
+		if err != nil {
+			return err
+		}
+		j.build = build
+		return nil
+	}
+	ex.acct.release(j.charged)
+	j.charged = 0
+	g := newGraceState(ex, j.pairs, j.orel.width)
+	j.grace = g
+	if err := g.partitionBuildRows(ex, rows, rks, rsc, rexprs); err != nil {
+		return err
+	}
+	if streamed {
+		for {
+			if err := ex.cancelled(); err != nil {
+				return err
+			}
+			b, err := j.right.Next(ex)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			if err := g.partitionBuildBatch(ex, b, rks, rsc, rexprs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// graceNext drains the probe side into partition files on first call, joins
+// every partition, and then streams the merged output.
+func (j *joinOperator) graceNext(ex *exec) (*Batch, error) {
+	g := j.grace
+	if !g.ran {
+		g.ran = true
+		lexprs := pairExprs(j.pairs, false)
+		for {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+			b, err := j.left.Next(ex)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if err := g.partitionProbeBatch(ex, b, j.lks, j.lsc, lexprs); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.runPartitions(ex); err != nil {
+			return nil, err
+		}
+	}
+	return g.emit(ex, &j.out)
+}
+
+// openChargedBuild is the left outer join's memory-limited build: identical
+// charging to the inner join's, with the Grace state carrying the null
+// extension and the residual evaluator.
+func (o *leftOuterOperator) openChargedBuild(ex *exec) error {
+	o.acct = ex.acct
+	brel := &relation{bindings: o.rrel.bindings, width: o.rrel.width}
+	rsc := brel.scopeFor(o.parent)
+	rexprs := pairExprs(o.pairs, true)
+	rks := ex.vecKeys(rexprs, o.rrel.bindings, rsc)
+	rows := o.rrel.rows
+	streamed := rows == nil
+	spill := false
+	if streamed {
+		if err := o.right.Open(ex); err != nil {
+			return err
+		}
+		for !spill {
+			b, err := o.right.Next(ex)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			var add int64
+			for _, i := range b.sel {
+				rows = append(rows, b.rows[i])
+				add += rowBytes(b.rows[i]) + joinBucketBytes
+			}
+			ex.acct.charge(add)
+			o.charged += add
+			if ex.acct.over() {
+				spill = true
+			}
+		}
+	} else {
+		var add int64
+		for i := range rows {
+			add += rowBytes(rows[i]) + joinBucketBytes
+			if (i+1)%batchSize == 0 {
+				ex.acct.charge(add)
+				o.charged += add
+				add = 0
+				if ex.acct.over() {
+					spill = true
+					break
+				}
+			}
+		}
+		if !spill {
+			ex.acct.charge(add)
+			o.charged += add
+			spill = ex.acct.over()
+		}
+	}
+	if !spill {
+		o.rightRows = rows
+		build, err := ex.buildJoinHash(&relation{bindings: o.rrel.bindings, rows: rows, width: o.rrel.width}, o.pairs, o.parent)
+		if err != nil {
+			return err
+		}
+		o.build = build
+		return nil
+	}
+	ex.acct.release(o.charged)
+	o.charged = 0
+	g := newGraceState(ex, o.pairs, o.orel.width)
+	g.outer = true
+	g.nulls = o.nulls
+	g.louter = o
+	o.grace = g
+	if err := g.partitionBuildRows(ex, rows, rks, rsc, rexprs); err != nil {
+		return err
+	}
+	if streamed {
+		for {
+			if err := ex.cancelled(); err != nil {
+				return err
+			}
+			b, err := o.right.Next(ex)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			if err := g.partitionBuildBatch(ex, b, rks, rsc, rexprs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gracePartitionProbe routes one probe batch of the left outer join:
+// NULL-key rows null-extend immediately (carrying their sequence number so
+// they merge back into probe order); valid keys go to their partition.
+// Rows dropped from the incoming selection by an upstream filter never
+// participate — the same inSel bookkeeping as the in-memory probe.
+func (o *leftOuterOperator) gracePartitionProbe(ex *exec, b *Batch) error {
+	g := o.grace
+	if o.lks != nil {
+		n := len(b.rows)
+		if cap(o.nullMask) < n {
+			o.nullMask = make([]bool, n)
+			o.buckets = make([][]int, n)
+			o.inSel = make([]bool, n)
+		}
+		o.nullMask = o.nullMask[:n]
+		inSel := o.inSel[:n]
+		for i := range inSel {
+			o.nullMask[i] = false
+			inSel[i] = false
+		}
+		for _, i := range b.sel {
+			inSel[i] = true
+		}
+		m := ex.vs.mark()
+		o.lks.compute(b, true, o.nullMask)
+		if err := b.firstErr(); err != nil {
+			ex.vs.release(m)
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if !inSel[i] {
+				continue
+			}
+			seq := g.probeSeq
+			g.probeSeq++
+			if o.nullMask[i] {
+				if err := g.emitOut(ex, seq, concatRows(b.rows[i], o.nulls, g.width)); err != nil {
+					ex.vs.release(m)
+					return err
+				}
+				continue
+			}
+			g.buf = encodeKeyCols(g.buf[:0], o.lks.cols, int32(i))
+			p := g.probeParts[graceHash(g.buf, 0)%graceParts]
+			if err := p.write(&spillRec{seq: seq, key: g.buf, row: b.rows[i]}); err != nil {
+				ex.vs.release(m)
+				return err
+			}
+		}
+		ex.vs.release(m)
+		return nil
+	}
+	for _, i := range b.sel {
+		lr := b.rows[i]
+		g.buf = g.buf[:0]
+		null := false
+		for _, p := range o.pairs {
+			o.lsc.row = lr
+			v, err := ex.eval(p.left, o.lsc)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			g.buf = sqltypes.AppendKey(g.buf, v)
+		}
+		seq := g.probeSeq
+		g.probeSeq++
+		if null {
+			if err := g.emitOut(ex, seq, concatRows(lr, o.nulls, g.width)); err != nil {
+				return err
+			}
+			continue
+		}
+		pw := g.probeParts[graceHash(g.buf, 0)%graceParts]
+		if err := pw.write(&spillRec{seq: seq, key: g.buf, row: lr}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// graceNext mirrors the inner join's graceNext for the left outer join.
+func (o *leftOuterOperator) graceNext(ex *exec) (*Batch, error) {
+	g := o.grace
+	if !g.ran {
+		g.ran = true
+		for {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+			b, err := o.left.Next(ex)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if err := o.gracePartitionProbe(ex, b); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.runPartitions(ex); err != nil {
+			return nil, err
+		}
+	}
+	return g.emit(ex, &o.out)
+}

@@ -34,6 +34,7 @@ package engine
 // stable merge over the same precomputed key columns.
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -287,6 +288,12 @@ type joinOperator struct {
 	pending [][]sqltypes.Value
 	pendPos int
 	out     Batch
+
+	// Memory-limited statements: build-side charge and, after an overflow,
+	// the Grace hash join state (gracejoin.go).
+	acct    *memAccountant
+	charged int64
+	grace   *graceState
 }
 
 func (ex *exec) newJoinPipe(l, r *pipe, pairs []equiPair, parent *scope) *pipe {
@@ -337,7 +344,12 @@ func (j *joinOperator) Open(ex *exec) error {
 		}
 	}
 	// Build side: drain the right child (base scans are already
-	// materialized as the table heap) and hash it on the join keys.
+	// materialized as the table heap) and hash it on the join keys. Under a
+	// memory limit the equi build is charged and may overflow into a Grace
+	// hash join; the cross product (no pairs) stays in-memory but charged.
+	if len(j.pairs) > 0 && ex.acct != nil {
+		return j.openChargedBuild(ex)
+	}
 	rows := j.rrel.rows
 	if rows == nil {
 		var err error
@@ -347,6 +359,13 @@ func (j *joinOperator) Open(ex *exec) error {
 		}
 	}
 	j.rightRows = rows
+	if ex.acct != nil {
+		j.acct = ex.acct
+		for _, row := range rows {
+			j.charged += rowBytes(row)
+		}
+		ex.acct.charge(j.charged)
+	}
 	if len(j.pairs) > 0 {
 		build, err := ex.buildJoinHash(&relation{bindings: j.rrel.bindings, rows: rows, width: j.rrel.width}, j.pairs, j.parent)
 		if err != nil {
@@ -358,6 +377,9 @@ func (j *joinOperator) Open(ex *exec) error {
 }
 
 func (j *joinOperator) Next(ex *exec) (*Batch, error) {
+	if j.grace != nil {
+		return j.graceNext(ex)
+	}
 	for j.pendPos >= len(j.pending) {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
@@ -504,6 +526,12 @@ func (j *joinOperator) Close() {
 	j.build = nil
 	j.rightRows = nil
 	j.pending = nil
+	if j.grace != nil {
+		j.grace.close()
+		j.grace = nil
+	}
+	j.acct.release(j.charged)
+	j.charged = 0
 }
 
 // leftOuterOperator preserves every probe row: the equi keys prune build
@@ -536,6 +564,12 @@ type leftOuterOperator struct {
 	pending [][]sqltypes.Value
 	pendPos int
 	out     Batch
+
+	// Memory-limited statements: build-side charge and, after an overflow,
+	// the Grace hash join state (gracejoin.go).
+	acct    *memAccountant
+	charged int64
+	grace   *graceState
 }
 
 func (ex *exec) newLeftOuterPipe(l, r *pipe, pairs []equiPair, residual []*conjunct, parent *scope) *pipe {
@@ -558,6 +592,21 @@ func (o *leftOuterOperator) Open(ex *exec) error {
 	if err := o.left.Open(ex); err != nil {
 		return err
 	}
+	o.nulls = make([]sqltypes.Value, o.rrel.width)
+	o.lsc = o.lrel.scopeFor(o.parent)
+	o.osc = o.orel.scopeFor(o.parent)
+	o.lks = ex.vecKeys(pairExprs(o.pairs, false), o.lrel.bindings, o.lsc)
+	o.resFns = make([]compiledExpr, len(o.resid))
+	for i, c := range o.resid {
+		o.resFns[i] = ex.compile(c.expr, o.orel.bindings, o.osc)
+	}
+	// Under a memory limit the equi build is charged and may overflow into
+	// a Grace hash join. The pair-less LEFT JOIN (every probe row matches
+	// the single bucket) would degenerate to one partition, so it stays
+	// in-memory but charged.
+	if len(o.pairs) > 0 && ex.acct != nil {
+		return o.openChargedBuild(ex)
+	}
 	rows := o.rrel.rows
 	if rows == nil {
 		var err error
@@ -567,19 +616,18 @@ func (o *leftOuterOperator) Open(ex *exec) error {
 		}
 	}
 	o.rightRows = rows
+	if ex.acct != nil {
+		o.acct = ex.acct
+		for _, row := range rows {
+			o.charged += rowBytes(row) + joinBucketBytes
+		}
+		ex.acct.charge(o.charged)
+	}
 	build, err := ex.buildJoinHash(&relation{bindings: o.rrel.bindings, rows: rows, width: o.rrel.width}, o.pairs, o.parent)
 	if err != nil {
 		return err
 	}
 	o.build = build
-	o.nulls = make([]sqltypes.Value, o.rrel.width)
-	o.lsc = o.lrel.scopeFor(o.parent)
-	o.osc = o.orel.scopeFor(o.parent)
-	o.lks = ex.vecKeys(pairExprs(o.pairs, false), o.lrel.bindings, o.lsc)
-	o.resFns = make([]compiledExpr, len(o.resid))
-	for i, c := range o.resid {
-		o.resFns[i] = ex.compile(c.expr, o.orel.bindings, o.osc)
-	}
 	return nil
 }
 
@@ -605,6 +653,9 @@ func (o *leftOuterOperator) matchResidual(ex *exec, combined []sqltypes.Value) (
 }
 
 func (o *leftOuterOperator) Next(ex *exec) (*Batch, error) {
+	if o.grace != nil {
+		return o.graceNext(ex)
+	}
 	for o.pendPos >= len(o.pending) {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
@@ -742,6 +793,12 @@ func (o *leftOuterOperator) Close() {
 	o.build = nil
 	o.rightRows = nil
 	o.pending = nil
+	if o.grace != nil {
+		o.grace.close()
+		o.grace = nil
+	}
+	o.acct.release(o.charged)
+	o.charged = 0
 }
 
 // ---------------------------------------------------------------- project
@@ -928,17 +985,18 @@ func (o *projectOperator) Close() { o.child.Close() }
 // shared with the input, never copied — and the emitted output live in
 // operator state.
 type groupOperator struct {
-	child  Operator
-	rel    *relation
-	sel    *sqlast.Select
-	sc     *scope
-	cols   []string
-	plans  []orderPlan
-	having sqlast.Expr
-	gexprs []sqlast.Expr
-	gks    *vecKeySet
-	aggVec map[sqlast.Expr]vecExpr
-	aggScr *aggScratch
+	child    Operator
+	rel      *relation
+	sel      *sqlast.Select
+	sc       *scope
+	cols     []string
+	plans    []orderPlan
+	having   sqlast.Expr
+	gexprs   []sqlast.Expr
+	gks      *vecKeySet
+	aggVec   map[sqlast.Expr]vecExpr
+	aggScr   *aggScratch
+	aggExprs []sqlast.Expr // retained for spill-merge site discovery
 
 	groups map[string]*rowGroup
 	order  []string
@@ -947,6 +1005,24 @@ type groupOperator struct {
 	rowBuf  [][]sqltypes.Value
 	keyCols [][]sqltypes.Value
 	out     Batch
+
+	// Spill state (memory-limited statements only). keyRank is the
+	// persistent key directory: every group key ever seen maps to its dense
+	// first-seen rank, so rows spilled across multiple flushes regroup —
+	// and emit — in exactly the in-memory first-seen order. The directory
+	// itself stays resident (charged, never released until Close): it is
+	// the irreducible state that makes regrouping deterministic.
+	acct        *memAccountant
+	charged     int64
+	rankCharged int64
+	keyRank     map[string]int64
+	sp          *spiller
+	merge       *mergeIter
+	mrec        spillRec
+	mhave       bool
+	aggSites    []*sqlast.FuncCall
+	chunk       [][]sqltypes.Value
+	aggB        Batch
 }
 
 type rowGroup struct {
@@ -993,8 +1069,9 @@ func (ex *exec) newGroupOperator(child Operator, rel *relation, sel *sqlast.Sele
 	o := &groupOperator{
 		child: child, rel: rel, sel: sel, sc: sc, cols: cols, plans: plans,
 		having: having, gexprs: gexprs,
-		gks:    ex.vecKeys(gexprs, rel.bindings, sc),
-		aggVec: ex.vecAggArgs(rel.bindings, sc, aggExprs...),
+		gks:      ex.vecKeys(gexprs, rel.bindings, sc),
+		aggVec:   ex.vecAggArgs(rel.bindings, sc, aggExprs...),
+		aggExprs: aggExprs,
 	}
 	if o.aggVec != nil {
 		o.aggScr = &aggScratch{}
@@ -1006,10 +1083,12 @@ func (o *groupOperator) Open(ex *exec) error {
 	if err := o.child.Open(ex); err != nil {
 		return err
 	}
+	o.acct = ex.acct
 	o.groups = make(map[string]*rowGroup)
 	o.order = o.order[:0]
 	o.pos = 0
 	var buf []byte
+	var pend int64
 	bucket := func(key []byte, row []sqltypes.Value) {
 		k := string(key)
 		gr, ok := o.groups[k]
@@ -1017,8 +1096,14 @@ func (o *groupOperator) Open(ex *exec) error {
 			gr = &rowGroup{}
 			o.groups[k] = gr
 			o.order = append(o.order, k)
+			if o.acct != nil {
+				pend += int64(len(k)) + groupEntryBytes
+			}
 		}
 		gr.rows = append(gr.rows, row)
+		if o.acct != nil {
+			pend += rowBytes(row)
+		}
 	}
 	for {
 		if err := ex.cancelled(); err != nil {
@@ -1057,6 +1142,34 @@ func (o *groupOperator) Open(ex *exec) error {
 				bucket(buf, b.rows[i])
 			}
 		}
+		ex.acct.charge(pend)
+		o.charged += pend
+		pend = 0
+		if ex.acct.over() {
+			o.spillResidentGroups(ex)
+			if err := o.sp.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if o.sp != nil {
+		// Sort-based fallback: spill the remainder (kept in memory as the
+		// newest run) and merge everything back rank by rank.
+		o.spillResidentGroups(ex)
+		m, err := o.sp.drain()
+		if err != nil {
+			return err
+		}
+		o.merge = m
+		o.aggSites = collectAggSites(o.aggExprs)
+		rec, err := m.next()
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			o.mrec, o.mhave = *rec, true
+		}
+		return nil
 	}
 	// A global aggregate (no GROUP BY) over zero rows still yields one group.
 	if len(o.sel.GroupBy) == 0 && len(o.order) == 0 {
@@ -1066,9 +1179,64 @@ func (o *groupOperator) Open(ex *exec) error {
 	return nil
 }
 
+// spillResidentGroups moves every resident group's rows into the spiller,
+// keyed by the group's persistent first-seen rank. Rows of one group spill
+// in arrival order and later flushes land in later runs, so the
+// rank-ordered merge reassembles each group's rows in exactly the order
+// the in-memory bucket held them.
+func (o *groupOperator) spillResidentGroups(ex *exec) {
+	if o.sp == nil {
+		o.sp = newSpiller(ex, func(a, b *spillRec) bool { return a.seq < b.seq })
+	}
+	if o.keyRank == nil {
+		o.keyRank = make(map[string]int64, len(o.order))
+	}
+	ex.acct.release(o.charged)
+	o.charged = 0
+	var rankAdd int64
+	for _, k := range o.order {
+		if _, ok := o.keyRank[k]; !ok {
+			o.keyRank[k] = int64(len(o.keyRank))
+			rankAdd += int64(len(k)) + rankEntryBytes
+		}
+	}
+	ex.acct.charge(rankAdd)
+	o.rankCharged += rankAdd
+	for _, k := range o.order {
+		seq := o.keyRank[k]
+		for _, row := range o.groups[k].rows {
+			o.sp.add(spillRec{seq: seq, row: row}, rowBytes(row))
+		}
+	}
+	o.groups = make(map[string]*rowGroup)
+	o.order = o.order[:0]
+}
+
+// collectAggSites gathers the outermost aggregate call sites of the grouped
+// projection's expressions — exactly the nodes evalAggregate is invoked on.
+// Nested aggregates are not descended into (they error at eval time in both
+// modes) and subqueries are walk boundaries (their aggregates belong to
+// their own grouped context).
+func collectAggSites(exprs []sqlast.Expr) []*sqlast.FuncCall {
+	var sites []*sqlast.FuncCall
+	for _, e := range exprs {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			if fc, ok := n.(*sqlast.FuncCall); ok && aggregateNames[strings.ToUpper(fc.Name)] {
+				sites = append(sites, fc)
+				return false
+			}
+			return true
+		})
+	}
+	return sites
+}
+
 func (o *groupOperator) Next(ex *exec) (*Batch, error) {
 	if err := ex.cancelled(); err != nil {
 		return nil, err
+	}
+	if o.merge != nil {
+		return o.nextMerged(ex)
 	}
 	if o.pos >= len(o.order) {
 		return nil, nil
@@ -1129,10 +1297,204 @@ func (o *groupOperator) Next(ex *exec) (*Batch, error) {
 	return &o.out, nil
 }
 
+// aggSiteState is one aggregate call site's accumulator while a spilled
+// group's rows stream through nextGroupAgg. An error latches on first
+// occurrence (arity, argument evaluation) and is raised only if the site
+// is actually evaluated — matching the in-memory path, where evalAggregate
+// runs lazily per site.
+type aggSiteState struct {
+	acc  aggAcc
+	err  error
+	star bool // COUNT(*): answered by the group's row count
+}
+
+// nextMerged emits grouped output from the rank-ordered merge of spilled
+// runs: each consecutive run of equal-rank records is one group, evaluated
+// with the same HAVING/items/ORDER BY sequence — and the same error and
+// short-circuit behavior — as the in-memory Next.
+func (o *groupOperator) nextMerged(ex *exec) (*Batch, error) {
+	if !o.mhave {
+		return nil, nil
+	}
+	o.rowBuf = o.rowBuf[:0]
+	o.keyCols = resetKeyCols(o.keyCols, len(o.plans))
+	sc := o.sc
+	for len(o.rowBuf) < batchSize && o.mhave {
+		if err := ex.cancelled(); err != nil {
+			return nil, err
+		}
+		firstRow, nrows, pm, err := o.nextGroupAgg(ex)
+		if err != nil {
+			return nil, err
+		}
+		_ = nrows
+		sc.row = firstRow
+		sc.group = &groupCtx{aggVec: o.aggVec, scr: o.aggScr, precomp: pm}
+		if o.having != nil {
+			hv, err := ex.eval(o.having, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			if truth, _ := sqltypes.Truthy(hv); !truth {
+				sc.group = nil
+				continue
+			}
+		}
+		out := make([]sqltypes.Value, 0, len(o.sel.Items))
+		for _, it := range o.sel.Items {
+			v, err := ex.eval(it.Expr, sc)
+			if err != nil {
+				sc.group = nil
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		o.rowBuf = append(o.rowBuf, out)
+		for k := range o.plans {
+			p := &o.plans[k]
+			var v sqltypes.Value
+			var err error
+			if p.outCol >= 0 {
+				v = out[p.outCol]
+			} else {
+				v, err = ex.eval(p.expr, sc)
+				if err != nil {
+					sc.group = nil
+					return nil, err
+				}
+			}
+			o.keyCols[k] = append(o.keyCols[k], v)
+		}
+		sc.group = nil
+	}
+	o.out.window(o.rowBuf)
+	o.out.keys = o.keyCols
+	ex.noteStream(len(o.rowBuf))
+	return &o.out, nil
+}
+
+// nextGroupAgg consumes the next group (one run of equal-rank records) from
+// the merge, streaming its rows through every aggregate site's accumulator
+// in ≤ batchSize chunks, and returns the group's first row, row count and
+// the per-site results. Compiled aggregate arguments run through the same
+// vectorized programs as the in-memory path, over a fresh window per site
+// per chunk so one site's poisoned rows never leak into another's.
+func (o *groupOperator) nextGroupAgg(ex *exec) ([]sqltypes.Value, int, map[*sqlast.FuncCall]precompAgg, error) {
+	seq := o.mrec.seq
+	firstRow := o.mrec.row
+	nrows := 0
+	sts := make([]aggSiteState, len(o.aggSites))
+	for i, fc := range o.aggSites {
+		st := &sts[i]
+		upper := strings.ToUpper(fc.Name)
+		if upper == "COUNT" && fc.Star {
+			st.star = true
+			continue
+		}
+		if len(fc.Args) != 1 {
+			st.err = fmt.Errorf("engine: %s takes exactly one argument", fc.Name)
+			continue
+		}
+		st.acc = aggAcc{op: upper, distinct: fc.Distinct}
+	}
+	sc := o.sc
+	flush := func() {
+		if len(o.chunk) == 0 {
+			return
+		}
+		for i, fc := range o.aggSites {
+			st := &sts[i]
+			if st.star || st.err != nil {
+				continue
+			}
+			arg := fc.Args[0]
+			if vecFn := o.aggVec[arg]; vecFn != nil && o.aggScr != nil {
+				o.aggB.window(o.chunk)
+				m := ex.vs.mark()
+				col := ex.vs.takeVals(len(o.chunk))
+				vecFn(&o.aggB, o.aggB.sel, col)
+				if err := o.aggB.firstErr(); err != nil {
+					st.err = err
+				} else {
+					for _, j := range o.aggB.sel {
+						st.acc.add(col[j])
+					}
+				}
+				ex.vs.release(m)
+				continue
+			}
+			savedRow, savedGroup := sc.row, sc.group
+			sc.group = nil
+			for _, row := range o.chunk {
+				sc.row = row
+				v, err := ex.eval(arg, sc)
+				if err != nil {
+					st.err = err
+					break
+				}
+				st.acc.add(v)
+			}
+			sc.row, sc.group = savedRow, savedGroup
+		}
+		o.chunk = o.chunk[:0]
+	}
+	o.chunk = o.chunk[:0]
+	for o.mhave && o.mrec.seq == seq {
+		o.chunk = append(o.chunk, o.mrec.row)
+		nrows++
+		if len(o.chunk) >= batchSize {
+			flush()
+		}
+		rec, err := o.merge.next()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if rec == nil {
+			o.mhave = false
+		} else {
+			o.mrec = *rec
+		}
+	}
+	flush()
+	pm := make(map[*sqlast.FuncCall]precompAgg, len(o.aggSites))
+	for i, fc := range o.aggSites {
+		st := &sts[i]
+		var pv precompAgg
+		switch {
+		case st.err != nil:
+			pv.err = st.err
+		case st.star:
+			pv.v = sqltypes.NewInt(int64(nrows))
+		default:
+			res, ok := st.acc.result()
+			if !ok {
+				pv.err = fmt.Errorf("engine: unknown aggregate %s", fc.Name)
+			} else {
+				pv.v = res
+			}
+		}
+		pm[fc] = pv
+	}
+	return firstRow, nrows, pm, nil
+}
+
 func (o *groupOperator) Close() {
 	o.child.Close()
 	o.groups = nil
 	o.order = nil
+	o.keyRank = nil
+	if o.merge != nil {
+		o.merge.close()
+		o.merge = nil
+	}
+	if o.sp != nil {
+		o.sp.close()
+		o.sp = nil
+	}
+	o.acct.release(o.charged + o.rankCharged)
+	o.charged, o.rankCharged = 0, 0
+	o.chunk = nil
 }
 
 // ---------------------------------------------------------------- distinct
@@ -1141,6 +1503,15 @@ func (o *groupOperator) Close() {
 // time its encoding is seen, so state is bounded by the number of distinct
 // output rows, not the input size. ORDER BY key columns travel with their
 // surviving rows.
+//
+// Under a memory limit the seen-set is charged per new entry. When the
+// budget overflows, streaming stops: the set's keys spill as marker records
+// (seq -1), every remaining input row spills keyed by its encoding with its
+// arrival sequence, and at child end a sort-by-(key, seq) merge picks each
+// key's survivor — skipping keys whose group holds a marker (already
+// emitted pre-spill) and otherwise keeping the earliest arrival. Survivors
+// re-sort by arrival sequence, so the post-spill emissions continue the
+// pre-spill arrival order exactly and output stays byte-identical.
 type distinctOperator struct {
 	child Operator
 	seen  map[string]bool
@@ -1149,14 +1520,29 @@ type distinctOperator struct {
 	rowBuf  [][]sqltypes.Value
 	keyCols [][]sqltypes.Value
 	out     Batch
+
+	acct    *memAccountant
+	charged int64
+	sp      *spiller // records keyed by row encoding, ordered (key, seq)
+	outSp   *spiller // survivors, ordered by arrival seq
+	merge   *mergeIter
+	seq     int64
 }
+
+// distinctEntryBytes approximates the per-entry overhead of the seen-set
+// (map bucket share plus string header) beyond the key bytes themselves.
+const distinctEntryBytes = 48
 
 func (o *distinctOperator) Open(ex *exec) error {
 	o.seen = make(map[string]bool)
+	o.acct = ex.acct
 	return o.child.Open(ex)
 }
 
 func (o *distinctOperator) Next(ex *exec) (*Batch, error) {
+	if o.merge != nil {
+		return o.emitMerged(ex)
+	}
 	for {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
@@ -1166,10 +1552,40 @@ func (o *distinctOperator) Next(ex *exec) (*Batch, error) {
 			return nil, err
 		}
 		if b == nil {
-			return nil, nil
+			if o.sp == nil {
+				return nil, nil
+			}
+			if err := o.mergeSurvivors(ex); err != nil {
+				return nil, err
+			}
+			return o.emitMerged(ex)
+		}
+		if o.sp != nil {
+			for _, i := range b.sel {
+				row := b.rows[i]
+				o.buf = o.buf[:0]
+				for _, v := range row {
+					o.buf = sqltypes.AppendKey(o.buf, v)
+				}
+				rec := spillRec{
+					seq:  o.seq,
+					key:  append([]byte(nil), o.buf...),
+					row:  row,
+					keys: keyRow(b.keys, i, len(b.keys)),
+				}
+				o.seq++
+				o.sp.add(rec, int64(len(rec.key))+recCost(rec.row, rec.keys))
+			}
+			if ex.acct.over() {
+				if err := o.sp.flush(); err != nil {
+					return nil, err
+				}
+			}
+			continue
 		}
 		o.rowBuf = o.rowBuf[:0]
 		o.keyCols = resetKeyCols(o.keyCols, len(b.keys))
+		var add int64
 		for _, i := range b.sel {
 			row := b.rows[i]
 			o.buf = o.buf[:0]
@@ -1180,9 +1596,19 @@ func (o *distinctOperator) Next(ex *exec) (*Batch, error) {
 				continue
 			}
 			o.seen[string(o.buf)] = true
+			if ex.acct != nil {
+				add += int64(len(o.buf)) + distinctEntryBytes
+			}
 			o.rowBuf = append(o.rowBuf, row)
 			for k := range b.keys {
 				o.keyCols[k] = append(o.keyCols[k], b.keys[k][i])
+			}
+		}
+		ex.acct.charge(add)
+		o.charged += add
+		if ex.acct.over() {
+			if err := o.engageSpill(ex); err != nil {
+				return nil, err
 			}
 		}
 		if len(o.rowBuf) > 0 {
@@ -1194,9 +1620,115 @@ func (o *distinctOperator) Next(ex *exec) (*Batch, error) {
 	}
 }
 
+// engageSpill converts the seen-set into marker records (seq -1 sorts
+// before every real arrival, so a marker group head means "already
+// emitted") and frees the map.
+func (o *distinctOperator) engageSpill(ex *exec) error {
+	o.sp = newSpiller(ex, func(a, b *spillRec) bool {
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c < 0
+		}
+		return a.seq < b.seq
+	})
+	for k := range o.seen {
+		o.sp.add(spillRec{seq: -1, key: []byte(k)}, int64(len(k))+16)
+	}
+	o.seen = nil
+	ex.acct.release(o.charged)
+	o.charged = 0
+	return o.sp.flush()
+}
+
+// mergeSurvivors scans the (key, seq)-ordered merge of all spilled records
+// group by group: the head record of each key group is either a pre-spill
+// marker (skip the group) or the key's earliest post-spill arrival (the
+// survivor). Survivors feed a second spiller ordered by arrival sequence.
+func (o *distinctOperator) mergeSurvivors(ex *exec) error {
+	m, err := o.sp.drain()
+	if err != nil {
+		return err
+	}
+	defer m.close()
+	o.outSp = newSpiller(ex, func(a, b *spillRec) bool { return a.seq < b.seq })
+	var curKey []byte
+	have := false
+	for {
+		rec, err := m.next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		if have && bytes.Equal(rec.key, curKey) {
+			continue
+		}
+		curKey = append(curKey[:0], rec.key...)
+		have = true
+		if rec.seq < 0 {
+			continue
+		}
+		o.outSp.add(spillRec{seq: rec.seq, row: rec.row, keys: rec.keys},
+			recCost(rec.row, rec.keys))
+		if err := o.outSp.maybeFlush(); err != nil {
+			return err
+		}
+	}
+	o.merge, err = o.outSp.drain()
+	return err
+}
+
+// emitMerged streams the arrival-ordered survivors in batch windows,
+// re-attaching their ORDER BY key columns.
+func (o *distinctOperator) emitMerged(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	o.rowBuf = o.rowBuf[:0]
+	nk := -1
+	for len(o.rowBuf) < batchSize {
+		rec, err := o.merge.next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			break
+		}
+		if nk < 0 {
+			nk = len(rec.keys)
+			o.keyCols = resetKeyCols(o.keyCols, nk)
+		}
+		o.rowBuf = append(o.rowBuf, rec.row)
+		for k, v := range rec.keys {
+			o.keyCols[k] = append(o.keyCols[k], v)
+		}
+	}
+	if len(o.rowBuf) == 0 {
+		return nil, nil
+	}
+	o.out.window(o.rowBuf)
+	o.out.keys = o.keyCols
+	ex.noteStream(len(o.rowBuf))
+	return &o.out, nil
+}
+
 func (o *distinctOperator) Close() {
 	o.child.Close()
 	o.seen = nil
+	if o.merge != nil {
+		o.merge.close()
+		o.merge = nil
+	}
+	if o.sp != nil {
+		o.sp.close()
+		o.sp = nil
+	}
+	if o.outSp != nil {
+		o.outSp.close()
+		o.outSp = nil
+	}
+	o.acct.release(o.charged)
+	o.charged = 0
 }
 
 // ---------------------------------------------------------------- sort
@@ -1205,6 +1737,13 @@ func (o *distinctOperator) Close() {
 // collecting rows and their precomputed key columns, runs the same stable
 // merge sort as the materializing path, and Next emits windows of the
 // sorted result.
+//
+// Under a memory limit the buffer is charged per input batch; when the
+// budget overflows, buffered rows move into an external merge sort
+// (spill.go): stably-sorted runs on disk, remainder in memory, k-way
+// merge on Next. Runs are contiguous arrival-order segments and earlier
+// runs win merge ties, so the merged order equals one global stable sort —
+// byte-identical to the in-memory path at every parallelism setting.
 type sortOperator struct {
 	child Operator
 	desc  []bool
@@ -1213,16 +1752,41 @@ type sortOperator struct {
 	keyCols [][]sqltypes.Value
 	pos     int
 	out     Batch
+
+	acct    *memAccountant
+	charged int64
+	sp      *spiller
+	merge   *mergeIter
+	rowBuf  [][]sqltypes.Value
 }
 
 func newSortOperator(child Operator, desc []bool) *sortOperator {
 	return &sortOperator{child: child, desc: desc}
 }
 
+// sortRecLess orders spill records by the operator's key columns with the
+// exact comparator of execResult.sortAndTrim; ties report false so the
+// stable run sort and the earlier-run-wins merge preserve arrival order.
+func sortRecLess(desc []bool) func(a, b *spillRec) bool {
+	return func(a, b *spillRec) bool {
+		for k := range desc {
+			c := compareNullsFirst(a.keys[k], b.keys[k])
+			if desc[k] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+}
+
 func (o *sortOperator) Open(ex *exec) error {
 	if err := o.child.Open(ex); err != nil {
 		return err
 	}
+	o.acct = ex.acct
 	o.rows = o.rows[:0]
 	o.keyCols = make([][]sqltypes.Value, len(o.desc))
 	o.pos = 0
@@ -1237,12 +1801,46 @@ func (o *sortOperator) Open(ex *exec) error {
 		if b == nil {
 			break
 		}
+		if o.sp != nil {
+			for _, i := range b.sel {
+				rec := spillRec{row: b.rows[i], keys: keyRow(b.keys, i, len(o.desc))}
+				o.sp.add(rec, recCost(rec.row, rec.keys))
+			}
+			if ex.acct.over() {
+				if err := o.sp.flush(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var add int64
 		for _, i := range b.sel {
 			o.rows = append(o.rows, b.rows[i])
 			for k := range b.keys {
 				o.keyCols[k] = append(o.keyCols[k], b.keys[k][i])
 			}
+			if ex.acct != nil {
+				add += rowBytes(b.rows[i])
+				for k := range b.keys {
+					add += valueSize + int64(len(b.keys[k][i].S))
+				}
+			}
 		}
+		ex.acct.charge(add)
+		o.charged += add
+		if ex.acct.over() {
+			if err := o.engageSpill(ex); err != nil {
+				return err
+			}
+		}
+	}
+	if o.sp != nil {
+		m, err := o.sp.drain()
+		if err != nil {
+			return err
+		}
+		o.merge = m
+		return nil
 	}
 	res := &execResult{Rows: o.rows, keyCols: o.keyCols, desc: o.desc}
 	res.sortAndTrim(ex, -1)
@@ -1250,9 +1848,46 @@ func (o *sortOperator) Open(ex *exec) error {
 	return nil
 }
 
+// engageSpill moves the buffered rows into a spiller (transferring their
+// charge) and writes them as the first run — a contiguous arrival-order
+// prefix, so stability is preserved across the switch.
+func (o *sortOperator) engageSpill(ex *exec) error {
+	o.sp = newSpiller(ex, sortRecLess(o.desc))
+	ex.acct.release(o.charged)
+	o.charged = 0
+	for i, row := range o.rows {
+		keys := make([]sqltypes.Value, len(o.desc))
+		for k := range keys {
+			keys[k] = o.keyCols[k][i]
+		}
+		o.sp.add(spillRec{row: row, keys: keys}, recCost(row, keys))
+	}
+	o.rows, o.keyCols = nil, nil
+	return o.sp.flush()
+}
+
 func (o *sortOperator) Next(ex *exec) (*Batch, error) {
 	if err := ex.cancelled(); err != nil {
 		return nil, err
+	}
+	if o.merge != nil {
+		o.rowBuf = o.rowBuf[:0]
+		for len(o.rowBuf) < batchSize {
+			rec, err := o.merge.next()
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				break
+			}
+			o.rowBuf = append(o.rowBuf, rec.row)
+		}
+		if len(o.rowBuf) == 0 {
+			return nil, nil
+		}
+		o.out.window(o.rowBuf)
+		ex.noteStream(len(o.rowBuf))
+		return &o.out, nil
 	}
 	if o.pos >= len(o.rows) {
 		return nil, nil
@@ -1271,6 +1906,17 @@ func (o *sortOperator) Close() {
 	o.child.Close()
 	o.rows = nil
 	o.keyCols = nil
+	if o.merge != nil {
+		o.merge.close()
+		o.merge = nil
+	}
+	if o.sp != nil {
+		o.sp.close()
+		o.sp = nil
+	}
+	o.acct.release(o.charged)
+	o.charged = 0
+	o.rowBuf = nil
 }
 
 // ---------------------------------------------------------------- limit

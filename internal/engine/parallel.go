@@ -245,6 +245,14 @@ type parallelScanFilter struct {
 	err  error
 	pos  int
 	out  Batch
+
+	// Memory-limited statements: the retained survivor references are
+	// charged against the shared statement budget (workers fold into one
+	// accountant via workerClone), so parallel execution observes the same
+	// limit as serial — spills themselves only happen in serial breaker
+	// code, which keeps every parallelism setting byte-identical.
+	acct    *memAccountant
+	charged int64
 }
 
 func newParallelScanFilter(ex *exec, rows [][]sqltypes.Value, rel *relation, conjs []*conjunct, parent *scope) *parallelScanFilter {
@@ -316,6 +324,11 @@ func (o *parallelScanFilter) Open(ex *exec) error {
 			break
 		}
 	}
+	if ex.acct != nil {
+		o.acct = ex.acct
+		o.charged = int64(len(o.kept)) * rowRefBytes
+		ex.acct.charge(o.charged)
+	}
 	o.pos = 0
 	return nil
 }
@@ -340,6 +353,8 @@ func (o *parallelScanFilter) Next(ex *exec) (*Batch, error) {
 func (o *parallelScanFilter) Close() {
 	o.kept = nil
 	o.err = nil
+	o.acct.release(o.charged)
+	o.charged = 0
 }
 
 // ---------------------------------------------------------------- join build

@@ -64,6 +64,11 @@ func (r *Rows) Close() error {
 	if r.root != nil {
 		r.root.Close()
 	}
+	if r.ex != nil {
+		// Backstop: remove any spill file an errored or abandoned subtree
+		// left behind (operator Close handles the common case).
+		r.ex.releaseSpills()
+	}
 	r.b = nil
 	r.buf = nil
 	r.cur = nil

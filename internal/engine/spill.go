@@ -1,0 +1,615 @@
+package engine
+
+// This file implements the disk overflow path pipeline breakers take when
+// the statement memory accountant (accountant.go) reports the budget
+// exceeded:
+//
+//   - a value/row codec (appendSpillValue / readSpillRec) that round-trips
+//     sqltypes values bit-exactly (float payloads travel as raw IEEE bits),
+//   - run files behind an injectable filesystem hook (spillFS) so tests can
+//     fail writes and reads mid-run,
+//   - an exec-wide registry that guarantees every temp file is removed by
+//     Rows.Close / statement end even when an operator errors before its
+//     own Close runs,
+//   - partWriter, an unsorted partition file (Grace hash join), and
+//   - spiller, the external stable merge sort: records accumulate in memory,
+//     overflow as stably-sorted runs, and drain through a k-way merge where
+//     the earlier run wins ties — so run order preserves arrival order and
+//     the merged stream is byte-identical to one global stable sort.
+//
+// Everything here is created lazily: a statement under the default
+// unlimited budget never touches this file.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"mtbase/internal/sqltypes"
+)
+
+// ---------------------------------------------------------------- spill FS
+
+// spillFile is one temporary overflow file: written once front to back,
+// then re-read any number of times, then removed.
+type spillFile interface {
+	io.Writer
+	// finish flushes and closes the write side; the file becomes readable.
+	finish() error
+	// open returns a fresh reader over the finished file.
+	open() (io.ReadCloser, error)
+	// remove deletes the file; idempotent.
+	remove() error
+}
+
+// spillFS creates spill files. The engine uses osSpillFS; fault-injection
+// tests swap in an implementation that fails mid-run.
+type spillFS interface {
+	create(dir string) (spillFile, error)
+}
+
+type osSpillFS struct{}
+
+type osSpillFile struct {
+	f       *os.File
+	path    string
+	removed bool
+}
+
+func (osSpillFS) create(dir string) (spillFile, error) {
+	f, err := os.CreateTemp(dir, "mtbase-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	return &osSpillFile{f: f, path: f.Name()}, nil
+}
+
+func (s *osSpillFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+func (s *osSpillFile) finish() error {
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+func (s *osSpillFile) open() (io.ReadCloser, error) { return os.Open(s.path) }
+
+func (s *osSpillFile) remove() error {
+	if s.removed {
+		return nil
+	}
+	s.removed = true
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	return os.Remove(s.path)
+}
+
+// ---------------------------------------------------------------- registry
+
+// spillRegistry tracks every live spill file of one statement. Operators
+// remove their files in Close, but error paths can abandon half-built
+// subtrees before the tree exists (e.g. a build-side drain failing during
+// tree construction) — releaseSpills at statement end / Rows.Close is the
+// backstop that removes whatever is left.
+type spillRegistry struct {
+	mu    sync.Mutex
+	files map[spillFile]struct{}
+}
+
+func (r *spillRegistry) register(f spillFile) {
+	r.mu.Lock()
+	if r.files == nil {
+		r.files = make(map[spillFile]struct{})
+	}
+	r.files[f] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *spillRegistry) deregister(f spillFile) {
+	r.mu.Lock()
+	delete(r.files, f)
+	r.mu.Unlock()
+}
+
+// removeAll deletes every still-registered file.
+func (r *spillRegistry) removeAll() {
+	r.mu.Lock()
+	files := r.files
+	r.files = nil
+	r.mu.Unlock()
+	for f := range files {
+		f.remove()
+	}
+}
+
+// newSpillFile creates a registered spill file using the DB's configured
+// directory and filesystem hook, counting it in Stats.SpillRuns.
+func (ex *exec) newSpillFile() (spillFile, error) {
+	fs := ex.db.spillfs
+	if fs == nil {
+		fs = osSpillFS{}
+	}
+	f, err := fs.create(ex.db.spillDir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: spill: %w", err)
+	}
+	ex.spills.register(f)
+	atomic.AddInt64(&ex.db.Stats.SpillRuns, 1)
+	return f, nil
+}
+
+// dropSpillFile removes a file and forgets it.
+func (ex *exec) dropSpillFile(f spillFile) {
+	if f == nil {
+		return
+	}
+	f.remove()
+	ex.spills.deregister(f)
+}
+
+// releaseSpills removes every spill file the statement still holds. Called
+// from Rows.Close and at the end of a top-level query execution; idempotent.
+func (ex *exec) releaseSpills() {
+	if ex.spills != nil {
+		ex.spills.removeAll()
+	}
+}
+
+// ---------------------------------------------------------------- codec
+
+// spillRec is one spilled record: an ordering/partitioning key, an optional
+// sequence number (arrival order, probe order, group rank — whatever the
+// spilling operator sorts or regroups by), the row itself, and optional
+// ORDER BY key columns travelling with the row.
+type spillRec struct {
+	seq  int64
+	key  []byte
+	row  []sqltypes.Value
+	keys []sqltypes.Value
+}
+
+// appendSpillValue appends the exact binary image of v: kind byte plus a
+// kind-specific payload. Floats travel as raw IEEE-754 bits so decoded
+// values are bit-identical to the in-memory ones.
+func appendSpillValue(buf []byte, v sqltypes.Value) []byte {
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt, sqltypes.KindDate:
+		buf = binary.AppendVarint(buf, v.I)
+	case sqltypes.KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case sqltypes.KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	case sqltypes.KindBool:
+		b := byte(0)
+		if v.I != 0 {
+			b = 1
+		}
+		buf = append(buf, b)
+	case sqltypes.KindInterval:
+		buf = binary.AppendVarint(buf, v.I)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	}
+	return buf
+}
+
+var errSpillCorrupt = fmt.Errorf("engine: spill: corrupt record")
+
+// readSpillValue decodes one value from buf, returning the remainder.
+func readSpillValue(buf []byte) (sqltypes.Value, []byte, error) {
+	if len(buf) == 0 {
+		return sqltypes.Null, nil, errSpillCorrupt
+	}
+	k := sqltypes.Kind(buf[0])
+	buf = buf[1:]
+	var v sqltypes.Value
+	v.K = k
+	switch k {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt, sqltypes.KindDate:
+		i, n := binary.Varint(buf)
+		if n <= 0 {
+			return sqltypes.Null, nil, errSpillCorrupt
+		}
+		v.I, buf = i, buf[n:]
+	case sqltypes.KindFloat:
+		if len(buf) < 8 {
+			return sqltypes.Null, nil, errSpillCorrupt
+		}
+		v.F, buf = math.Float64frombits(binary.LittleEndian.Uint64(buf)), buf[8:]
+	case sqltypes.KindString:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < l {
+			return sqltypes.Null, nil, errSpillCorrupt
+		}
+		v.S, buf = string(buf[n:n+int(l)]), buf[n+int(l):]
+	case sqltypes.KindBool:
+		if len(buf) < 1 {
+			return sqltypes.Null, nil, errSpillCorrupt
+		}
+		v.I, buf = int64(buf[0]), buf[1:]
+	case sqltypes.KindInterval:
+		i, n := binary.Varint(buf)
+		if n <= 0 || len(buf)-n < 8 {
+			return sqltypes.Null, nil, errSpillCorrupt
+		}
+		v.I = i
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(buf[n:]))
+		buf = buf[n+8:]
+	}
+	return v, buf, nil
+}
+
+// appendSpillRec appends the length-delimited encoding of rec. Value lists
+// encode length+1 so a nil slice (0) stays distinct from an empty one (1):
+// zero-width relations (SELECT with no FROM) carry empty non-nil rows.
+func appendSpillRec(buf []byte, rec *spillRec) []byte {
+	var payload []byte
+	payload = binary.AppendVarint(payload, rec.seq)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.key)))
+	payload = append(payload, rec.key...)
+	payload = appendSpillVals(payload, rec.row)
+	payload = appendSpillVals(payload, rec.keys)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	return append(buf, payload...)
+}
+
+func appendSpillVals(buf []byte, vals []sqltypes.Value) []byte {
+	if vals == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(vals))+1)
+	for _, v := range vals {
+		buf = appendSpillValue(buf, v)
+	}
+	return buf
+}
+
+func readSpillVals(buf []byte) ([]sqltypes.Value, []byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, nil, errSpillCorrupt
+	}
+	buf = buf[w:]
+	if n == 0 {
+		return nil, buf, nil
+	}
+	vals := make([]sqltypes.Value, n-1)
+	var err error
+	for i := range vals {
+		vals[i], buf, err = readSpillValue(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return vals, buf, nil
+}
+
+// spillReader streams records back from a finished spill file.
+type spillReader struct {
+	rc  io.ReadCloser
+	br  *bufio.Reader
+	buf []byte
+}
+
+func openSpillReader(f spillFile) (*spillReader, error) {
+	rc, err := f.open()
+	if err != nil {
+		return nil, fmt.Errorf("engine: spill: %w", err)
+	}
+	return &spillReader{rc: rc, br: bufio.NewReaderSize(rc, 64<<10)}, nil
+}
+
+// next decodes the next record into rec, reporting (false, nil) at EOF.
+func (r *spillReader) next(rec *spillRec) (bool, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("engine: spill: %w", err)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return false, fmt.Errorf("engine: spill: %w", err)
+	}
+	buf := r.buf
+	seq, w := binary.Varint(buf)
+	if w <= 0 {
+		return false, errSpillCorrupt
+	}
+	buf = buf[w:]
+	kl, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) < kl {
+		return false, errSpillCorrupt
+	}
+	key := append([]byte(nil), buf[w:w+int(kl)]...)
+	buf = buf[w+int(kl):]
+	row, buf, err := readSpillVals(buf)
+	if err != nil {
+		return false, err
+	}
+	keys, _, err := readSpillVals(buf)
+	if err != nil {
+		return false, err
+	}
+	rec.seq, rec.key, rec.row, rec.keys = seq, key, row, keys
+	return true, nil
+}
+
+func (r *spillReader) close() {
+	if r.rc != nil {
+		r.rc.Close()
+		r.rc = nil
+	}
+}
+
+// ---------------------------------------------------------------- partitions
+
+// partWriter is one unsorted partition file (Grace hash join): records are
+// appended in arrival order and read back in the same order.
+type partWriter struct {
+	ex   *exec
+	file spillFile
+	bw   *bufio.Writer
+	buf  []byte
+	n    int64 // records written
+}
+
+// write appends rec, creating the file lazily on first use.
+func (p *partWriter) write(rec *spillRec) error {
+	if p.file == nil {
+		f, err := p.ex.newSpillFile()
+		if err != nil {
+			return err
+		}
+		p.file = f
+		p.bw = bufio.NewWriterSize(f, 64<<10)
+	}
+	p.buf = appendSpillRec(p.buf[:0], rec)
+	if _, err := p.bw.Write(p.buf); err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	atomic.AddInt64(&p.ex.db.Stats.SpillBytes, int64(len(p.buf)))
+	p.n++
+	return nil
+}
+
+// finish closes the write side; a nil-file partition stays empty.
+func (p *partWriter) finish() error {
+	if p.file == nil {
+		return nil
+	}
+	if err := p.bw.Flush(); err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	if err := p.file.finish(); err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	return nil
+}
+
+func (p *partWriter) open() (*spillReader, error) { return openSpillReader(p.file) }
+
+func (p *partWriter) drop() {
+	if p.file != nil {
+		p.ex.dropSpillFile(p.file)
+		p.file = nil
+	}
+}
+
+// ---------------------------------------------------------------- spiller
+
+// spiller is the external stable merge sort shared by the sort, group-by,
+// distinct and join overflow paths. Records accumulate in memory (charged
+// by the caller); flush writes the buffer as one stably-sorted run; drain
+// merges all runs plus the still-buffered remainder with earlier-run-wins
+// tie breaking. Because each run is a contiguous arrival-order segment and
+// the in-memory remainder is the newest segment, ties resolve to arrival
+// order — exactly what one global stable sort over all records produces.
+type spiller struct {
+	ex   *exec
+	less func(a, b *spillRec) bool
+	recs []spillRec
+	runs []spillFile
+
+	charged int64 // accountant bytes held by recs
+	buf     []byte
+}
+
+func newSpiller(ex *exec, less func(a, b *spillRec) bool) *spiller {
+	return &spiller{ex: ex, less: less}
+}
+
+// add buffers rec and charges cost bytes against the statement budget.
+func (s *spiller) add(rec spillRec, cost int64) {
+	s.recs = append(s.recs, rec)
+	s.charged += cost
+	s.ex.acct.charge(cost)
+}
+
+// flush writes the buffered records as one sorted run and frees them.
+func (s *spiller) flush() error {
+	if len(s.recs) == 0 {
+		return nil
+	}
+	idx := make([]int32, len(s.recs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	stableSortIdx(idx, func(a, b int32) bool { return s.less(&s.recs[a], &s.recs[b]) })
+	f, err := s.ex.newSpillFile()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	written := int64(0)
+	for _, i := range idx {
+		s.buf = appendSpillRec(s.buf[:0], &s.recs[i])
+		if _, err := bw.Write(s.buf); err != nil {
+			return fmt.Errorf("engine: spill: %w", err)
+		}
+		written += int64(len(s.buf))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	if err := f.finish(); err != nil {
+		return fmt.Errorf("engine: spill: %w", err)
+	}
+	atomic.AddInt64(&s.ex.db.Stats.SpillBytes, written)
+	s.runs = append(s.runs, f)
+	s.recs = s.recs[:0]
+	s.ex.acct.release(s.charged)
+	s.charged = 0
+	return nil
+}
+
+// spilled reports whether any run has been written.
+func (s *spiller) spilled() bool { return len(s.runs) > 0 }
+
+// spillMinRun is the smallest buffer a per-record producer flushes as a
+// run. When another operator holds the budget over on its own (a parallel
+// scan's retained references, say), flushing after every add would burn
+// one file per record without freeing anything; batching up to a minimum
+// run keeps file counts proportional to data volume. The buffer stays
+// within the one-batch slack the accounting model already allows.
+const spillMinRun = 32 << 10
+
+// maybeFlush flushes record-at-a-time producers: only once the budget is
+// exceeded, and only once at least a minimum run (or a full batch of
+// records) has accumulated.
+func (s *spiller) maybeFlush() error {
+	if !s.ex.acct.over() || (s.charged < spillMinRun && len(s.recs) < batchSize) {
+		return nil
+	}
+	return s.flush()
+}
+
+// drain returns a merge iterator over all runs plus the in-memory
+// remainder. The spiller must not be added to afterwards.
+func (s *spiller) drain() (*mergeIter, error) {
+	m := &mergeIter{less: s.less}
+	for _, f := range s.runs {
+		r, err := openSpillReader(f)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		src := &mergeSrc{r: r}
+		ok, err := r.next(&src.rec)
+		if err != nil {
+			r.close()
+			m.close()
+			return nil, err
+		}
+		src.ok = ok
+		m.srcs = append(m.srcs, src)
+	}
+	if len(s.recs) > 0 {
+		// The remainder is the newest arrival segment: stably sorted like a
+		// run and merged last so every file run wins ties against it.
+		idx := make([]int32, len(s.recs))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		stableSortIdx(idx, func(a, b int32) bool { return s.less(&s.recs[a], &s.recs[b]) })
+		src := &mergeSrc{mem: s.recs, idx: idx}
+		if len(idx) > 0 {
+			src.rec = s.recs[idx[0]]
+			src.pos, src.ok = 1, true
+		}
+		m.srcs = append(m.srcs, src)
+	}
+	return m, nil
+}
+
+// close removes every run file and releases the buffered charge.
+func (s *spiller) close() {
+	for _, f := range s.runs {
+		s.ex.dropSpillFile(f)
+	}
+	s.runs = nil
+	s.recs = nil
+	s.ex.acct.release(s.charged)
+	s.charged = 0
+}
+
+// mergeSrc is one input of the k-way merge: a run file or the in-memory
+// remainder, with the current record buffered.
+type mergeSrc struct {
+	r   *spillReader
+	mem []spillRec
+	idx []int32
+	pos int
+	rec spillRec
+	ok  bool
+}
+
+func (s *mergeSrc) advance() error {
+	if s.r != nil {
+		ok, err := s.r.next(&s.rec)
+		s.ok = ok
+		return err
+	}
+	if s.pos < len(s.idx) {
+		s.rec = s.mem[s.idx[s.pos]]
+		s.pos++
+		return nil
+	}
+	s.ok = false
+	return nil
+}
+
+// mergeIter yields records from all sources in sorted order, the earliest
+// source winning ties. Sources are ordered oldest run first.
+type mergeIter struct {
+	less func(a, b *spillRec) bool
+	srcs []*mergeSrc
+	out  spillRec
+}
+
+// next returns the next record in merge order; (nil, nil) at exhaustion.
+// The returned record stays valid until the next call.
+func (m *mergeIter) next() (*spillRec, error) {
+	best := -1
+	for i, s := range m.srcs {
+		if !s.ok {
+			continue
+		}
+		// Strict less keeps the earlier source on ties.
+		if best < 0 || m.less(&s.rec, &m.srcs[best].rec) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	s := m.srcs[best]
+	m.out = s.rec
+	if err := s.advance(); err != nil {
+		return nil, err
+	}
+	return &m.out, nil
+}
+
+func (m *mergeIter) close() {
+	for _, s := range m.srcs {
+		if s.r != nil {
+			s.r.close()
+		}
+	}
+	m.srcs = nil
+}

@@ -17,7 +17,12 @@
 # Q1 scaling series, and BenchmarkMixedReadWrite contributes qps, p50_ms,
 # p99_ms and writes_per_sec for the read-while-writing workload. "cpus"
 # records how many CPUs the host actually had — a flat scaling series on a
-# single-CPU host is expected, not a regression.
+# single-CPU host is expected, not a regression. BenchmarkQuerySpill
+# contributes the memory-bound series (Q1/Q18 at unlimited, 1MB and 64KB
+# statement budgets): spill_runs_per_op and spill_mb_per_op record how
+# much of each statement overflowed to disk, and peak_mem_bytes the
+# accounted high-water mark, so the cost of bounded-memory execution has
+# a machine-readable trajectory too.
 # Usage: scripts/bench.sh [benchtime, default 2x]
 set -euo pipefail
 
@@ -44,6 +49,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 	name = $1
 	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""; parhits = ""
 	streamed = ""; peak = ""; workers = ""; qps = ""; p50 = ""; p99 = ""; wps = ""
+	sruns = ""; smb = ""; pmem = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")         nsop   = $(i - 1)
 		if ($(i) == "B/op")          bop    = $(i - 1)
@@ -58,6 +64,9 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 		if ($(i) == "p50_ms")        p50    = $(i - 1)
 		if ($(i) == "p99_ms")        p99    = $(i - 1)
 		if ($(i) == "writes_per_sec") wps   = $(i - 1)
+		if ($(i) == "spill_runs/op") sruns  = $(i - 1)
+		if ($(i) == "spill_mb/op")   smb    = $(i - 1)
+		if ($(i) == "peak_mem_bytes") pmem  = $(i - 1)
 	}
 	if (nsop == "") next
 	if (n++) printf ",\n"
@@ -74,6 +83,9 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 	if (p50 != "")    printf ", \"p50_ms\": %s", p50
 	if (p99 != "")    printf ", \"p99_ms\": %s", p99
 	if (wps != "")    printf ", \"writes_per_sec\": %s", wps
+	if (sruns != "")  printf ", \"spill_runs_per_op\": %s", sruns
+	if (smb != "")    printf ", \"spill_mb_per_op\": %s", smb
+	if (pmem != "")   printf ", \"peak_mem_bytes\": %s", pmem
 	printf "}"
 }
 END { print "\n  ]\n}" }
