@@ -1,0 +1,67 @@
+// Command mtlint runs the project's static-analysis suite (internal/lint)
+// over the named package patterns and exits non-zero on findings — the
+// multichecker that gates CI:
+//
+//	go run ./cmd/mtlint ./...
+//
+// Each analyzer mechanizes one engine invariant (DESIGN.md ADR-007);
+// intentional exceptions carry //mtlint:ignore <analyzer> <reason>
+// annotations in the source. Exit status: 0 clean, 1 findings, 2 the
+// analysis itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtbase/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mtlint [-list] [-only name,name] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mtlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	n, err := lint.Run(os.Stdout, ".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtlint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "mtlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

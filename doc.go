@@ -55,6 +55,10 @@
 //   - mth — the MT-H benchmark: dbgen, 22 queries, validation (§5)
 //   - bench — the experiment driver for every table and figure (§6), plus
 //     the mixed read/write throughput mode (mtbench -mixed)
+//   - lint — six project-specific static analyzers mechanizing the
+//     engine's concurrency, determinism and resource invariants; run
+//     `go run ./cmd/mtlint ./...` next to tier-1 verification (ADR-007
+//     in DESIGN.md)
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

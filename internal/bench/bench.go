@@ -156,18 +156,21 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s Q%d at %s: %w", spec.Label, id, level, err)
 			}
-			res.Times[level] = append(res.Times[level], secs)
-			res.UDFCalls[level] = append(res.UDFCalls[level], db.Stats.UDFCalls)
-			res.Allocs[level] = append(res.Allocs[level], allocs)
-			res.PlanHits[level] = append(res.PlanHits[level], db.Stats.PlanCacheHits)
-			res.PlanMisses[level] = append(res.PlanMisses[level], db.Stats.PlanCacheMisses)
+			// Counters are updated with sync/atomic by the engine; read them
+			// through a Snapshot copy rather than plain field loads (mtlint
+			// atomicstats — plain reads race with any still-parallel work).
 			st := db.Stats.Snapshot()
+			res.Times[level] = append(res.Times[level], secs)
+			res.UDFCalls[level] = append(res.UDFCalls[level], st.UDFCalls)
+			res.Allocs[level] = append(res.Allocs[level], allocs)
+			res.PlanHits[level] = append(res.PlanHits[level], st.PlanCacheHits)
+			res.PlanMisses[level] = append(res.PlanMisses[level], st.PlanCacheMisses)
 			res.SpillRuns[level] = append(res.SpillRuns[level], st.SpillRuns)
 			res.PeakMem[level] = append(res.PeakMem[level], st.PeakMemBytes)
 			if progress != nil {
 				fmt.Fprintf(progress, "%s %-9s Q%02d %8.4fs (%d UDF calls, plan cache %d/%d hit/miss)\n",
-					spec.Label, level, id, secs, db.Stats.UDFCalls,
-					db.Stats.PlanCacheHits, db.Stats.PlanCacheMisses)
+					spec.Label, level, id, secs, st.UDFCalls,
+					st.PlanCacheHits, st.PlanCacheMisses)
 			}
 		}
 	}

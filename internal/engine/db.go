@@ -340,6 +340,7 @@ func (db *DB) Table(name string) *Table { return db.catalogNow().table(name) }
 func (db *DB) TableNames() []string {
 	cat := db.catalogNow()
 	names := make([]string, 0, len(cat.tables))
+	//mtlint:ignore detmap names are sorted below before they are returned
 	for _, t := range cat.tables {
 		names = append(names, t.Name)
 	}
@@ -1067,6 +1068,7 @@ func (db *DB) ValidateConstraints() error {
 	defer db.mu.Unlock()
 	cat := db.catalogNow()
 	names := make([]string, 0, len(cat.tables))
+	//mtlint:ignore detmap names are sorted below; validation runs in sorted order
 	for k := range cat.tables {
 		names = append(names, k)
 	}

@@ -662,6 +662,7 @@ func (ex *exec) buildFromWhere(sel *sqlast.Select, parent *scope) (*relation, er
 	colOwner := make(map[string][]string)
 	for _, r := range rels {
 		for _, b := range r.bindings {
+			//mtlint:ignore detmap one append per (column, binding); the binding slice order fixes each per-column list
 			for c := range b.colIdx {
 				colOwner[c] = append(colOwner[c], b.name)
 			}
@@ -836,6 +837,7 @@ func factorCommonOr(e sqlast.Expr) []sqlast.Expr {
 			}
 		}
 		keys := make([]string, 0, len(common))
+		//mtlint:ignore detmap keys are sorted below before the conjuncts are emitted
 		for k := range common {
 			keys = append(keys, k)
 		}
@@ -1398,6 +1400,7 @@ func ownerMap(rels ...*relation) map[string][]string {
 	m := make(map[string][]string)
 	for _, r := range rels {
 		for _, b := range r.bindings {
+			//mtlint:ignore detmap one append per (column, binding); the binding slice order fixes each per-column list
 			for c := range b.colIdx {
 				m[c] = append(m[c], b.name)
 			}

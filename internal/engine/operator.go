@@ -2038,6 +2038,7 @@ func (ex *exec) buildSourcePipe(sel *sqlast.Select, parent *scope) (*pipe, error
 	colOwner := make(map[string][]string)
 	for _, p := range pipes {
 		for _, b := range p.rel.bindings {
+			//mtlint:ignore detmap one append per (column, binding); the binding slice order fixes each per-column list
 			for c := range b.colIdx {
 				colOwner[c] = append(colOwner[c], b.name)
 			}

@@ -821,6 +821,7 @@ func (db *DB) storePlanLocked(p *Plan) {
 // evictPlansLocked drops the least-recently-used half of the cache.
 func (db *DB) evictPlansLocked() {
 	uses := make([]uint64, 0, len(db.plans))
+	//mtlint:ignore detmap uses are sorted below to pick the cutoff; eviction itself is order-free
 	for _, p := range db.plans {
 		uses = append(uses, p.lastUse)
 	}

@@ -1,0 +1,69 @@
+// Package lint implements mtlint, the project's static-analysis suite: six
+// analyzers that mechanize the engine's concurrency, determinism and
+// resource invariants (see DESIGN.md ADR-007), plus the package loader and
+// driver that run them over the module.
+//
+// The types here deliberately mirror golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, pass.Reportf) so the analyzers read like —
+// and can mechanically migrate to — standard go/analysis checkers. The
+// build environment has no module proxy access and an empty module cache,
+// so x/tools itself cannot be a dependency; everything below is built on
+// the standard library only (go/ast, go/types, and `go list -export` for
+// dependency export data).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package via
+// its Pass and reports findings; analyzers are stateless and safe to run
+// over any number of packages.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //mtlint:ignore <name> <reason> directives.
+	Name string
+	// Doc is the one-paragraph description printed by `mtlint -list`.
+	Doc string
+	// Run performs the check. It reports findings through the pass and
+	// returns an error only for operational failures (not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full mtlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockPull,
+		AtomicStats,
+		SpillSafe,
+		CtxPoll,
+		DetMap,
+		SnapMut,
+	}
+}

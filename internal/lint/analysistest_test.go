@@ -1,0 +1,140 @@
+package lint
+
+// A minimal analysistest in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixtures under testdata/
+// are self-contained packages annotated with `// want "regexp"` comments;
+// runFixture loads one, runs the analyzer(s) through the same
+// ignore-filtering path the real driver uses, and diffs reported
+// diagnostics against the annotations line by line. Fixture imports are
+// limited to the standard library, served from export data `go list
+// -export` builds on demand (no network).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+var (
+	stdOnce sync.Once
+	stdExp  map[string]string
+	stdErr  error
+)
+
+// stdExports builds (once) export data for the std packages fixtures may
+// import, plus their transitive dependencies.
+func stdExports(t *testing.T) map[string]string {
+	t.Helper()
+	stdOnce.Do(func() {
+		cmd := exec.Command("go", "list", "-export", "-deps",
+			"-json=ImportPath,Export",
+			"sync", "sync/atomic", "os", "context", "io", "fmt", "errors", "sort", "strings")
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		var errb bytes.Buffer
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			stdErr = fmt.Errorf("go list std exports: %v\n%s", err, errb.String())
+			return
+		}
+		stdExp = make(map[string]string)
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdErr = err
+				return
+			}
+			if p.Export != "" {
+				stdExp[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdErr != nil {
+		t.Fatal(stdErr)
+	}
+	return stdExp
+}
+
+var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// runFixture loads testdata/<name>, runs the analyzers (with ignore
+// filtering, so directives behave exactly as under the real driver) and
+// compares findings against // want annotations.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, err := loadFixture("testdata/"+name, stdExports(t))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, err := runPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", name, err)
+	}
+
+	// Collect wants: file:line -> regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against wants.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+	return diags
+}
+
+// mustFindings asserts at least n findings were reported — the
+// seeded-violation guarantee: an analyzer that goes blind fails its
+// fixture rather than passing it vacuously.
+func mustFindings(t *testing.T, diags []Diagnostic, n int) {
+	t.Helper()
+	if len(diags) < n {
+		t.Fatalf("expected at least %d seeded findings, got %d", n, len(diags))
+	}
+}

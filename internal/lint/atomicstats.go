@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicStats flags non-atomic reads and writes of shared Stats counter
+// fields. The counters stay plain int64s (so tests can reset the struct
+// wholesale) but every access to a *shared* instance — through a *Stats
+// receiver or a field chain rooted at the DB — must go through sync/atomic:
+// parallel workers and concurrent statements update them concurrently, and
+// a mixed plain/atomic access pair is a data race (the bug class PR 6
+// closed when the counters went atomic). Reads of a by-value Stats copy
+// (what Snapshot returns) are fine and stay unflagged.
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "report plain (non-sync/atomic) access to shared Stats counter fields; " +
+		"read counters via Stats.Snapshot() or atomic.LoadInt64",
+	Run: runAtomicStats,
+}
+
+func runAtomicStats(pass *Pass) error {
+	scope := scopeFor(pass)
+	if scope.stats == nil {
+		return nil
+	}
+
+	// Pass 1: collect the selector nodes sanctioned by appearing as &arg
+	// to a sync/atomic call — atomic.AddInt64(&db.Stats.X, n) blesses
+	// db.Stats.X and every selector on its spine.
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeIn(pass, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+					ast.Inspect(u, func(m ast.Node) bool {
+						if sel, ok := m.(*ast.SelectorExpr); ok {
+							sanctioned[sel] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every unsanctioned Stats-field selector on a shared
+	// instance is a finding.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			if !scope.isStatsField(pass, sel) {
+				return true
+			}
+			if !sharedStatsBase(pass, sel.X) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to shared Stats counter %s; use atomic.LoadInt64/AddInt64 or a Snapshot() copy",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// sharedStatsBase reports whether the expression the counter is selected
+// from denotes a shared Stats instance rather than a private by-value
+// copy. A plain identifier bound to a value-typed Stats variable or
+// parameter is a copy; anything else — a *Stats, a deref, or a field
+// chain like db.Stats reaching the DB-owned instance — is shared.
+func sharedStatsBase(pass *Pass, base ast.Expr) bool {
+	base = ast.Unparen(base)
+	if id, ok := base.(*ast.Ident); ok {
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if _, isPtr := v.Type().(*types.Pointer); !isPtr {
+				return false // local/param Stats value: a copy
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run loads patterns relative to dir, applies every analyzer to every
+// loaded package, filters //mtlint:ignore suppressions, prints surviving
+// findings to w (sorted by position) and returns their count. An error
+// means the analysis itself could not run — not that findings exist.
+func Run(w io.Writer, dir string, analyzers []*Analyzer, patterns ...string) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, diags...)
+	}
+	// Positions from different packages share one FileSet (Load uses a
+	// single one), so global position sorting is meaningful.
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.Slice(all, func(i, j int) bool {
+			pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return all[i].Analyzer < all[j].Analyzer
+		})
+		for _, d := range all {
+			fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	return len(all), nil
+}
+
+// runPackage applies analyzers to one package and returns the findings
+// that survive ignore directives, plus any malformed-directive reports.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx, malformed := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	diags := malformed
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if !idx.suppressed(pkg.Fset, d) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}

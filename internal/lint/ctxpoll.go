@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPoll verifies that every Operator.Next implementation polls for
+// cancellation. A Next that loops over rows or batches without checking
+// the statement context turns ExecContext/QueryContext cancellation into a
+// dead letter: the pull-based tree only stops when some operator notices.
+// A Next satisfies the check if it (directly, or via a same-package helper
+// it calls) touches the cancellation machinery — ex.cancelled(),
+// ctx.Err(), ctx.Done() — or if it delegates by pulling another Operator's
+// Next (the child polls; indexScan wrapping scan, limit draining its
+// input).
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "report Operator.Next implementations with no reachable cancellation " +
+		"check (ex.cancelled / ctx.Err / ctx.Done or delegation to a child Next)",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	scope := scopeFor(pass)
+	if scope.operator == nil {
+		return nil
+	}
+
+	// Same-package functions/methods whose bodies poll directly, keyed by
+	// declaration name (receiver-qualified methods collapse to the method
+	// name — one level of call indirection is enough for the engine's
+	// helper idiom, e.g. joinOperator.Next -> graceNext).
+	polling := map[string]bool{}
+	funcDecls(pass, func(fn *ast.FuncDecl) {
+		if bodyPollsDirectly(pass, fn.Body) {
+			polling[fn.Name.Name] = true
+		}
+	})
+
+	funcDecls(pass, func(fn *ast.FuncDecl) {
+		if fn.Name.Name != "Next" {
+			return
+		}
+		rt := recvType(pass, fn)
+		if rt == nil || !scope.implementsOperator(rt) {
+			return
+		}
+		if bodyPollsDirectly(pass, fn.Body) {
+			return
+		}
+		ok := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			recv, name := methodCall(call)
+			// Delegation: pulling a child operator's Next polls through it.
+			if name == "Next" && recv != nil && scope.implementsOperator(pass.Info.Types[recv].Type) {
+				ok = true
+				return false
+			}
+			// A same-package helper that polls (graceNext, emit loops).
+			if name != "" && polling[name] {
+				ok = true
+				return false
+			}
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && polling[id.Name] {
+				ok = true
+				return false
+			}
+			return true
+		})
+		if !ok {
+			pass.Reportf(fn.Name.Pos(),
+				"%s.Next has no cancellation check; poll ex.cancelled() (or delegate to a child Next) so ExecContext/QueryContext can stop the pull",
+				recvTypeName(fn))
+		}
+	})
+	return nil
+}
+
+// bodyPollsDirectly reports whether the body itself calls the
+// cancellation machinery.
+func bodyPollsDirectly(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, name := methodCall(call); name == "cancelled" || name == "Err" || name == "Done" {
+			// Err/Done count only on a context.Context receiver.
+			if name == "cancelled" {
+				found = true
+				return false
+			}
+			if recv, _ := methodCall(call); recv != nil {
+				if t := pass.Info.Types[recv].Type; isPkgType(t, "context", "Context") || isContextInterface(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextInterface matches the context.Context interface type itself
+// (fields/params typed context.Context resolve to the named interface, so
+// isPkgType covers them; this keeps the check honest if an alias slips in).
+func isContextInterface(t interface{ String() string }) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// recvTypeName returns the receiver's type name for messages ("*scanOperator").
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		if id, ok := s.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The analyzers key off a handful of marker types — the Operator
+// interface, the Stats counter struct, the Rows cursor, the spillFS /
+// spillFile seam, the per-statement exec. engineScope resolves them for
+// the package under analysis: from the package's own declarations when it
+// defines them (the engine itself, and the self-contained analysistest
+// fixtures, which declare stand-ins), otherwise from a directly imported
+// package named "engine" (clients like internal/bench and cmd/mtbench).
+type engineScope struct {
+	operator  *types.Interface // Operator: Open/Next/Close
+	stats     *types.Named     // Stats counter struct
+	rows      *types.Named     // Rows cursor
+	spillFS   *types.Interface // spill-file factory seam
+	spillFile *types.Interface // one spill temp file
+}
+
+// scopeFor resolves the marker types visible from pass.Pkg. Fields are nil
+// when the corresponding type is not in scope — each analyzer checks what
+// it needs and stays silent otherwise.
+func scopeFor(pass *Pass) *engineScope {
+	pkgs := []*types.Package{pass.Pkg}
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "engine" {
+			pkgs = append(pkgs, imp)
+		}
+	}
+	s := &engineScope{}
+	for _, pkg := range pkgs {
+		if s.operator == nil {
+			s.operator = namedInterface(pkg, "Operator")
+		}
+		if s.stats == nil {
+			s.stats = namedType(pkg, "Stats")
+		}
+		if s.rows == nil {
+			s.rows = namedType(pkg, "Rows")
+		}
+		if s.spillFS == nil {
+			s.spillFS = namedInterface(pkg, "spillFS")
+		}
+		if s.spillFile == nil {
+			s.spillFile = namedInterface(pkg, "spillFile")
+		}
+	}
+	return s
+}
+
+func namedType(pkg *types.Package, name string) *types.Named {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	n, _ := obj.Type().(*types.Named)
+	return n
+}
+
+func namedInterface(pkg *types.Package, name string) *types.Interface {
+	n := namedType(pkg, name)
+	if n == nil {
+		return nil
+	}
+	iface, _ := n.Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsOperator reports whether t (or *t) satisfies the Operator
+// interface.
+func (s *engineScope) implementsOperator(t types.Type) bool {
+	if s.operator == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, s.operator) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), s.operator)
+	}
+	return false
+}
+
+// isRows reports whether t is the Rows cursor (possibly behind a pointer).
+func (s *engineScope) isRows(t types.Type) bool {
+	if s.rows == nil || t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == s.rows.Obj()
+}
+
+// isStatsField reports whether sel selects a field declared on the Stats
+// struct.
+func (s *engineScope) isStatsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	if s.stats == nil {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	return ok && n.Obj() == s.stats.Obj()
+}
+
+// --------------------------------------------------------------- generic
+// type/AST helpers shared by the analyzers.
+
+// isPkgType reports whether t is (possibly behind a pointer) a named type
+// declared in package pkgPath with the given name. Generic instantiations
+// match on the origin type, so atomic.Pointer[tableData] matches
+// ("sync/atomic", "Pointer").
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isMutex(t types.Type) bool {
+	return isPkgType(t, "sync", "Mutex") || isPkgType(t, "sync", "RWMutex")
+}
+
+// calleeIn returns, for a call expression of the form x.M(...) or M(...),
+// the used object — the method or function being called — or nil.
+func calleeIn(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	}
+	return nil
+}
+
+// methodCall destructures call into (receiver expr, method name) when it
+// is a method call through a selector, else ("", nil).
+func methodCall(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// recvType returns the declared receiver type of a function declaration,
+// or nil for plain functions.
+func recvType(pass *Pass, fn *ast.FuncDecl) types.Type {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	return pass.Info.Types[fn.Recv.List[0].Type].Type
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pass *Pass, visit func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn)
+			}
+		}
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref
+// chain (db.Stats.X -> db; (*p).f[i] -> p), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

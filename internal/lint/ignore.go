@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//mtlint:ignore <analyzer> <reason>
+//
+// on the flagged line, or on its own line immediately above, suppresses
+// findings of exactly that analyzer on that line. The reason is mandatory —
+// a directive without one is itself reported — so every suppression in the
+// tree documents why the invariant does not apply.
+
+const ignorePrefix = "//mtlint:ignore"
+
+// ignoreDirective is one parsed //mtlint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+}
+
+// ignoreIndex maps file name -> line -> directives governing that line.
+// A directive on line N governs lines N and N+1 (itself and the statement
+// below it, the two idiomatic placements).
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+// buildIgnoreIndex scans every comment in files. Malformed directives
+// (missing analyzer or reason) are returned separately so the checker can
+// report them instead of silently not suppressing.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
+	idx := make(ignoreIndex)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "mtlint",
+						Message:  "malformed ignore directive: want //mtlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := ignoreDirective{
+					pos:      c.Pos(),
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				}
+				p := fset.Position(c.Pos())
+				if idx[p.Filename] == nil {
+					idx[p.Filename] = make(map[int][]ignoreDirective)
+				}
+				idx[p.Filename][p.Line] = append(idx[p.Filename][p.Line], d)
+				idx[p.Filename][p.Line+1] = append(idx[p.Filename][p.Line+1], d)
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// suppressed reports whether a directive for the named analyzer governs
+// the diagnostic's line.
+func (idx ignoreIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	p := fset.Position(d.Pos)
+	for _, dir := range idx[p.Filename][p.Line] {
+		if dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package lint
+
+// Fixture coverage for every analyzer — one positive arm (the seeded
+// violation of the real bug class is caught) and one negative arm (the
+// idiomatic engine pattern passes) — plus the escape-hatch contract and
+// the tree-clean gate mtlint enforces in CI.
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLockPull(t *testing.T) {
+	diags := runFixture(t, "lockpull", LockPull)
+	mustFindings(t, diags, 3)
+}
+
+func TestAtomicStats(t *testing.T) {
+	diags := runFixture(t, "atomicstats", AtomicStats)
+	mustFindings(t, diags, 3)
+}
+
+func TestSpillSafe(t *testing.T) {
+	diags := runFixture(t, "spillsafe", SpillSafe)
+	mustFindings(t, diags, 4)
+}
+
+func TestCtxPoll(t *testing.T) {
+	diags := runFixture(t, "ctxpoll", CtxPoll)
+	mustFindings(t, diags, 1)
+}
+
+func TestDetMap(t *testing.T) {
+	diags := runFixture(t, "detmap", DetMap)
+	mustFindings(t, diags, 3)
+}
+
+func TestSnapMut(t *testing.T) {
+	diags := runFixture(t, "snapmut", SnapMut)
+	mustFindings(t, diags, 4)
+}
+
+// TestIgnoreSuppressesExactlyNamedAnalyzer proves the escape hatch:
+// annotated lines are silent, a directive naming a different analyzer
+// suppresses nothing, and unannotated violations still fire. The fixture
+// wants encode all three.
+func TestIgnoreSuppressesExactlyNamedAnalyzer(t *testing.T) {
+	diags := runFixture(t, "ignore", DetMap, AtomicStats)
+	// Exactly the two unsuppressed detmap findings must survive.
+	mustFindings(t, diags, 2)
+	for _, d := range diags {
+		if d.Analyzer != "detmap" {
+			t.Errorf("unexpected analyzer %q in ignore fixture findings", d.Analyzer)
+		}
+	}
+}
+
+// TestMalformedDirective: a reason-less directive is itself reported and
+// suppresses nothing.
+func TestMalformedDirective(t *testing.T) {
+	pkg, err := loadFixture("testdata/malformed", stdExports(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runPackage(pkg, []*Analyzer{DetMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawDetmap bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "mtlint" && strings.Contains(d.Message, "malformed ignore directive"):
+			sawMalformed = true
+		case d.Analyzer == "detmap":
+			sawDetmap = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-directive finding; got %v", diags)
+	}
+	if !sawDetmap {
+		t.Errorf("reason-less directive must not suppress the finding; got %v", diags)
+	}
+}
+
+// TestTreeClean is the merge gate in test form: the whole module must be
+// mtlint-clean — every remaining finding is either fixed or carries an
+// explained //mtlint:ignore.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	n, err := Run(io.Discard, "../..", Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("mtlint found %d unexplained finding(s); run `go run ./cmd/mtlint ./...` and fix or annotate them", n)
+	}
+}
+
+// TestAnalyzerNamesStable guards the names the ignore directives and CI
+// documentation depend on.
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"lockpull", "atomicstats", "spillsafe", "ctxpoll", "detmap", "snapmut"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("expected %d analyzers, got %d", len(want), len(got))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: name %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockPull flags batch pulls performed while a sync.Mutex / sync.RWMutex
+// is held. Pulling a batch (Operator.Next, Rows.Next/Collect, the cursor's
+// pull helper) can run UDFs, spill to disk and stream arbitrary amounts of
+// data; holding DB.mu across one starves every writer for the cursor's
+// lifetime — the bug class PR 5 removed by re-acquiring the lock per
+// batch. The analysis is intra-function and lexical: it tracks Lock/RLock
+// and Unlock/RUnlock calls in source order (a deferred Unlock keeps the
+// lock held to function end) and reports any pull call made while at
+// least one lock is held. Functions that are *entered* with a lock held
+// are the caller's responsibility — the caller's own Lock is in scope
+// there.
+var LockPull = &Analyzer{
+	Name: "lockpull",
+	Doc: "report Operator.Next / Rows.Next / Rows.Collect calls made while a " +
+		"sync mutex is held; batch pulls must run lock-free against pinned snapshots",
+	Run: runLockPull,
+}
+
+func runLockPull(pass *Pass) error {
+	scope := scopeFor(pass)
+	if scope.operator == nil && scope.rows == nil {
+		return nil // no engine types in scope; nothing to pull
+	}
+	funcDecls(pass, func(fn *ast.FuncDecl) {
+		checkLockPull(pass, scope, fn)
+	})
+	return nil
+}
+
+// lockEvent is one lock-relevant point in a function body, keyed by the
+// printed receiver expression ("db.mu", "r.mu.RLocker()" is out of scope).
+type lockEvent struct {
+	pos   int // token.Pos as int, for sorting
+	kind  int // 0 acquire, 1 release, 2 pull
+	expr  string
+	node  ast.Node
+	label string // pull target description
+}
+
+func checkLockPull(pass *Pass, scope *engineScope, fn *ast.FuncDecl) {
+	var events []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases only at return — the lock stays
+			// held for the rest of the body, so record nothing; a deferred
+			// pull is exotic enough to ignore.
+			return false
+		case *ast.FuncLit:
+			// Closures run at an unknown time relative to the lock.
+			return false
+		case *ast.CallExpr:
+			recv, name := methodCall(st)
+			if recv == nil {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				if isMutex(pass.Info.Types[recv].Type) {
+					events = append(events, lockEvent{pos: int(st.Pos()), kind: 0, expr: types.ExprString(recv)})
+				}
+			case "Unlock", "RUnlock":
+				if isMutex(pass.Info.Types[recv].Type) {
+					events = append(events, lockEvent{pos: int(st.Pos()), kind: 1, expr: types.ExprString(recv)})
+				}
+			case "Next", "Collect", "pull":
+				rt := pass.Info.Types[recv].Type
+				if scope.implementsOperator(rt) || scope.isRows(rt) {
+					events = append(events, lockEvent{
+						pos: int(st.Pos()), kind: 2, node: st,
+						label: types.ExprString(recv) + "." + name,
+					})
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			held[ev.expr] = true
+		case 1:
+			delete(held, ev.expr)
+		case 2:
+			if len(held) > 0 {
+				var locks []string
+				for e := range held {
+					locks = append(locks, e)
+				}
+				sort.Strings(locks)
+				pass.Reportf(ev.node.Pos(),
+					"%s pulls a batch while %s is held; release the lock before pulling (pins/snapshots make pulls lock-free)",
+					ev.label, locks[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapMut enforces ADR-005's copy-on-write discipline: data reached
+// through an atomic.Pointer snapshot Load — a pinned tableData heap, the
+// catalog — is immutable. Writers build a fresh value and Store it; they
+// never mutate the loaded one, because open cursors and parallel workers
+// are reading it concurrently with no lock. Within each function the
+// analyzer taints chains rooted at a sync/atomic Pointer .Load() call
+// (including locals assigned from one) and reports:
+//
+//   - writes through a tainted chain (x.f = v, x.f[i] = v, x.f++), and
+//   - append with a tainted base and spare-capacity potential — append to
+//     a loaded slice can write into the shared backing array; a full
+//     slice expression x[:n:n] caps capacity and passes.
+//
+// Taint follows selector/index chains, not arbitrary mentions: building a
+// fresh value FROM snapshot data (make(..., len(old.rows)), append(fresh,
+// old.rows...), copy(dst, old.rows)) reads the snapshot and stays clean.
+var SnapMut = &Analyzer{
+	Name: "snapmut",
+	Doc: "report mutation of data reached through an atomic.Pointer snapshot " +
+		"Load(); snapshots are copy-on-write — build a fresh value and Store it",
+	Run: runSnapMut,
+}
+
+func runSnapMut(pass *Pass) error {
+	funcDecls(pass, func(fn *ast.FuncDecl) {
+		checkSnapMut(pass, fn)
+	})
+	return nil
+}
+
+func checkSnapMut(pass *Pass, fn *ast.FuncDecl) {
+	// tainted holds locals (transitively) bound to a snapshot Load result.
+	tainted := map[types.Object]bool{}
+
+	// chainTainted walks the selector/index/deref spine of e. The chain is
+	// tainted when its root is a .Load() call on an atomic.Pointer or an
+	// identifier already tainted. Any other call in the spine (Snapshot(),
+	// a constructor) produces a fresh value and cuts the chain.
+	var chainTainted func(e ast.Expr) bool
+	chainTainted = func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj := pass.Info.Uses[x]
+				return obj != nil && tainted[obj]
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.CallExpr:
+				if recv, name := methodCall(x); name == "Load" && recv != nil &&
+					isPkgType(pass.Info.Types[recv].Type, "sync/atomic", "Pointer") {
+					return true
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+
+	// taintedAppend reports an append whose base may share the snapshot's
+	// backing array: tainted base without a capacity-capping full slice
+	// expression.
+	checkAppend := func(rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+			return
+		}
+		base := ast.Unparen(call.Args[0])
+		if sl, ok := base.(*ast.SliceExpr); ok && sl.Max != nil {
+			return
+		}
+		if chainTainted(base) {
+			pass.Reportf(call.Pos(),
+				"append to snapshot-loaded slice %s may write into the shared backing array; copy first or cap with a full slice expression x[:n:n]",
+				types.ExprString(call.Args[0]))
+		}
+	}
+
+	// rhsTaints decides whether assigning rhs taints the target: a tainted
+	// chain does; an append keeps the base's taint; anything else (make,
+	// composite literals, other calls) produces a fresh value.
+	var rhsTaints func(rhs ast.Expr) bool
+	rhsTaints = func(rhs ast.Expr) bool {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && len(call.Args) > 0 {
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok && sl.Max != nil {
+				return false
+			}
+			return rhsTaints(base)
+		}
+		return chainTainted(rhs)
+	}
+
+	// One forward sweep in source order is enough for the engine's
+	// straight-line idiom (load, then use); taint propagates through
+	// `td := t.data.Load()` and `rows := td.rows`.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// Writes through tainted chains. Rebinding a plain identifier
+			// is not a mutation; writing through a selector or index is.
+			for _, lhs := range st.Lhs {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				if chainTainted(lhs) {
+					pass.Reportf(lhs.Pos(),
+						"write through snapshot %s mutates data other readers share; copy-on-write: build a fresh value and atomically Store it",
+						types.ExprString(lhs))
+				}
+			}
+			for i, rhs := range st.Rhs {
+				checkAppend(rhs)
+				if !rhsTaints(rhs) {
+					continue
+				}
+				if i < len(st.Lhs) {
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := ast.Unparen(st.X).(*ast.Ident); !isIdent && chainTainted(st.X) {
+				pass.Reportf(st.X.Pos(),
+					"increment through snapshot %s mutates data other readers share; copy-on-write: build a fresh value and atomically Store it",
+					types.ExprString(st.X))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpillSafe enforces the spill temp-file discipline from PR 7: every
+// overflow file must be registered with the statement's spillRegistry so
+// Rows.Close / statement end can remove it on any exit path. Concretely:
+//
+//  1. os.CreateTemp may be called only by a spillFS implementation (the
+//     one seam fault-injection tests can intercept);
+//  2. the spillFS.create seam may be called only from the registering
+//     constructor (*exec).newSpillFile;
+//  3. a function that acquires a file from newSpillFile must either hand
+//     ownership on (store it in a field, slice or map, return it, or pass
+//     it to another function) or drop it via remove/dropSpillFile —
+//     acquiring a registered file and leaking the reference leaves the
+//     registry as the only cleanup, which turns per-statement cleanup into
+//     end-of-statement cleanup and hides real leaks from the fault tests.
+var SpillSafe = &Analyzer{
+	Name: "spillsafe",
+	Doc: "report spill temp files created outside the registered " +
+		"(*exec).newSpillFile/spillFS seam, and acquired spill files that are " +
+		"neither stored nor cleaned up",
+	Run: runSpillSafe,
+}
+
+func runSpillSafe(pass *Pass) error {
+	scope := scopeFor(pass)
+	if scope.spillFS == nil {
+		return nil
+	}
+	funcDecls(pass, func(fn *ast.FuncDecl) {
+		recvImplementsSpillSeam := false
+		if rt := recvType(pass, fn); rt != nil && scope.spillFS != nil {
+			if typesImplements(rt, scope.spillFS) {
+				recvImplementsSpillSeam = true
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Rule 1: os.CreateTemp only inside a spillFS implementation.
+			if obj := calleeIn(pass, call); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && obj.Name() == "CreateTemp" && !recvImplementsSpillSeam {
+				pass.Reportf(call.Pos(),
+					"os.CreateTemp outside a spillFS implementation; spill files must be created through (*exec).newSpillFile so they are registered for cleanup")
+			}
+			// Rule 2: the spillFS.create seam only from newSpillFile.
+			if recv, name := methodCall(call); recv != nil && name == "create" {
+				if rt := pass.Info.Types[recv].Type; typesImplements(rt, scope.spillFS) && fn.Name.Name != "newSpillFile" {
+					pass.Reportf(call.Pos(),
+						"spillFS.create called outside (*exec).newSpillFile; the file would bypass the spill registry")
+				}
+			}
+			return true
+		})
+		checkSpillOwnership(pass, scope, fn)
+	})
+	return nil
+}
+
+// checkSpillOwnership applies rule 3: locals bound to a newSpillFile
+// result must be stored, returned, passed on, or dropped somewhere in the
+// function.
+func checkSpillOwnership(pass *Pass, scope *engineScope, fn *ast.FuncDecl) {
+	// Find `f, err := x.newSpillFile()` bindings.
+	type acquisition struct {
+		ident *ast.Ident
+		call  *ast.CallExpr
+	}
+	var acqs []acquisition
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, name := methodCall(call); name != "newSpillFile" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			acqs = append(acqs, acquisition{ident: id, call: call})
+		}
+		return true
+	})
+	for _, acq := range acqs {
+		obj := pass.Info.Defs[acq.ident]
+		if obj == nil {
+			obj = pass.Info.Uses[acq.ident]
+		}
+		if obj == nil {
+			continue
+		}
+		owned := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if owned {
+				return false
+			}
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				// Storing the file anywhere (field, slice element, another
+				// variable) transfers ownership; so does appending it. A
+				// blank-identifier assignment does not — `_ = f` silences
+				// the compiler, not the leak.
+				for i, rhs := range st.Rhs {
+					if !usesObj(pass, rhs, obj) {
+						continue
+					}
+					lhs := st.Lhs[0]
+					if i < len(st.Lhs) {
+						lhs = st.Lhs[i]
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && (id.Name == "_" || pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj) {
+						continue
+					}
+					owned = true
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					if usesObj(pass, r, obj) {
+						owned = true
+					}
+				}
+			case *ast.CallExpr:
+				if st == acq.call {
+					return true
+				}
+				// Passing the file to any call — dropSpillFile, register, a
+				// writer constructor — or invoking remove()/finish() on it.
+				recv, name := methodCall(st)
+				if recv != nil && isIdentFor(pass, recv, obj) && (name == "remove" || name == "finish") {
+					owned = true
+				}
+				for _, arg := range st.Args {
+					if usesObj(pass, arg, obj) {
+						owned = true
+					}
+				}
+			}
+			return true
+		})
+		if !owned {
+			pass.Reportf(acq.call.Pos(),
+				"spill file %s is acquired but never stored, returned, passed on or dropped; only the end-of-statement registry backstop would remove it",
+				acq.ident.Name)
+		}
+	}
+}
+
+// usesObj reports whether expr mentions the object.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isIdentFor reports whether expr is exactly an identifier bound to obj.
+func isIdentFor(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && (pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj)
+}
+
+// typesImplements reports whether t or *t satisfies iface.
+func typesImplements(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+// Idiomatic patterns atomicstats must stay quiet on: sync/atomic access
+// to the shared instance, and plain access to a by-value copy.
+package fixture
+
+import "sync/atomic"
+
+func bumpAtomic(db *DB) {
+	atomic.AddInt64(&db.Stats.Hits, 1)
+}
+
+func readAtomic(db *DB) int64 {
+	return atomic.LoadInt64(&db.Stats.Misses)
+}
+
+func readCopy(db *DB) int64 {
+	st := db.Stats.Snapshot()
+	return st.Hits + st.Misses
+}
+
+func resetWholesale(db *DB) {
+	// Whole-struct reset is the documented single-threaded test idiom;
+	// only counter-field access must be atomic.
+	db.Stats = Stats{}
+}

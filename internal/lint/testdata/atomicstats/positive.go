@@ -1,0 +1,34 @@
+// Seeded violations of the atomicstats invariant: plain reads/writes of
+// shared Stats counters that sync/atomic updates race against.
+package fixture
+
+import "sync/atomic"
+
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Snapshot returns an atomically read copy, the sanctioned read path.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Hits:   atomic.LoadInt64(&s.Hits),
+		Misses: atomic.LoadInt64(&s.Misses),
+	}
+}
+
+type DB struct {
+	Stats Stats
+}
+
+func bumpPlain(db *DB) {
+	db.Stats.Hits++ // want "plain access to shared Stats counter Hits"
+}
+
+func readPlain(db *DB) int64 {
+	return db.Stats.Misses // want "plain access to shared Stats counter Misses"
+}
+
+func writeViaPointer(s *Stats) {
+	s.Hits = 0 // want "plain access to shared Stats counter Hits"
+}

@@ -1,0 +1,72 @@
+// Idiomatic patterns ctxpoll accepts: a direct ex.cancelled() poll, a
+// ctx.Err() poll, delegation to a child operator's Next, and polling via a
+// same-package helper.
+package fixture
+
+type pollingOperator struct {
+	rows [][]int64
+	pos  int
+}
+
+func (o *pollingOperator) Open(ex *exec) error { return nil }
+func (o *pollingOperator) Close()              {}
+
+func (o *pollingOperator) Next(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	b := &Batch{rows: o.rows[o.pos : o.pos+1]}
+	o.pos++
+	return b, nil
+}
+
+type ctxOperator struct{}
+
+func (o *ctxOperator) Open(ex *exec) error { return nil }
+func (o *ctxOperator) Close()              {}
+
+func (o *ctxOperator) Next(ex *exec) (*Batch, error) {
+	if ex.ctx != nil {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+type delegatingOperator struct {
+	child Operator
+}
+
+func (o *delegatingOperator) Open(ex *exec) error { return o.child.Open(ex) }
+func (o *delegatingOperator) Close()              { o.child.Close() }
+
+func (o *delegatingOperator) Next(ex *exec) (*Batch, error) {
+	return o.child.Next(ex)
+}
+
+type helperOperator struct {
+	done bool
+}
+
+func (o *helperOperator) Open(ex *exec) error { return nil }
+func (o *helperOperator) Close()              {}
+
+func (o *helperOperator) Next(ex *exec) (*Batch, error) {
+	return o.emit(ex)
+}
+
+// emit polls, so Next polls through it.
+func (o *helperOperator) emit(ex *exec) (*Batch, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return &Batch{}, nil
+}

@@ -1,0 +1,43 @@
+// Seeded violation of the ctxpoll invariant: an Operator.Next whose
+// row loop never checks for cancellation.
+package fixture
+
+import "context"
+
+type Batch struct {
+	rows [][]int64
+}
+
+type exec struct {
+	ctx context.Context
+}
+
+func (ex *exec) cancelled() error {
+	if ex.ctx == nil {
+		return nil
+	}
+	return ex.ctx.Err()
+}
+
+type Operator interface {
+	Open(ex *exec) error
+	Next(ex *exec) (*Batch, error)
+	Close()
+}
+
+type spinOperator struct {
+	rows [][]int64
+	pos  int
+}
+
+func (o *spinOperator) Open(ex *exec) error { return nil }
+func (o *spinOperator) Close()              {}
+
+func (o *spinOperator) Next(ex *exec) (*Batch, error) { // want "no cancellation check"
+	b := &Batch{}
+	for o.pos < len(o.rows) {
+		b.rows = append(b.rows, o.rows[o.pos])
+		o.pos++
+	}
+	return b, nil
+}

@@ -1,0 +1,33 @@
+// Order-insensitive map loops detmap accepts: pure deletion, integer
+// counting and integer folds, and populating another map.
+package fixture
+
+func removeAll(files map[string]struct{}) {
+	for f := range files {
+		delete(files, f)
+	}
+}
+
+func countRows(m map[string][][]int64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sumInts(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int64) map[int64]string {
+	out := make(map[int64]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

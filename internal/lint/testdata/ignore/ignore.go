@@ -1,0 +1,48 @@
+// Exercises the //mtlint:ignore escape hatch: a directive suppresses
+// findings of exactly the named analyzer on its own line and the line
+// below — and nothing else.
+package fixture
+
+type Batch struct{}
+
+type exec struct{}
+
+type Operator interface {
+	Open(ex *exec) error
+	Next(ex *exec) (*Batch, error)
+	Close()
+}
+
+func suppressedAbove(m map[string]int64) []string {
+	var out []string
+	//mtlint:ignore detmap fixture: the caller sorts the result before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func suppressedSameLine(m map[string]int64) []string {
+	var out []string
+	for k := range m { //mtlint:ignore detmap fixture: the caller sorts the result before use
+		out = append(out, k)
+	}
+	return out
+}
+
+func wrongAnalyzerName(m map[string]int64) []string {
+	var out []string
+	//mtlint:ignore atomicstats naming a different analyzer must not suppress detmap
+	for k := range m { // want "leaks iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func unannotated(m map[string]int64) []string {
+	var out []string
+	for k := range m { // want "leaks iteration order"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Idiomatic patterns lockpull must stay quiet on: the lock is released
+// before any pull, or guards non-pulling work only.
+package fixture
+
+func pullAfterUnlock(db *DB, op Operator, ex *exec) {
+	db.mu.Lock()
+	snapshot := 1
+	db.mu.Unlock()
+	_ = snapshot
+	op.Next(ex)
+}
+
+func lockAroundOtherWork(db *DB, op Operator) {
+	db.mu.Lock()
+	op.Close()
+	db.mu.Unlock()
+}
+
+func rlockThenPull(db *DB, r *Rows) {
+	db.rw.RLock()
+	db.rw.RUnlock()
+	for r.Next() {
+	}
+}

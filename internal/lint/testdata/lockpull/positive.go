@@ -1,0 +1,52 @@
+// Seeded violations of the lockpull invariant: batch pulls while a mutex
+// is held — the cursor-starves-writers bug class PR 5 eliminated.
+package fixture
+
+import "sync"
+
+type Batch struct{}
+
+type exec struct{}
+
+type Operator interface {
+	Open(ex *exec) error
+	Next(ex *exec) (*Batch, error)
+	Close()
+}
+
+type Rows struct{}
+
+func (r *Rows) Next() bool      { return false }
+func (r *Rows) Collect() error  { return nil }
+
+type DB struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func pullUnderLock(db *DB, op Operator, ex *exec) {
+	db.mu.Lock()
+	op.Next(ex) // want "pulls a batch while db.mu is held"
+	db.mu.Unlock()
+}
+
+func pullUnderDeferredUnlock(db *DB, r *Rows) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r.Next() // want "pulls a batch while db.mu is held"
+}
+
+func collectUnderRLock(db *DB, r *Rows) error {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
+	return collect(r)
+}
+
+func collect(r *Rows) error { return nil }
+
+func collectDirectlyUnderRLock(db *DB, r *Rows) error {
+	db.rw.RLock()
+	err := r.Collect() // want "pulls a batch while db.rw is held"
+	db.rw.RUnlock()
+	return err
+}

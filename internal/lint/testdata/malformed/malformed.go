@@ -1,0 +1,22 @@
+// A directive without a reason is itself a finding and suppresses
+// nothing; the test asserts both diagnostics directly.
+package fixture
+
+type Batch struct{}
+
+type exec struct{}
+
+type Operator interface {
+	Open(ex *exec) error
+	Next(ex *exec) (*Batch, error)
+	Close()
+}
+
+func noReason(m map[string]int64) []string {
+	var out []string
+	//mtlint:ignore detmap
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// The copy-on-write commit idiom snapmut accepts: read the snapshot
+// freely, build a fresh value, and atomically Store it.
+package fixture
+
+func commitAppend(t *Table, row []int64) {
+	old := t.data.Load()
+	fresh := make([][]int64, 0, len(old.rows)+1)
+	fresh = append(fresh, old.rows...)
+	fresh = append(fresh, row)
+	t.data.Store(&tableData{rows: fresh, version: old.version + 1})
+}
+
+func cappedAppend(t *Table, row []int64) [][]int64 {
+	old := t.data.Load().rows
+	// The full slice expression caps capacity, forcing append to allocate
+	// a fresh backing array instead of writing into the shared one.
+	rows := append(old[:len(old):len(old)], row)
+	return rows
+}
+
+func readOnly(t *Table) int64 {
+	td := t.data.Load()
+	var n int64
+	for _, r := range td.rows {
+		n += int64(len(r))
+	}
+	return n + td.version
+}

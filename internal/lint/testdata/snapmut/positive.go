@@ -1,0 +1,35 @@
+// Seeded violations of the snapmut invariant: mutating data reached
+// through an atomic.Pointer snapshot Load outside the copy-on-write
+// commit path.
+package fixture
+
+import "sync/atomic"
+
+type tableData struct {
+	rows    [][]int64
+	version int64
+}
+
+type Table struct {
+	data atomic.Pointer[tableData]
+}
+
+func mutateDirect(t *Table) {
+	t.data.Load().rows[0] = nil // want "write through snapshot"
+}
+
+func mutateViaLocal(t *Table) {
+	td := t.data.Load()
+	td.version++ // want "increment through snapshot"
+}
+
+func mutateAliasedRows(t *Table, row []int64) {
+	td := t.data.Load()
+	rows := td.rows
+	rows[0] = row // want "write through snapshot"
+}
+
+func appendAliased(t *Table, row []int64) [][]int64 {
+	rows := append(t.data.Load().rows, row) // want "append to snapshot-loaded slice"
+	return rows
+}

@@ -1,0 +1,97 @@
+// The idiomatic spill seam: os.CreateTemp lives inside the one spillFS
+// implementation, files are created through the registering constructor
+// (*exec).newSpillFile, and acquired files are stored or dropped.
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+type spillFile interface {
+	io.Writer
+	finish() error
+	open() (io.ReadCloser, error)
+	remove() error
+}
+
+type spillFS interface {
+	create(dir string) (spillFile, error)
+}
+
+type osFS struct{}
+
+type osFile struct {
+	f    *os.File
+	path string
+}
+
+func (osFS) create(dir string) (spillFile, error) {
+	f, err := os.CreateTemp(dir, "fixture-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f: f, path: f.Name()}, nil
+}
+
+func (s *osFile) Write(p []byte) (int, error)  { return s.f.Write(p) }
+func (s *osFile) finish() error                { return s.f.Close() }
+func (s *osFile) open() (io.ReadCloser, error) { return os.Open(s.path) }
+func (s *osFile) remove() error                { return os.Remove(s.path) }
+
+type registry struct {
+	files map[spillFile]struct{}
+}
+
+func (r *registry) register(f spillFile) {
+	if r.files == nil {
+		r.files = make(map[spillFile]struct{})
+	}
+	r.files[f] = struct{}{}
+}
+
+type exec struct {
+	fs     spillFS
+	spills *registry
+}
+
+func (ex *exec) newSpillFile() (spillFile, error) {
+	f, err := ex.fs.create("")
+	if err != nil {
+		return nil, err
+	}
+	ex.spills.register(f)
+	return f, nil
+}
+
+func (ex *exec) dropSpillFile(f spillFile) {
+	f.remove()
+	delete(ex.spills.files, f)
+}
+
+func acquireAndDrop(ex *exec) error {
+	f, err := ex.newSpillFile()
+	if err != nil {
+		return err
+	}
+	defer ex.dropSpillFile(f)
+	_, err = f.Write([]byte("run"))
+	return err
+}
+
+type holder struct {
+	runs []spillFile
+}
+
+func acquireAndStore(ex *exec, h *holder) error {
+	f, err := ex.newSpillFile()
+	if err != nil {
+		return err
+	}
+	h.runs = append(h.runs, f)
+	return nil
+}
+
+func acquireAndReturn(ex *exec) (spillFile, error) {
+	return ex.newSpillFile()
+}

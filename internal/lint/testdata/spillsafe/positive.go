@@ -1,0 +1,35 @@
+// Seeded violations of the spillsafe invariant: temp files created outside
+// the registered seam, and acquired spill files that leak.
+package fixture
+
+import "os"
+
+func rawTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "x-*") // want "os.CreateTemp outside a spillFS implementation"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func sneakyCreate(ex *exec) (spillFile, error) {
+	return ex.fs.create("") // want "spillFS.create called outside"
+}
+
+func leakAcquired(ex *exec) error {
+	f, err := ex.newSpillFile() // want "never stored, returned, passed on or dropped"
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("run"))
+	return nil
+}
+
+func leakSilenced(ex *exec) error {
+	f, err := ex.newSpillFile() // want "never stored, returned, passed on or dropped"
+	if err != nil {
+		return err
+	}
+	_ = f // blank assignment is not ownership
+	return nil
+}
