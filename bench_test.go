@@ -10,6 +10,7 @@ package mtbase
 // via sub-benchmarks.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,9 +19,11 @@ import (
 	"time"
 
 	"mtbase/internal/bench"
+	"mtbase/internal/client"
 	"mtbase/internal/engine"
 	"mtbase/internal/mth"
 	"mtbase/internal/optimizer"
+	"mtbase/internal/server"
 )
 
 // benchSF keeps `go test -bench=.` tractable; mtbench -sf raises it.
@@ -514,6 +517,93 @@ func BenchmarkRewrite(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// serveBench lazily starts one wire server over the benchmark dataset,
+// shared by every BenchmarkServe sub-benchmark.
+var serveBench struct {
+	once sync.Once
+	addr string
+	err  error
+	stop func()
+}
+
+func serveBenchAddr(b *testing.B) string {
+	serveBench.once.Do(func() {
+		cfg := mth.Config{SF: benchSF, Tenants: benchTenants, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+		inst, err := mth.LoadMT(mth.Generate(cfg))
+		if err != nil {
+			serveBench.err = err
+			return
+		}
+		if err := inst.GrantReadTo(1); err != nil {
+			serveBench.err = err
+			return
+		}
+		srv := server.New(inst.Srv, nil, server.Config{})
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			serveBench.err = err
+			return
+		}
+		serveBench.addr = bound.String()
+		serveBench.stop = func() { srv.Shutdown(context.Background()) }
+	})
+	if serveBench.err != nil {
+		b.Fatal(serveBench.err)
+	}
+	return serveBench.addr
+}
+
+// BenchmarkServe measures Q6 over the mtserve wire protocol — a real TCP
+// loopback round trip per execution — one sub-benchmark per optimization
+// level. Reported metrics mirror BenchmarkMixedReadWrite: qps, p50_ms and
+// p99_ms, so bench.sh records the wire numbers on the same JSON trajectory
+// and the in-process numbers beside them put a price on the network hop.
+func BenchmarkServe(b *testing.B) {
+	addr := serveBenchAddr(b)
+	q, err := mth.QueryByID(benchSF, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, level := range optimizer.Levels {
+		b.Run(level.String(), func(b *testing.B) {
+			conn, err := client.Dial(addr, 1, level.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Exec(`SET SCOPE = "IN ()"`); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conn.Query(q.SQL); err != nil { // warm caches
+				b.Fatal(err)
+			}
+			lat := make([]time.Duration, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := conn.Query(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) float64 {
+				if len(lat) == 0 {
+					return 0
+				}
+				return float64(lat[int(p*float64(len(lat)-1))].Nanoseconds()) / 1e6
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+			b.ReportMetric(pct(0.50), "p50_ms")
+			b.ReportMetric(pct(0.99), "p99_ms")
 		})
 	}
 }

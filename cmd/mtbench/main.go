@@ -12,10 +12,15 @@
 //	mtbench -table 3 -parallelism 4  # intra-query parallel scans
 //	mtbench -table 3 -memlimit 64KB  # bounded memory: statements spill to disk
 //	mtbench -mixed -concurrency 4 -parallelism 2 -ops 200
+//	mtbench -serve -concurrency 4 -ops 100
+//	mtbench -serve -serve-addr localhost:7687
 //
 // The -mixed mode measures read throughput (qps, p50/p99 latency) while
 // background writers commit continuously — the copy-on-write snapshot
-// concurrency demonstration.
+// concurrency demonstration. The -serve mode measures the same shape of
+// numbers per optimization level over the mtserve wire protocol (a TCP
+// loopback server by default, or a running server with -serve-addr),
+// putting a price on the network hop.
 package main
 
 import (
@@ -49,11 +54,13 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "intra-query worker count (0 = engine default GOMAXPROCS, 1 = serial)")
 		memlimit    = flag.String("memlimit", "", "per-statement memory cap, e.g. 64KB, 1MB (empty = unlimited; capped statements spill to disk)")
 		mixed       = flag.Bool("mixed", false, "run the mixed read/write throughput mode")
-		concurrency = flag.Int("concurrency", 1, "concurrent reader connections for -mixed")
+		concurrency = flag.Int("concurrency", 1, "concurrent reader connections for -mixed/-serve")
 		writers     = flag.Int("writers", 2, "background writer goroutines for -mixed")
-		ops         = flag.Int("ops", 64, "total measured reads for -mixed")
+		ops         = flag.Int("ops", 64, "total measured reads for -mixed (per level for -serve)")
 		level       = flag.String("level", "o4", "optimization level for -mixed")
-		mixedQuery  = flag.Int("mixed-query", 6, "measured query id for -mixed")
+		mixedQuery  = flag.Int("mixed-query", 6, "measured query id for -mixed/-serve")
+		serve       = flag.Bool("serve", false, "run the wire-protocol throughput mode (per optimization level, over TCP)")
+		serveAddr   = flag.String("serve-addr", "", "benchmark a running mtserve at host:port instead of an in-process loopback server")
 	)
 	flag.Parse()
 
@@ -68,6 +75,27 @@ func main() {
 		if memBytes, err = engine.ParseMemLimit(*memlimit); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *serve {
+		spec := bench.ServeSpec{
+			SF: *sf, Tenants: *tenants, Mode: engine.ModePostgres,
+			QueryID: *mixedQuery, Concurrency: *concurrency, Ops: *ops,
+			Parallelism: *parallelism, Addr: *serveAddr,
+		}
+		if *dist != "" {
+			spec.Dist = mth.Distribution(*dist)
+		}
+		var progressW io.Writer
+		if *progress {
+			progressW = os.Stderr
+		}
+		res, err := bench.RunServe(spec, progressW)
+		if err != nil {
+			fatal(err)
+		}
+		res.WriteServe(os.Stdout)
+		return
 	}
 
 	if *mixed {

@@ -1,10 +1,11 @@
-// Command mtsh is a minimal MTSQL shell against an in-process MTBase
-// instance loaded with the MT-H dataset. It demonstrates the full client
-// experience of the paper: connect as a tenant (C comes from the
-// connection), steer the dataset with SET SCOPE, and run plain SQL that
-// the middleware rewrites behind the scenes. Query output streams through
-// the cursor API — rows print as batches arrive from the engine's operator
-// tree, so large cross-tenant scans are usable interactively.
+// Command mtsh is a minimal MTSQL shell. By default it loads an in-process
+// MTBase instance with the MT-H dataset; with -connect it speaks the mtserve
+// wire protocol to a running server instead. Either way it demonstrates the
+// full client experience of the paper: connect as a tenant (C comes from the
+// connection), steer the dataset with SET SCOPE, and run plain SQL that the
+// middleware rewrites behind the scenes. Query output streams through the
+// cursor API — rows print as batches arrive, so large cross-tenant scans are
+// usable interactively.
 //
 // Meta commands:
 //
@@ -14,11 +15,13 @@
 //	\prepare name <sql>  prepare a statement with ? / $n placeholders
 //	\exec name [args]    execute a prepared statement with bind values
 //	                     (numbers, 'strings', dates as 'YYYY-MM-DD', null)
+//	\stats               print engine/middleware/server counters
 //	\q                   quit
 //
-// Example session:
+// Example sessions:
 //
 //	mtsh -sf 0.005 -tenants 5
+//	mtsh -connect localhost:7687 -c 2
 //	mtsql(C=1)> SET SCOPE = "IN ()";
 //	mtsql(C=1)> SELECT COUNT(*) FROM customer;
 package main
@@ -31,55 +34,86 @@ import (
 	"strconv"
 	"strings"
 
+	"mtbase/internal/client"
 	"mtbase/internal/engine"
 	"mtbase/internal/middleware"
 	"mtbase/internal/mth"
 	"mtbase/internal/optimizer"
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
+	"mtbase/internal/sqltypes"
 )
+
+// rowStream is the cursor surface the shell prints from. *engine.Rows
+// (in-process) and *client.Rows (wire) both satisfy it.
+type rowStream interface {
+	Columns() []string
+	Next() bool
+	Row() []sqltypes.Value
+	Err() error
+	Close() error
+}
+
+// prepStmt is the prepared-statement surface. *middleware.Stmt and
+// *client.Stmt both satisfy it.
+type prepStmt interface {
+	NumParams() int
+	IsQuery() bool
+	Exec(args ...any) (*engine.Result, error)
+	QueryResult(args ...any) (*engine.Result, error)
+	Close() error
+}
+
+// backend abstracts where statements run: an in-process middleware
+// connection or a wire connection to mtserve.
+type backend interface {
+	C() int64
+	Exec(sql string) (*engine.Result, error)
+	Stream(sql string) (rowStream, error)
+	Prepare(sql string) (prepStmt, error)
+	SetLevel(l optimizer.Level) error
+	Explain(sql string) (string, error)
+	Reconnect(ttid int64) (backend, error)
+	Stats() ([]string, error)
+}
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.002, "TPC-H scale factor for the demo data")
-		tenants = flag.Int("tenants", 5, "number of tenants")
+		connect = flag.String("connect", "", "host:port of a running mtserve (empty = in-process instance)")
+		sf      = flag.Float64("sf", 0.002, "TPC-H scale factor for the in-process demo data")
+		tenants = flag.Int("tenants", 5, "number of tenants (in-process)")
 		ttid    = flag.Int64("c", 1, "client tenant C")
-		mode    = flag.String("mode", "postgres", "engine mode (postgres|system-c)")
+		mode    = flag.String("mode", "postgres", "engine mode (postgres|system-c, in-process)")
 	)
 	flag.Parse()
 
-	m := engine.ModePostgres
-	if *mode == "system-c" {
-		m = engine.ModeSystemC
-	}
-	fmt.Fprintf(os.Stderr, "loading MT-H sf=%g T=%d ...\n", *sf, *tenants)
-	inst, err := mth.BuildMT(mth.Config{SF: *sf, Tenants: *tenants, Dist: mth.Uniform, Seed: 42, Mode: m})
-	if err != nil {
-		fatal(err)
-	}
-	// Demo convenience: everyone may read everyone (the paper's healthcare
-	// scenario would use explicit GRANTs instead).
-	for t := int64(1); t <= int64(*tenants); t++ {
-		if err := inst.GrantReadTo(t); err != nil {
+	var (
+		be  backend
+		err error
+	)
+	if *connect != "" {
+		be, err = dialRemote(*connect, *ttid, optimizer.O4)
+		if err != nil {
 			fatal(err)
 		}
-	}
-	conn, err := inst.Srv.Connect(*ttid)
-	if err != nil {
-		fatal(err)
+	} else {
+		be, err = buildLocal(*sf, *tenants, *mode, *ttid)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
-	prepared := make(map[string]*middleware.Stmt)
-	prompt := func() { fmt.Printf("mtsql(C=%d)> ", conn.C()) }
+	prepared := make(map[string]prepStmt)
+	prompt := func() { fmt.Printf("mtsql(C=%d)> ", be.C()) }
 	prompt()
 	for in.Scan() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, "\\") {
-			if done := metaCommand(inst.Srv, &conn, prepared, trimmed); done {
+			if done := metaCommand(&be, prepared, trimmed); done {
 				return
 			}
 			prompt()
@@ -93,13 +127,133 @@ func main() {
 		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
 		pending.Reset()
 		if stmt != "" {
-			execute(conn, stmt)
+			execute(be, stmt)
 		}
 		prompt()
 	}
 }
 
-func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[string]*middleware.Stmt, cmd string) bool {
+// localBackend runs statements on an in-process instance.
+type localBackend struct {
+	inst *mth.Instance
+	conn *middleware.Conn
+}
+
+func buildLocal(sf float64, tenants int, mode string, ttid int64) (backend, error) {
+	m := engine.ModePostgres
+	if mode == "system-c" {
+		m = engine.ModeSystemC
+	}
+	fmt.Fprintf(os.Stderr, "loading MT-H sf=%g T=%d ...\n", sf, tenants)
+	inst, err := mth.BuildMT(mth.Config{SF: sf, Tenants: tenants, Dist: mth.Uniform, Seed: 42, Mode: m})
+	if err != nil {
+		return nil, err
+	}
+	// Demo convenience: everyone may read everyone (the paper's healthcare
+	// scenario would use explicit GRANTs instead).
+	for t := int64(1); t <= int64(tenants); t++ {
+		if err := inst.GrantReadTo(t); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := inst.Srv.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	return &localBackend{inst: inst, conn: conn}, nil
+}
+
+func (b *localBackend) C() int64                                 { return b.conn.C() }
+func (b *localBackend) Exec(sql string) (*engine.Result, error)  { return b.conn.Exec(sql) }
+func (b *localBackend) Stream(sql string) (rowStream, error)     { return b.conn.QueryRows(sql) }
+func (b *localBackend) Prepare(sql string) (prepStmt, error)     { return b.conn.Prepare(sql) }
+func (b *localBackend) SetLevel(l optimizer.Level) error         { b.conn.SetOptLevel(l); return nil }
+
+func (b *localBackend) Explain(sql string) (string, error) {
+	rewritten, err := b.conn.RewriteSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	return rewritten.String(), nil
+}
+
+func (b *localBackend) Reconnect(ttid int64) (backend, error) {
+	next, err := b.inst.Srv.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	next.SetOptLevel(b.conn.OptLevel())
+	return &localBackend{inst: b.inst, conn: next}, nil
+}
+
+func (b *localBackend) Stats() ([]string, error) {
+	es := b.inst.Srv.DB().Stats.Snapshot()
+	hits, misses := b.inst.Srv.RewriteCacheStats()
+	return []string{
+		fmt.Sprintf("engine.udf_calls %d", es.UDFCalls),
+		fmt.Sprintf("engine.plan_cache_hits %d", es.PlanCacheHits),
+		fmt.Sprintf("engine.plan_cache_misses %d", es.PlanCacheMisses),
+		fmt.Sprintf("engine.rows_streamed %d", es.RowsStreamed),
+		fmt.Sprintf("engine.spill_runs %d", es.SpillRuns),
+		fmt.Sprintf("engine.spill_bytes %d", es.SpillBytes),
+		fmt.Sprintf("engine.peak_mem_bytes %d", es.PeakMemBytes),
+		fmt.Sprintf("middleware.rewrite_cache_hits %d", hits),
+		fmt.Sprintf("middleware.rewrite_cache_misses %d", misses),
+	}, nil
+}
+
+// remoteBackend runs statements over the mtserve wire protocol.
+type remoteBackend struct {
+	addr  string
+	conn  *client.Conn
+	level optimizer.Level
+}
+
+func dialRemote(addr string, ttid int64, level optimizer.Level) (backend, error) {
+	conn, err := client.Dial(addr, ttid, level.String())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "connected to %s (%s, session %d)\n", addr, conn.Server(), conn.SessionID())
+	return &remoteBackend{addr: addr, conn: conn, level: level}, nil
+}
+
+func (b *remoteBackend) C() int64                                { return b.conn.C() }
+func (b *remoteBackend) Exec(sql string) (*engine.Result, error) { return b.conn.Exec(sql) }
+func (b *remoteBackend) Stream(sql string) (rowStream, error)    { return b.conn.QueryRows(sql) }
+func (b *remoteBackend) Prepare(sql string) (prepStmt, error)    { return b.conn.Prepare(sql) }
+func (b *remoteBackend) Explain(sql string) (string, error)      { return b.conn.Explain(sql) }
+
+func (b *remoteBackend) SetLevel(l optimizer.Level) error {
+	if err := b.conn.SetOptLevel(l); err != nil {
+		return err
+	}
+	b.level = l
+	return nil
+}
+
+func (b *remoteBackend) Reconnect(ttid int64) (backend, error) {
+	next, err := dialRemote(b.addr, ttid, b.level)
+	if err != nil {
+		return nil, err
+	}
+	b.conn.Close()
+	return next, nil
+}
+
+func (b *remoteBackend) Stats() ([]string, error) {
+	pairs, err := b.conn.Stats()
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, len(pairs))
+	for i, p := range pairs {
+		lines[i] = fmt.Sprintf("%s %d", p.Name, p.Value)
+	}
+	return lines, nil
+}
+
+func metaCommand(be *backend, prepared map[string]prepStmt, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q":
@@ -114,15 +268,15 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[st
 			fmt.Println("bad tenant id:", fields[1])
 			return false
 		}
-		next, err := srv.Connect(ttid)
+		next, err := (*be).Reconnect(ttid)
 		if err != nil {
 			fmt.Println(err)
 			return false
 		}
-		next.SetOptLevel((*conn).OptLevel())
-		*conn = next
+		*be = next
 		// Prepared statements capture the session's C; drop them.
-		for name := range prepared {
+		for name, st := range prepared {
+			st.Close()
 			delete(prepared, name)
 		}
 		fmt.Println("prepared statements cleared")
@@ -133,7 +287,7 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[st
 			fmt.Println("usage: \\prepare name <sql with ? or $n placeholders>")
 			return false
 		}
-		st, err := (*conn).Prepare(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+		st, err := (*be).Prepare(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 		if err != nil {
 			fmt.Println(err)
 			return false
@@ -160,7 +314,11 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[st
 			fmt.Printf("statement %q takes %d parameters, got %d\n", fields[1], st.NumParams(), len(args))
 			return false
 		}
-		res, err := st.Exec(args...)
+		run := st.Exec
+		if st.IsQuery() {
+			run = st.QueryResult
+		}
+		res, err := run(args...)
 		if err != nil {
 			fmt.Println("error:", err)
 			return false
@@ -176,34 +334,46 @@ func metaCommand(srv *middleware.Server, conn **middleware.Conn, prepared map[st
 			fmt.Println(err)
 			return false
 		}
-		(*conn).SetOptLevel(level)
+		if err := (*be).SetLevel(level); err != nil {
+			fmt.Println(err)
+			return false
+		}
 		fmt.Println("optimization level:", level)
 	case "\\explain":
 		sql := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
-		rewritten, err := (*conn).RewriteSQL(strings.TrimSuffix(sql, ";"))
+		rewritten, err := (*be).Explain(strings.TrimSuffix(sql, ";"))
 		if err != nil {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Println(rewritten.String())
+		fmt.Println(rewritten)
+	case "\\stats":
+		lines, err := (*be).Stats()
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}
 	return false
 }
 
-func execute(conn *middleware.Conn, sql string) {
+func execute(be backend, sql string) {
 	// Queries stream through the cursor API: rows print as batches arrive
-	// from the operator tree, so a large cross-tenant scan shows output
-	// immediately instead of materializing the whole result first. DML/DDL
-	// and session statements go through Exec.
+	// from the operator tree (or the wire), so a large cross-tenant scan
+	// shows output immediately instead of materializing the whole result
+	// first. DML/DDL and session statements go through Exec.
 	if stmt, err := sqlparse.ParseStatement(sql); err == nil {
 		if _, ok := stmt.(*sqlast.Select); ok {
-			streamQuery(conn, sql)
+			streamQuery(be, sql)
 			return
 		}
 	}
-	res, err := conn.Exec(sql)
+	res, err := be.Exec(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -213,8 +383,8 @@ func execute(conn *middleware.Conn, sql string) {
 
 // streamQuery drains a cursor, printing the first maxShow rows as they are
 // delivered and counting the rest.
-func streamQuery(conn *middleware.Conn, sql string) {
-	rows, err := conn.QueryRows(sql)
+func streamQuery(be backend, sql string) {
+	rows, err := be.Stream(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -54,11 +54,35 @@
 //     against the parameterized text and shared across bindings
 //   - mth — the MT-H benchmark: dbgen, 22 queries, validation (§5)
 //   - bench — the experiment driver for every table and figure (§6), plus
-//     the mixed read/write throughput mode (mtbench -mixed)
+//     the mixed read/write throughput mode (mtbench -mixed) and the wire
+//     throughput mode (mtbench -serve)
 //   - lint — six project-specific static analyzers mechanizing the
 //     engine's concurrency, determinism and resource invariants; run
 //     `go run ./cmd/mtlint ./...` next to tier-1 verification (ADR-007
 //     in DESIGN.md)
+//   - wire, server, wal, client — the network service (ADR-008 in
+//     DESIGN.md): cmd/mtserve serves an instance over TCP with
+//     per-tenant sessions bound in the protocol handshake, streaming row
+//     batches, per-tenant admission control, graceful drain, and — with
+//     -data — a logical write-ahead log with group commit, copy-on-write
+//     heap snapshots and online backup that recovers the exact
+//     acknowledged state after a crash (execution determinism makes
+//     statement replay byte-exact). internal/client mirrors the
+//     middleware Conn/Stmt/Rows API over the wire; cmd/mtsh -connect
+//     gives an interactive shell against a running server.
+//
+// Quickstart (in-process):
+//
+//	inst, _ := mth.BuildMT(mth.Config{SF: 0.01, Tenants: 5, Dist: mth.Uniform, Seed: 42})
+//	conn, _ := inst.Srv.Connect(1)          // session bound to tenant 1
+//	conn.Exec(`SET SCOPE = "IN ()"`)        // own data only
+//	res, _ := conn.Query(`SELECT COUNT(*) FROM customer`)
+//
+// Quickstart (served): `go run ./cmd/mtserve -sf 0.01 -tenants 5`, then
+//
+//	conn, _ := client.Dial("localhost:7687", 1, "o4")
+//	conn.Exec(`SET SCOPE = "IN ()"`)
+//	res, _ := conn.Query(`SELECT COUNT(*) FROM customer`)
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -63,6 +63,10 @@ func (st *Stmt) NumParams() int { return st.nParams }
 // SQL returns the client text the statement was prepared from.
 func (st *Stmt) SQL() string { return st.raw }
 
+// IsQuery reports whether the statement is a SELECT (row-returning)
+// rather than DML.
+func (st *Stmt) IsQuery() bool { return st.sel != nil }
+
 // Close releases the handle; the cached parse and rewrites stay warm for
 // future preparations of the same text.
 func (st *Stmt) Close() error { return nil }

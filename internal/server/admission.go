@@ -1,0 +1,151 @@
+package server
+
+// Per-tenant admission control (layered over the engine's memory
+// accountant, which bounds what admitted statements may use): connection
+// caps keep one tenant from exhausting sockets, a token bucket bounds each
+// tenant's statement rate, and an in-flight quota bounds each tenant's
+// concurrent statements. All rejections are typed wire errors so clients
+// can distinguish "back off" from "broken".
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mtbase/internal/wire"
+)
+
+// Limits configures admission control; zero values mean unlimited.
+type Limits struct {
+	MaxConns       int           // concurrent connections, all tenants
+	TenantConns    int           // concurrent connections per tenant
+	StmtRate       float64       // statement tokens per second per tenant
+	StmtBurst      int           // token bucket capacity (default: ceil(StmtRate), min 1)
+	TenantInflight int           // concurrent in-flight statements per tenant
+	MaxStmtWait    time.Duration // longest a statement waits for a token before CodeRateLimited
+}
+
+func (l Limits) burst() float64 {
+	if l.StmtBurst > 0 {
+		return float64(l.StmtBurst)
+	}
+	if b := float64(int(l.StmtRate + 0.999)); b > 1 {
+		return b
+	}
+	return 1
+}
+
+type tenantAdm struct {
+	conns    int
+	inflight int
+	tokens   float64
+	last     time.Time
+}
+
+type admission struct {
+	lim     Limits
+	mu      sync.Mutex
+	conns   int
+	tenants map[int64]*tenantAdm
+}
+
+func newAdmission(lim Limits) *admission {
+	return &admission{lim: lim, tenants: make(map[int64]*tenantAdm)}
+}
+
+func (a *admission) tenant(t int64) *tenantAdm {
+	ta := a.tenants[t]
+	if ta == nil {
+		ta = &tenantAdm{tokens: a.lim.burst(), last: time.Now()}
+		a.tenants[t] = ta
+	}
+	return ta
+}
+
+// acquireConn admits one connection for tenant t, or explains why not.
+func (a *admission) acquireConn(t int64) *wire.Err {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lim.MaxConns > 0 && a.conns >= a.lim.MaxConns {
+		return &wire.Err{Code: wire.CodeTooManyConns,
+			Message: fmt.Sprintf("server connection limit %d reached", a.lim.MaxConns)}
+	}
+	ta := a.tenant(t)
+	if a.lim.TenantConns > 0 && ta.conns >= a.lim.TenantConns {
+		return &wire.Err{Code: wire.CodeTooManyConns,
+			Message: fmt.Sprintf("tenant %d connection limit %d reached", t, a.lim.TenantConns)}
+	}
+	a.conns++
+	ta.conns++
+	return nil
+}
+
+func (a *admission) releaseConn(t int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.conns--
+	if ta := a.tenants[t]; ta != nil {
+		ta.conns--
+	}
+}
+
+// refill tops up t's bucket for the time elapsed since the last refill.
+func (a *admission) refillLocked(ta *tenantAdm, now time.Time) {
+	if a.lim.StmtRate <= 0 {
+		return
+	}
+	ta.tokens += now.Sub(ta.last).Seconds() * a.lim.StmtRate
+	if b := a.lim.burst(); ta.tokens > b {
+		ta.tokens = b
+	}
+	ta.last = now
+}
+
+// acquireStmt admits one statement for tenant t, waiting up to MaxStmtWait
+// for a rate token. Quota rejections (too many concurrent statements) are
+// immediate. A nil return means the caller must releaseStmt afterwards.
+func (a *admission) acquireStmt(ctx context.Context, t int64) *wire.Err {
+	deadline := time.Now().Add(a.lim.MaxStmtWait)
+	for {
+		a.mu.Lock()
+		ta := a.tenant(t)
+		if a.lim.TenantInflight > 0 && ta.inflight >= a.lim.TenantInflight {
+			a.mu.Unlock()
+			return &wire.Err{Code: wire.CodeQuota,
+				Message: fmt.Sprintf("tenant %d statement quota %d reached", t, a.lim.TenantInflight)}
+		}
+		if a.lim.StmtRate <= 0 {
+			ta.inflight++
+			a.mu.Unlock()
+			return nil
+		}
+		now := time.Now()
+		a.refillLocked(ta, now)
+		if ta.tokens >= 1 {
+			ta.tokens--
+			ta.inflight++
+			a.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - ta.tokens) / a.lim.StmtRate * float64(time.Second))
+		a.mu.Unlock()
+		if now.Add(wait).After(deadline) {
+			return &wire.Err{Code: wire.CodeRateLimited,
+				Message: fmt.Sprintf("tenant %d over statement rate %.3g/s", t, a.lim.StmtRate)}
+		}
+		select {
+		case <-ctx.Done():
+			return &wire.Err{Code: wire.CodeCancelled, Message: "cancelled while rate limited"}
+		case <-time.After(wait):
+		}
+	}
+}
+
+func (a *admission) releaseStmt(t int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ta := a.tenants[t]; ta != nil {
+		ta.inflight--
+	}
+}

@@ -1,0 +1,447 @@
+package server_test
+
+// Durability acceptance: a server killed with SIGKILL mid-workload must
+// recover from its WAL to a state byte-identical to a clean instance that
+// applied the same statement prefix; snapshots must not change the
+// recovered bytes (only skip work); online backups must restore.
+//
+// The SIGKILL test re-executes this test binary as a child server process
+// (TestHelperServe) so the kill takes the whole process — fsync claims are
+// only worth testing against a process that actually died.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtbase/internal/client"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mth"
+	"mtbase/internal/server"
+	"mtbase/internal/wal"
+)
+
+// testManifest is the shared shape for durability tests: tiny, two
+// tenants, no cross-tenant grants (grants themselves are part of the
+// logged workload).
+func testManifest() server.Manifest {
+	return server.Manifest{SF: 0.001, Tenants: 2, Dist: "uniform", Seed: 11, Mode: "postgres"}
+}
+
+// workload returns the i-th statement of the deterministic mixed workload
+// and the tenant that issues it. Statement kinds cycle through INSERT,
+// UPDATE and DELETE so replay exercises every DML path; every 10th
+// statement is issued by tenant 2 so replay restores per-tenant context.
+func workload(i int) (int64, string) {
+	tenant := int64(1)
+	if i%10 == 9 {
+		tenant = 2
+	}
+	key := 100000 + i
+	switch i % 3 {
+	case 0:
+		return tenant, fmt.Sprintf(
+			`INSERT INTO customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) `+
+				`VALUES (%d, 'Customer#%d', 'addr %d', %d, '11-%d', %d.25, 'BUILDING', 'recovery workload')`,
+			key, key, key, i%25, key, i*3)
+	case 1:
+		return tenant, fmt.Sprintf(
+			`UPDATE customer SET c_acctbal = c_acctbal + %d.5 WHERE c_custkey = %d`, i%7, 100000+i-1)
+	default:
+		return tenant, fmt.Sprintf(`DELETE FROM customer WHERE c_custkey = %d AND c_acctbal > %d`, 100000+i-2, i*5)
+	}
+}
+
+// stateKey renders the full query-visible customer state of both tenants
+// — row order included (heap order is query-visible for unordered scans,
+// and the engine's determinism pins it).
+func stateKey(t *testing.T, inst *mth.Instance) string {
+	t.Helper()
+	var sb strings.Builder
+	for tenant := int64(1); tenant <= 2; tenant++ {
+		conn, err := inst.Srv.Connect(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := conn.Query(`SELECT * FROM customer`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(exactKey(res))
+	}
+	return sb.String()
+}
+
+// oracle builds a clean instance from man and applies the first n workload
+// statements in process — the ground truth recovery must match.
+func oracle(t *testing.T, man server.Manifest, n int) *mth.Instance {
+	t.Helper()
+	cfg, err := man.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := mth.BuildMT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := map[int64]*middleware.Conn{}
+	for i := 0; i < n; i++ {
+		tenant, sql := workload(i)
+		c := cache[tenant]
+		if c == nil {
+			if c, err = inst.Srv.Connect(tenant); err != nil {
+				t.Fatal(err)
+			}
+			cache[tenant] = c
+		}
+		if _, err := c.Exec(sql); err != nil {
+			t.Fatalf("oracle stmt %d: %v", i, err)
+		}
+	}
+	return inst
+}
+
+func TestDurableRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	man := testManifest()
+	st, err := server.OpenStore(dir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st.Instance().Srv, st, server.Config{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	conns := map[int64]*client.Conn{}
+	for i := 0; i < n; i++ {
+		tenant, sql := workload(i)
+		c := conns[tenant]
+		if c == nil {
+			if c, err = client.Dial(addr.String(), tenant, ""); err != nil {
+				t.Fatal(err)
+			}
+			conns[tenant] = c
+		}
+		if _, err := c.Exec(sql); err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+	}
+	live := stateKey(t, st.Instance())
+	for _, c := range conns {
+		c.Close()
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := server.OpenStore(dir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Recovered() != n {
+		t.Fatalf("recovered %d records, want %d", st2.Recovered(), n)
+	}
+	if got := stateKey(t, st2.Instance()); got != live {
+		t.Fatal("recovered state differs from pre-restart state")
+	}
+	if got := stateKey(t, oracle(t, man, n)); got != live {
+		t.Fatal("recovered state differs from clean-run oracle")
+	}
+}
+
+func TestSnapshotRecoveryMatchesFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	man := testManifest()
+	st, err := server.OpenStore(dir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st.Instance().Srv, st, server.Config{AdminTenant: mth.ModellerTTID})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin, err := client.Dial(addr.String(), mth.ModellerTTID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema records mix into the log: a view and a grant, which recovery
+	// must replay even when heaps come from the snapshot.
+	if _, err := admin.Exec(`CREATE VIEW big_balance AS SELECT c_custkey, c_acctbal FROM customer WHERE c_acctbal > 1000`); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := client.Dial(addr.String(), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 16
+	for i := 0; i < half; i++ {
+		tenant, sql := workload(i)
+		if tenant != 1 {
+			continue
+		}
+		if _, err := c1.Exec(sql); err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+	}
+	if _, err := admin.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec(`GRANT READ ON DATABASE TO 2`); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < 2*half; i++ {
+		tenant, sql := workload(i)
+		if tenant != 1 {
+			continue
+		}
+		if _, err := c1.Exec(sql); err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+	}
+	live := stateKey(t, st.Instance())
+	viewRes, err := c1.Query(`SELECT COUNT(*) FROM big_balance`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	admin.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshots() != 1 {
+		t.Fatalf("snapshots taken: %d", st.Snapshots())
+	}
+
+	// Recover with the snapshot...
+	withSnap, err := server.OpenStore(dir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapState := stateKey(t, withSnap.Instance())
+	conn1, err := withSnap.Instance().Srv.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewAfter, err := conn1.Query(`SELECT COUNT(*) FROM big_balance`)
+	if err != nil {
+		t.Fatalf("view lost in recovery: %v", err)
+	}
+	withSnap.Close()
+	// ...and again with the snapshots deleted: pure WAL replay.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot files on disk")
+	}
+	for _, s := range snaps {
+		os.Remove(s)
+	}
+	noSnap, err := server.OpenStore(dir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noSnap.Close()
+	if snapState != live {
+		t.Fatal("snapshot recovery differs from pre-restart state")
+	}
+	if got := stateKey(t, noSnap.Instance()); got != snapState {
+		t.Fatal("snapshot recovery differs from full WAL replay")
+	}
+	if exactKey(viewAfter) != exactKey(viewRes) {
+		t.Fatal("view results differ after recovery")
+	}
+}
+
+func TestOnlineBackupRestores(t *testing.T) {
+	dir := t.TempDir()
+	man := testManifest()
+	st, err := server.OpenStore(dir, man, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st.Instance().Srv, st, server.Config{AdminTenant: mth.ModellerTTID})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	c1, err := client.Dial(addr.String(), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	for i := 0; i < 20; i++ {
+		if tenant, sql := workload(i); tenant == 1 {
+			if _, err := c1.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Backups are gated to the admin tenant.
+	if _, err := c1.Backup(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("non-admin backup accepted")
+	}
+	admin, err := client.Dial(addr.String(), mth.ModellerTTID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	backupDir := filepath.Join(t.TempDir(), "backup")
+	if _, err := admin.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	// More writes after the backup: the backup must restore the state as
+	// of the copy, a prefix of the live history.
+	if _, err := c1.Exec(`DELETE FROM customer WHERE c_custkey >= 100000`); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := server.OpenStore(backupDir, man, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	recs, err := wal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Recovered() >= len(recs) {
+		t.Fatalf("backup (%d records) should be a strict prefix of live (%d)", restored.Recovered(), len(recs))
+	}
+	if got := stateKey(t, restored.Instance()); got != stateKey(t, oracleBackup(t, man, restored.Recovered())) {
+		t.Fatal("restored backup differs from oracle prefix")
+	}
+}
+
+// oracleBackup replays the tenant-1-only workload prefix used by the
+// backup test.
+func oracleBackup(t *testing.T, man server.Manifest, n int) *mth.Instance {
+	t.Helper()
+	cfg, err := man.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := mth.BuildMT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := inst.Srv.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for i := 0; applied < n; i++ {
+		tenant, sql := workload(i)
+		if tenant != 1 {
+			continue
+		}
+		if _, err := conn.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+	}
+	return inst
+}
+
+// TestHelperServe is not a test: it is the child server process for
+// TestKillNineRecovers, selected via environment.
+func TestHelperServe(t *testing.T) {
+	dir := os.Getenv("MTSERVE_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKillNineRecovers")
+	}
+	st, err := server.OpenStore(dir, testManifest(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st.Instance().Srv, st, server.Config{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("HELPER_ADDR %s\n", addr)
+	os.Stdout.Sync()
+	time.Sleep(5 * time.Minute) // parent SIGKILLs long before this
+}
+
+// TestKillNineRecovers: SIGKILL the serving process mid-workload; the WAL
+// must recover exactly the acknowledged prefix, byte-identical to a clean
+// run of the same statements.
+func TestKillNineRecovers(t *testing.T) {
+	if os.Getenv("MTSERVE_HELPER_DIR") != "" {
+		t.Skip("inside helper")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperServe$", "-test.v")
+	cmd.Env = append(os.Environ(), "MTSERVE_HELPER_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	var addr string
+	scan := bufio.NewScanner(stdout)
+	for scan.Scan() {
+		if rest, ok := strings.CutPrefix(scan.Text(), "HELPER_ADDR "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("helper never printed its address")
+	}
+
+	c1, err := client.Dial(addr, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Dial(addr, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	acked := 0
+	for i := 0; i < n; i++ {
+		tenant, sql := workload(i)
+		c := c1
+		if tenant == 2 {
+			c = c2
+		}
+		if _, err := c.Exec(sql); err != nil {
+			t.Fatalf("stmt %d: %v", i, err)
+		}
+		acked++ // Exec returned: the record is fsynced
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL, no shutdown path runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	st, err := server.OpenStore(dir, testManifest(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Recovered() != acked {
+		t.Fatalf("recovered %d records, acked %d", st.Recovered(), acked)
+	}
+	if got, want := stateKey(t, st.Instance()), stateKey(t, oracle(t, testManifest(), acked)); got != want {
+		t.Fatal("state recovered after SIGKILL differs from clean-run oracle")
+	}
+}

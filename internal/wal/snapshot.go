@@ -1,0 +1,195 @@
+package wal
+
+// Heap snapshots. A snapshot captures every table's full heap (row order
+// included — row order is query-visible for unordered scans) as of one WAL
+// LSN. Thanks to the engine's copy-on-write snapshot pointers (ADR-005),
+// *taking* the consistent picture is a pointer read per table under the
+// server's write lock; the expensive serialization happens afterwards on
+// immutable data, concurrent with new writes.
+//
+// Recovery uses a snapshot to skip replaying the DML bulk: schema-class
+// records up to the snapshot LSN are replayed (they shape catalog and
+// privilege state outside the heaps), the snapshot heaps are installed
+// wholesale, and only records after the snapshot LSN replay in full.
+//
+// File format:
+//
+//	"MTSNAP1\n" | uvarint LSN | uvarint #tables
+//	  per table: string name | uvarint #rows | rows (wire value lists)
+//	| u32 crc32c over everything before it
+//
+// Files are written to a temp name, fsynced and renamed into place, so a
+// crash mid-snapshot leaves the previous snapshot authoritative.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mtbase/internal/sqltypes"
+	"mtbase/internal/wire"
+)
+
+const snapMagic = "MTSNAP1\n"
+
+// TableDump is one table's heap in a snapshot.
+type TableDump struct {
+	Name string
+	Rows [][]sqltypes.Value
+}
+
+// Snapshot is a consistent picture of every heap as of LSN.
+type Snapshot struct {
+	LSN    uint64
+	Tables []TableDump
+}
+
+// keepSnapshots is how many snapshot generations survive pruning: the new
+// one plus one predecessor, so a corrupt latest file never strands
+// recovery.
+const keepSnapshots = 2
+
+// WriteSnapshot serializes s into dir atomically and prunes old snapshot
+// generations. The Tables' row slices must be immutable while it runs —
+// engine heap snapshots are exactly that.
+func WriteSnapshot(dir string, s *Snapshot) (string, error) {
+	final := filepath.Join(dir, snapName(s.LSN))
+	tmp, err := os.CreateTemp(dir, "snap-tmp-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+
+	crc := crc32.New(crcTable)
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	write := func(p []byte) error {
+		crc.Write(p)
+		_, err := bw.Write(p)
+		return err
+	}
+
+	if err := write([]byte(snapMagic)); err != nil {
+		return "", err
+	}
+	hdr := wire.AppendUvarint(nil, s.LSN)
+	hdr = wire.AppendUvarint(hdr, uint64(len(s.Tables)))
+	if err := write(hdr); err != nil {
+		return "", err
+	}
+	var buf []byte
+	for _, t := range s.Tables {
+		buf = wire.AppendString(buf[:0], t.Name)
+		buf = wire.AppendUvarint(buf, uint64(len(t.Rows)))
+		if err := write(buf); err != nil {
+			return "", err
+		}
+		for _, row := range t.Rows {
+			buf = wire.AppendValues(buf[:0], row)
+			if err := write(buf); err != nil {
+				return "", err
+			}
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return "", err
+	}
+	if err := bw.Flush(); err != nil {
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	pruneSnapshots(dir)
+	return final, nil
+}
+
+// pruneSnapshots removes all but the newest keepSnapshots generations.
+func pruneSnapshots(dir string) {
+	lsns := snapshotLSNs(dir)
+	for i := 0; i < len(lsns)-keepSnapshots; i++ {
+		os.Remove(filepath.Join(dir, snapName(lsns[i])))
+	}
+}
+
+// snapshotLSNs lists snapshot LSNs under dir, ascending.
+func snapshotLSNs(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			lsns = append(lsns, n)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns
+}
+
+// ReadLatestSnapshot returns the newest snapshot that validates, or nil
+// when none exists. A corrupt newer file (crash mid-write never produces
+// one, but disks do) falls back to its predecessor.
+func ReadLatestSnapshot(dir string) (*Snapshot, error) {
+	lsns := snapshotLSNs(dir)
+	for i := len(lsns) - 1; i >= 0; i-- {
+		s, err := readSnapshot(filepath.Join(dir, snapName(lsns[i])))
+		if err == nil {
+			return s, nil
+		}
+	}
+	return nil, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: %s: not a snapshot", path)
+	}
+	body, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(sum) {
+		return nil, fmt.Errorf("wal: %s: checksum mismatch", path)
+	}
+	r := wire.NewReader(body[len(snapMagic):])
+	s := &Snapshot{}
+	if s.LSN, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	nt, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Tables = make([]TableDump, nt)
+	for i := range s.Tables {
+		if s.Tables[i].Name, err = r.String(); err != nil {
+			return nil, err
+		}
+		nr, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]sqltypes.Value, nr)
+		for j := range rows {
+			if rows[j], err = r.Values(); err != nil {
+				return nil, err
+			}
+		}
+		s.Tables[i].Rows = rows
+	}
+	return s, nil
+}

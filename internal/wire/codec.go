@@ -1,0 +1,215 @@
+package wire
+
+// Payload codec: append-style writers over a []byte and a cursor-style
+// Reader, mirroring the engine spill codec's bit-exactness discipline
+// (engine/spill.go): values carry a kind byte plus a kind-specific
+// payload, float payloads are raw IEEE-754 bits, and value lists encode
+// length+1 so nil stays distinct from empty.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mtbase/internal/sqltypes"
+)
+
+// ErrCorrupt reports an undecodable payload.
+var ErrCorrupt = fmt.Errorf("wire: corrupt payload")
+
+// maxWireList bounds decoded list lengths (values, rows, columns) so a
+// corrupt length prefix cannot drive an allocation of arbitrary size.
+const maxWireList = 1 << 22
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+// AppendVarint appends v in zig-zag varint encoding.
+func AppendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendValue appends the exact binary image of v: kind byte plus payload.
+// Floats travel as raw IEEE-754 bits so decoded values are bit-identical.
+func AppendValue(buf []byte, v sqltypes.Value) []byte {
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt, sqltypes.KindDate:
+		buf = binary.AppendVarint(buf, v.I)
+	case sqltypes.KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case sqltypes.KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	case sqltypes.KindBool:
+		b := byte(0)
+		if v.I != 0 {
+			b = 1
+		}
+		buf = append(buf, b)
+	case sqltypes.KindInterval:
+		buf = binary.AppendVarint(buf, v.I)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	}
+	return buf
+}
+
+// AppendValues appends a value list; length encodes len+1 so a nil slice
+// (0) stays distinct from an empty one (1).
+func AppendValues(buf []byte, vals []sqltypes.Value) []byte {
+	if vals == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(vals))+1)
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// Reader is a cursor over a payload. Decoding methods return ErrCorrupt
+// (wrapped with context) on malformed input; the zero Reader over the
+// payload slice is ready to use.
+type Reader struct {
+	buf []byte
+}
+
+// NewReader returns a Reader over payload.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Rest reports how many undecoded bytes remain.
+func (r *Reader) Rest() int { return len(r.buf) }
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// Varint decodes a zig-zag varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	l, err := r.Uvarint()
+	if err != nil || uint64(len(r.buf)) < l {
+		return "", ErrCorrupt
+	}
+	s := string(r.buf[:l])
+	r.buf = r.buf[l:]
+	return s, nil
+}
+
+// Bool decodes a 0/1 byte.
+func (r *Reader) Bool() (bool, error) {
+	b, err := r.Byte()
+	return b != 0, err
+}
+
+// Byte decodes one raw byte.
+func (r *Reader) Byte() (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, ErrCorrupt
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+// Value decodes one value.
+func (r *Reader) Value() (sqltypes.Value, error) {
+	if len(r.buf) == 0 {
+		return sqltypes.Null, ErrCorrupt
+	}
+	var v sqltypes.Value
+	v.K = sqltypes.Kind(r.buf[0])
+	r.buf = r.buf[1:]
+	switch v.K {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt, sqltypes.KindDate:
+		i, err := r.Varint()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		v.I = i
+	case sqltypes.KindFloat:
+		if len(r.buf) < 8 {
+			return sqltypes.Null, ErrCorrupt
+		}
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(r.buf))
+		r.buf = r.buf[8:]
+	case sqltypes.KindString:
+		s, err := r.String()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		v.S = s
+	case sqltypes.KindBool:
+		b, err := r.Bool()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if b {
+			v.I = 1
+		}
+	case sqltypes.KindInterval:
+		i, err := r.Varint()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if len(r.buf) < 8 {
+			return sqltypes.Null, ErrCorrupt
+		}
+		v.I = i
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(r.buf))
+		r.buf = r.buf[8:]
+	default:
+		return sqltypes.Null, ErrCorrupt
+	}
+	return v, nil
+}
+
+// Values decodes a value list (nil for the 0 sentinel).
+func (r *Reader) Values() ([]sqltypes.Value, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n-1 > maxWireList {
+		return nil, ErrCorrupt
+	}
+	vals := make([]sqltypes.Value, n-1)
+	for i := range vals {
+		if vals[i], err = r.Value(); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}

@@ -15,7 +15,11 @@
 # counter regression, not just a latency blip. BenchmarkQueryScaling's
 # workers metric records the intra-query parallelism of each point in the
 # Q1 scaling series, and BenchmarkMixedReadWrite contributes qps, p50_ms,
-# p99_ms and writes_per_sec for the read-while-writing workload. "cpus"
+# p99_ms and writes_per_sec for the read-while-writing workload.
+# BenchmarkServe contributes the same qps/p50_ms/p99_ms shape measured over
+# the mtserve wire protocol (one series per optimization level, each
+# execution a real TCP loopback round trip), so the cost of the network hop
+# is on the same trajectory as the in-process numbers. "cpus"
 # records how many CPUs the host actually had — a flat scaling series on a
 # single-CPU host is expected, not a regression. BenchmarkQuerySpill
 # contributes the memory-bound series (Q1/Q18 at unlimited, 1MB and 64KB
@@ -40,7 +44,7 @@ cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3|BenchmarkMixedReadWrite' \
+go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3|BenchmarkMixedReadWrite|BenchmarkServe' \
 	-benchtime="$benchtime" -benchmem | tee "$raw"
 
 awk -v date="$stamp" -v batch="$batch_size" -v cpus="$cpus" '
