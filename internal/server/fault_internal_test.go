@@ -1,0 +1,95 @@
+package server
+
+// Regression tests for fault paths that need package internals: admission
+// slot accounting across handshake failures, and snapshot WaitGroup
+// accounting across WAL sync failures.
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/mth"
+	"mtbase/internal/wal"
+	"mtbase/internal/wire"
+)
+
+// TestHandshakeFailureReleasesConnSlot: a client that vanishes between
+// Hello and the HelloOK flush must not leak its admission slot — with
+// TenantConns=1 a leaked slot locks the tenant out forever. net.Pipe makes
+// the flush failure deterministic: the peer closes before reading HelloOK.
+func TestHandshakeFailureReleasesConnSlot(t *testing.T) {
+	cfg := mth.Config{SF: 0.001, Tenants: 1, Dist: mth.Uniform, Seed: 1, Mode: engine.ModePostgres}
+	inst, err := mth.BuildMT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(inst.Srv, nil, Config{Limits: Limits{TenantConns: 1}})
+
+	clientSide, serverSide := net.Pipe()
+	defer serverSide.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := &session{
+		srv: srv, id: 1, nc: serverSide,
+		br: bufio.NewReader(serverSide), bw: bufio.NewWriter(serverSide),
+		ctx: ctx, cancel: cancel,
+	}
+	done := make(chan error, 1)
+	go func() { done <- sess.handshake() }()
+	hello := wire.EncodeHello(wire.Hello{Version: wire.MaxVersion, Tenant: 1})
+	if err := wire.WriteFrame(clientSide, wire.MsgHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	clientSide.Close() // vanish before reading HelloOK; the server's flush fails
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("handshake succeeded against a closed pipe")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake did not return")
+	}
+	if e := srv.adm.acquireConn(1); e != nil {
+		t.Fatalf("conn slot leaked by failed handshake: %v", e)
+	}
+	srv.adm.releaseConn(1)
+}
+
+// TestApplySyncFailureUnwindsSnapshotTrigger: a WAL sync failure on a
+// record that tripped the snapshot trigger must not strand snapWG — before
+// the fix, Store.Close (and so Server.Shutdown) deadlocked forever.
+func TestApplySyncFailureUnwindsSnapshotTrigger(t *testing.T) {
+	man := Manifest{SF: 0.001, Tenants: 1, Dist: string(mth.Uniform), Seed: 1, Mode: "postgres"}
+	st, err := OpenStore(t.TempDir(), man, 1) // snapshot after every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the segment fd. The next Append still lands in the bufio buffer
+	// and succeeds; the Sync flush then fails against the closed file.
+	if err := st.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	exec := func() (*engine.Result, error) { return &engine.Result{Affected: 1}, nil }
+	if _, err := st.Apply(wal.KindData, 1, 0, "", "INSERT INTO t VALUES (1)", nil, exec); err == nil {
+		t.Fatal("Apply acknowledged a write the log could not sync")
+	}
+	done := make(chan struct{})
+	go func() {
+		st.Close() // errors (log is dead) but must not hang on snapWG.Wait
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Store.Close deadlocked on the stranded snapshot WaitGroup")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.snapping {
+		t.Fatal("snapping flag left set by the failed trigger")
+	}
+}

@@ -181,16 +181,21 @@ func (s *session) handshake() error {
 	if e := s.srv.adm.acquireConn(hello.Tenant); e != nil {
 		return fail(e)
 	}
+	// The slot is held from here on; every error return below must give it
+	// back (run only defers releaseConn once handshake succeeds), or a
+	// client dying mid-handshake leaks a conn slot forever.
+	release := func(err error) error {
+		s.srv.adm.releaseConn(hello.Tenant)
+		return err
+	}
 	conn, err := s.srv.mw.Connect(hello.Tenant)
 	if err != nil {
-		s.srv.adm.releaseConn(hello.Tenant)
-		return fail(wireErr(wire.CodeAuth, err))
+		return release(fail(wireErr(wire.CodeAuth, err)))
 	}
 	if hello.Level != "" {
 		lv, err := optimizer.ParseLevel(hello.Level)
 		if err != nil {
-			s.srv.adm.releaseConn(hello.Tenant)
-			return fail(wireErr(wire.CodeProtocol, err))
+			return release(fail(wireErr(wire.CodeProtocol, err)))
 		}
 		conn.SetOptLevel(lv)
 	}
@@ -199,10 +204,13 @@ func (s *session) handshake() error {
 	s.stmts = make(map[uint32]*sessStmt)
 	ok := wire.EncodeHelloOK(wire.HelloOK{Version: version, Server: s.srv.cfg.Name, SessionID: s.id})
 	if !s.send(wire.MsgHelloOK, ok) {
-		return fmt.Errorf("handshake write failed")
+		return release(fmt.Errorf("handshake write failed"))
 	}
 	s.nc.SetReadDeadline(time.Time{})
-	return s.bw.Flush()
+	if err := s.bw.Flush(); err != nil {
+		return release(err)
+	}
+	return nil
 }
 
 // dispatch handles one frame, reporting whether the session survives.
@@ -475,8 +483,10 @@ func (s *session) streamRows(ctx context.Context, rows *engine.Rows) bool {
 	return s.send(wire.MsgDone, wire.EncodeDone(wire.Done{Rows: total}))
 }
 
-// sendResult ships a materialized result: row-returning ones as a
-// header + one batch, DML as a bare Done.
+// sendResult ships a materialized result: row-returning ones as a header
+// plus RowBatch frames chunked under the same bounds as streamRows (a
+// single batch could exceed MaxFrame for large results), DML as a bare
+// Done.
 func (s *session) sendResult(res *engine.Result) bool {
 	if len(res.Cols) == 0 {
 		return s.send(wire.MsgDone, wire.EncodeDone(wire.Done{Affected: int64(res.Affected)}))
@@ -484,10 +494,31 @@ func (s *session) sendResult(res *engine.Result) bool {
 	if !s.send(wire.MsgRowHeader, wire.EncodeRowHeader(wire.RowHeader{Cols: res.Cols})) {
 		return false
 	}
-	if len(res.Rows) > 0 {
-		if !s.send(wire.MsgRowBatch, wire.EncodeRowBatch(wire.RowBatch{Rows: res.Rows})) {
-			return false
+	var (
+		count int
+		body  []byte
+	)
+	flush := func() bool {
+		if count == 0 {
+			return true
 		}
+		payload := wire.AppendUvarint(make([]byte, 0, len(body)+4), uint64(count))
+		payload = append(payload, body...)
+		ok := s.send(wire.MsgRowBatch, payload)
+		count, body = 0, body[:0]
+		return ok && s.bw.Flush() == nil
+	}
+	for _, row := range res.Rows {
+		body = wire.AppendValues(body, row)
+		count++
+		if count >= batchRows || len(body) >= batchBytes {
+			if !flush() {
+				return false
+			}
+		}
+	}
+	if !flush() {
+		return false
 	}
 	return s.send(wire.MsgDone, wire.EncodeDone(wire.Done{Rows: int64(len(res.Rows))}))
 }

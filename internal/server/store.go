@@ -186,7 +186,16 @@ func (st *Store) Apply(kind wal.Kind, tenant int64, level optimizer.Level, scope
 	if err := st.log.Sync(lsn); err != nil {
 		// The statement applied in memory but is not durable; surfacing
 		// the error (instead of acknowledging) keeps the contract that
-		// every acknowledged write is recovered.
+		// every acknowledged write is recovered. A pending snapshot trigger
+		// must be unwound — its Add would never be matched by Done and
+		// Close's Wait would hang — and re-armed for the next durable record.
+		if trigger {
+			st.mu.Lock()
+			st.snapping = false
+			st.sinceSnap = st.snapEvery
+			st.mu.Unlock()
+			st.snapWG.Done()
+		}
 		return nil, err
 	}
 	if trigger {

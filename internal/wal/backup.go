@@ -12,6 +12,7 @@ package wal
 // `mtserve -data` at the backup.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -56,9 +57,15 @@ func Backup(src, dst string) (int, error) {
 	sort.Strings(snaps)
 	sort.Strings(segs) // hex LSN names sort lexically == numerically at fixed width
 	n := 0
-	for _, group := range [][]string{manifests, snaps, segs, rest} {
+	for gi, group := range [][]string{manifests, snaps, segs, rest} {
 		for _, name := range group {
 			if err := copyFile(filepath.Join(src, name), filepath.Join(dst, name)); err != nil {
+				// A snapshot listed by ReadDir may be pruned by a concurrent
+				// automatic snapshot before we open it; it was superseded by
+				// a newer generation, so skipping it keeps the backup valid.
+				if gi == 1 && errors.Is(err, os.ErrNotExist) {
+					continue
+				}
 				return n, err
 			}
 			n++
