@@ -383,6 +383,54 @@ func BenchmarkQueryScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures the conversion-intensive queries (Q1, Q6,
+// Q22) over tenant-partitioned engine shards at 1/2/4/8 shards, cross-tenant
+// scope, O4. The shards1 series is the unsharded-equivalent oracle (the
+// router passes statements straight through); the ns/op trajectory across
+// the series prices D′-routed scatter/gather — partial-agg pushdown for
+// Q1/Q6, ordered gather and the repartition fallback for Q22. One dataset
+// is generated once and re-partitioned per shard count, so every series
+// answers over identical rows.
+func BenchmarkShardScaling(b *testing.B) {
+	cfg := mth.Config{SF: 0.01, Tenants: 16, Dist: mth.Uniform, Seed: 42, Mode: engine.ModePostgres}
+	data := mth.Generate(cfg)
+	for _, nshards := range []int{1, 2, 4, 8} {
+		inst, err := mth.LoadMTSharded(data, nshards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.GrantReadTo(1); err != nil {
+			b.Fatal(err)
+		}
+		conn, err := inst.Connect(1, "IN ()")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.SetOptLevel(optimizer.O4)
+		for _, id := range []int{1, 6, 22} {
+			q, err := mth.QueryByID(cfg.SF, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/shards%d", q.Name, nshards), func(b *testing.B) {
+				// Warm plan and UDF caches on every shard so the series
+				// compares execution, not first-touch planning.
+				if _, err := mth.RunOnMT(conn, q); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mth.RunOnMT(conn, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(nshards), "shards")
+			})
+		}
+	}
+}
+
 // BenchmarkMixedReadWrite measures read throughput while writers commit
 // continuously: background goroutines insert into and update a side table
 // (publishing fresh table snapshots under DB.mu) while the measured loop

@@ -10,6 +10,7 @@
 //	mtbench -figure 5 -tenants 1,10,100,1000
 //	mtbench -all                     # everything (takes a while)
 //	mtbench -table 3 -parallelism 4  # intra-query parallel scans
+//	mtbench -table 5 -shards 4       # tenant-partitioned scatter/gather
 //	mtbench -table 3 -memlimit 64KB  # bounded memory: statements spill to disk
 //	mtbench -mixed -concurrency 4 -parallelism 2 -ops 200
 //	mtbench -serve -concurrency 4 -ops 100
@@ -52,6 +53,7 @@ func main() {
 		printBatch  = flag.Bool("print-batch-size", false, "print the engine's execution batch size and exit")
 		noPlanCache = flag.Bool("no-plan-cache", false, "disable the statement plan caches (A/B the pre-cache behaviour)")
 		parallelism = flag.Int("parallelism", 0, "intra-query worker count (0 = engine default GOMAXPROCS, 1 = serial)")
+		shards      = flag.Int("shards", 1, "tenant-partitioned engine shards for tables/figures (1 = unsharded)")
 		memlimit    = flag.String("memlimit", "", "per-statement memory cap, e.g. 64KB, 1MB (empty = unlimited; capped statements spill to disk)")
 		mixed       = flag.Bool("mixed", false, "run the mixed read/write throughput mode")
 		concurrency = flag.Int("concurrency", 1, "concurrent reader connections for -mixed/-serve")
@@ -163,6 +165,7 @@ func main() {
 		spec.NoPlanCache = *noPlanCache
 		spec.Parallelism = *parallelism
 		spec.MemLimit = memBytes
+		spec.Shards = *shards
 		if *dist != "" {
 			spec.Dist = mth.Distribution(*dist)
 		}
@@ -181,6 +184,7 @@ func main() {
 		spec.Repeats = *repeats
 		spec.Parallelism = *parallelism
 		spec.MemLimit = memBytes
+		spec.Shards = *shards
 		if len(queryIDs) > 0 {
 			spec.QueryIDs = queryIDs
 		}

@@ -5,6 +5,7 @@
 //	mtserve -addr :7687 -sf 0.01 -tenants 5                 # ephemeral
 //	mtserve -data /var/lib/mtbase -snapshot-every 4096      # durable
 //	mtserve -data dir -rate 100 -inflight 4 -tenant-conns 8 # admission limits
+//	mtserve -shards 4 -sf 0.01 -tenants 16                  # tenant-partitioned
 //
 // With -data, the first start writes MANIFEST.json and an empty WAL; later
 // starts recover the exact acknowledged state by rebuilding the manifest's
@@ -26,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"mtbase/internal/engine"
 	"mtbase/internal/mth"
 	"mtbase/internal/server"
 )
@@ -41,6 +43,7 @@ func main() {
 		grantAll  = flag.Bool("grant-all", true, "grant every tenant read access to every tenant (the paper's evaluation setup)")
 		data      = flag.String("data", "", "durability directory (empty = ephemeral, no WAL)")
 		snapEvery = flag.Int("snapshot-every", 4096, "records between automatic snapshots (0 disables)")
+		shards    = flag.Int("shards", 1, "number of tenant-partitioned engine shards (1 = unsharded)")
 
 		maxConns    = flag.Int("max-conns", 0, "max concurrent connections (0 = unlimited)")
 		tenantConns = flag.Int("tenant-conns", 0, "max concurrent connections per tenant (0 = unlimited)")
@@ -60,6 +63,55 @@ func main() {
 
 	man := server.Manifest{
 		SF: *sf, Tenants: *tenants, Dist: *dist, Seed: *seed, Mode: *mode, GrantAll: *grantAll,
+	}
+
+	limits := server.Limits{
+		MaxConns: *maxConns, TenantConns: *tenantConns,
+		StmtRate: *rate, StmtBurst: *burst,
+		TenantInflight: *inflight, MaxStmtWait: *stmtWait,
+	}
+
+	if *shards > 1 {
+		if *data != "" {
+			log.Fatal("-shards and -data are mutually exclusive: durability is an unsharded-tier feature")
+		}
+		cfg, err := man.Config()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinst, err := mth.BuildMTSharded(cfg, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *grantAll {
+			for t := int64(1); t <= int64(cfg.Tenants); t++ {
+				if err := sinst.GrantReadTo(t); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		dbs := make([]*engine.DB, 0, *shards+1)
+		for _, mw := range sinst.Srv.Shards() {
+			dbs = append(dbs, mw.DB())
+		}
+		dbs = append(dbs, sinst.Srv.Replica().DB())
+		for _, db := range dbs {
+			if *memLimit > 0 {
+				db.SetMemoryLimit(*memLimit)
+			}
+			if *spillDir != "" {
+				db.SetSpillDir(*spillDir)
+			}
+			if *parallelism > 0 {
+				db.SetParallelism(*parallelism)
+			}
+		}
+		log.Printf("sharded: shards=%d sf=%g tenants=%d mode=%s", *shards, *sf, *tenants, *mode)
+		srv := server.NewSharded(sinst.Srv, server.Config{
+			AdminTenant: mth.ModellerTTID, Limits: limits,
+		})
+		serveUntilSignal(srv, *addr, *drain)
+		return
 	}
 
 	var (
@@ -107,14 +159,14 @@ func main() {
 	}
 
 	srv := server.New(inst.Srv, store, server.Config{
-		AdminTenant: mth.ModellerTTID,
-		Limits: server.Limits{
-			MaxConns: *maxConns, TenantConns: *tenantConns,
-			StmtRate: *rate, StmtBurst: *burst,
-			TenantInflight: *inflight, MaxStmtWait: *stmtWait,
-		},
+		AdminTenant: mth.ModellerTTID, Limits: limits,
 	})
-	bound, err := srv.Listen(*addr)
+	serveUntilSignal(srv, *addr, *drain)
+}
+
+// serveUntilSignal listens, blocks for SIGINT/SIGTERM, then drains.
+func serveUntilSignal(srv *server.Server, addr string, drain time.Duration) {
+	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,8 +175,8 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	sig := <-sigc
-	log.Printf("%s: draining (timeout %s)", sig, *drain)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("%s: draining (timeout %s)", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)

@@ -16,11 +16,13 @@
 //	\exec name [args]    execute a prepared statement with bind values
 //	                     (numbers, 'strings', dates as 'YYYY-MM-DD', null)
 //	\stats               print engine/middleware/server counters
+//	\shards              print the tenant placement map and per-shard row counts
 //	\q                   quit
 //
 // Example sessions:
 //
 //	mtsh -sf 0.005 -tenants 5
+//	mtsh -shards 4 -tenants 16
 //	mtsh -connect localhost:7687 -c 2
 //	mtsql(C=1)> SET SCOPE = "IN ()";
 //	mtsql(C=1)> SELECT COUNT(*) FROM customer;
@@ -39,6 +41,7 @@ import (
 	"mtbase/internal/middleware"
 	"mtbase/internal/mth"
 	"mtbase/internal/optimizer"
+	"mtbase/internal/shard"
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
 	"mtbase/internal/sqltypes"
@@ -84,6 +87,7 @@ func main() {
 		tenants = flag.Int("tenants", 5, "number of tenants (in-process)")
 		ttid    = flag.Int64("c", 1, "client tenant C")
 		mode    = flag.String("mode", "postgres", "engine mode (postgres|system-c, in-process)")
+		shards  = flag.Int("shards", 1, "tenant-partitioned engine shards (in-process, 1 = unsharded)")
 	)
 	flag.Parse()
 
@@ -91,16 +95,16 @@ func main() {
 		be  backend
 		err error
 	)
-	if *connect != "" {
+	switch {
+	case *connect != "":
 		be, err = dialRemote(*connect, *ttid, optimizer.O4)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
+	case *shards > 1:
+		be, err = buildSharded(*sf, *tenants, *mode, *shards, *ttid)
+	default:
 		be, err = buildLocal(*sf, *tenants, *mode, *ttid)
-		if err != nil {
-			fatal(err)
-		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -200,6 +204,85 @@ func (b *localBackend) Stats() ([]string, error) {
 		fmt.Sprintf("middleware.rewrite_cache_hits %d", hits),
 		fmt.Sprintf("middleware.rewrite_cache_misses %d", misses),
 	}, nil
+}
+
+// shardInfo is the optional backend surface behind \shards.
+type shardInfo interface {
+	ShardInfo() ([]string, error)
+}
+
+// shardedBackend runs statements on an in-process tenant-partitioned
+// instance: single-tenant statements hit one shard, cross-tenant ones
+// scatter/gather.
+type shardedBackend struct {
+	inst *mth.ShardedInstance
+	conn *shard.Conn
+}
+
+func buildSharded(sf float64, tenants int, mode string, nshards int, ttid int64) (backend, error) {
+	m := engine.ModePostgres
+	if mode == "system-c" {
+		m = engine.ModeSystemC
+	}
+	fmt.Fprintf(os.Stderr, "loading MT-H sf=%g T=%d over %d shards ...\n", sf, tenants, nshards)
+	inst, err := mth.BuildMTSharded(mth.Config{SF: sf, Tenants: tenants, Dist: mth.Uniform, Seed: 42, Mode: m}, nshards)
+	if err != nil {
+		return nil, err
+	}
+	for t := int64(1); t <= int64(tenants); t++ {
+		if err := inst.GrantReadTo(t); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := inst.Srv.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedBackend{inst: inst, conn: conn}, nil
+}
+
+func (b *shardedBackend) C() int64                                { return b.conn.C() }
+func (b *shardedBackend) Exec(sql string) (*engine.Result, error) { return b.conn.Exec(sql) }
+func (b *shardedBackend) Stream(sql string) (rowStream, error)    { return b.conn.QueryRows(sql) }
+func (b *shardedBackend) Prepare(sql string) (prepStmt, error)    { return b.conn.Prepare(sql) }
+func (b *shardedBackend) SetLevel(l optimizer.Level) error        { b.conn.SetOptLevel(l); return nil }
+
+func (b *shardedBackend) Explain(sql string) (string, error) {
+	rewritten, err := b.conn.RewriteSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	return rewritten.String(), nil
+}
+
+func (b *shardedBackend) Reconnect(ttid int64) (backend, error) {
+	next, err := b.inst.Srv.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	next.SetOptLevel(b.conn.OptLevel())
+	return &shardedBackend{inst: b.inst, conn: next}, nil
+}
+
+func (b *shardedBackend) Stats() ([]string, error) {
+	stats := b.inst.Srv.StatLines()
+	lines := make([]string, len(stats))
+	for i, st := range stats {
+		lines[i] = fmt.Sprintf("%s %d", st.Name, st.Value)
+	}
+	return lines, nil
+}
+
+func (b *shardedBackend) ShardInfo() ([]string, error) {
+	srv := b.inst.Srv
+	lines := []string{fmt.Sprintf("shards %d (placement: tenant -> shard)", srv.NumShards())}
+	for _, ts := range srv.PlacementMap() {
+		lines = append(lines, fmt.Sprintf("tenant %d -> shard %d", ts.Tenant, ts.Shard))
+	}
+	for rank, n := range srv.RowCounts() {
+		lines = append(lines, fmt.Sprintf("shard %d: %d tenant rows", rank, n))
+	}
+	return lines, nil
 }
 
 // remoteBackend runs statements over the mtserve wire protocol.
@@ -349,6 +432,20 @@ func metaCommand(be *backend, prepared map[string]prepStmt, cmd string) bool {
 		fmt.Println(rewritten)
 	case "\\stats":
 		lines, err := (*be).Stats()
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "\\shards":
+		si, ok := (*be).(shardInfo)
+		if !ok {
+			fmt.Println("not a sharded session (start mtsh with -shards N)")
+			return false
+		}
+		lines, err := si.ShardInfo()
 		if err != nil {
 			fmt.Println(err)
 			return false

@@ -44,6 +44,11 @@ type OptSpec struct {
 	// unlimited default); capped runs overflow sort buffers, group
 	// tables and join builds to disk and the table reports what spilled.
 	MemLimit int64
+
+	// Shards partitions tenants over N engine shards (0/1 = unsharded);
+	// the table then measures the D′-routed scatter/gather path, with
+	// engine counters summed over shards and the gather replica.
+	Shards int
 }
 
 // Levels evaluated in every table (Table 6 of the paper).
@@ -86,28 +91,94 @@ func (s OptSpec) queryIDs() []int {
 	return ids
 }
 
+// session is the measured surface: a middleware.Conn or a shard.Conn.
+type session interface {
+	SetOptLevel(optimizer.Level)
+	Exec(sql string) (*engine.Result, error)
+}
+
+// buildMTSession stands up the measured deployment — unsharded, or with
+// nshards > 1 partitioned over engine shards — applying the spec's engine
+// knobs everywhere, and returns the session plus every engine DB involved
+// so counters can be aggregated across shards and the gather replica.
+func buildMTSession(cfg mth.Config, nshards int, c int64, scope string,
+	noPlanCache bool, parallelism int, memLimit int64) (session, []*engine.DB, error) {
+	data := mth.Generate(cfg)
+	var (
+		conn    session
+		servers []*middleware.Server
+	)
+	if nshards > 1 {
+		inst, err := mth.LoadMTSharded(data, nshards)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := inst.GrantReadTo(c); err != nil {
+			return nil, nil, err
+		}
+		if conn, err = inst.Connect(c, scope); err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, inst.Srv.Shards()...)
+		servers = append(servers, inst.Srv.Replica())
+	} else {
+		inst, err := mth.LoadMT(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := inst.GrantReadTo(c); err != nil {
+			return nil, nil, err
+		}
+		if conn, err = inst.Connect(c, scope); err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, inst.Srv)
+	}
+	dbs := make([]*engine.DB, 0, len(servers))
+	for _, mw := range servers {
+		if noPlanCache {
+			mw.SetStatementCaching(false)
+		}
+		db := mw.DB()
+		if parallelism > 0 {
+			db.SetParallelism(parallelism)
+		}
+		if memLimit > 0 {
+			db.SetMemoryLimit(memLimit)
+		}
+		dbs = append(dbs, db)
+	}
+	return conn, dbs, nil
+}
+
+// resetStats zeroes and sumStats aggregates counters over every measured DB.
+func resetStats(dbs []*engine.DB) {
+	for _, db := range dbs {
+		db.Stats = engine.Stats{}
+	}
+}
+
+func sumStats(dbs []*engine.DB) engine.Stats {
+	var total engine.Stats
+	for _, db := range dbs {
+		st := db.Stats.Snapshot()
+		total.UDFCalls += st.UDFCalls
+		total.PlanCacheHits += st.PlanCacheHits
+		total.PlanCacheMisses += st.PlanCacheMisses
+		total.SpillRuns += st.SpillRuns
+		if st.PeakMemBytes > total.PeakMemBytes {
+			total.PeakMemBytes = st.PeakMemBytes
+		}
+	}
+	return total
+}
+
 // RunOptLevels builds the MT-H instance and the plain baseline, then
 // measures every query at every optimization level.
 func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 	cfg := mth.Config{SF: spec.SF, Tenants: spec.Tenants, Dist: spec.Dist, Seed: 42, Mode: spec.Mode}
-	data := mth.Generate(cfg)
-	inst, err := mth.LoadMT(data)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.GrantReadTo(spec.C); err != nil {
-		return nil, err
-	}
-	if spec.NoPlanCache {
-		inst.Srv.SetStatementCaching(false)
-	}
-	if spec.Parallelism > 0 {
-		inst.Srv.DB().SetParallelism(spec.Parallelism)
-	}
-	if spec.MemLimit > 0 {
-		inst.Srv.DB().SetMemoryLimit(spec.MemLimit)
-	}
-	conn, err := inst.Connect(spec.C, spec.Scope)
+	conn, dbs, err := buildMTSession(cfg, spec.Shards, spec.C, spec.Scope,
+		spec.NoPlanCache, spec.Parallelism, spec.MemLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -150,16 +221,15 @@ func RunOptLevels(spec OptSpec, progress io.Writer) (*OptResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			db := inst.Srv.DB()
-			db.Stats = engine.Stats{}
+			resetStats(dbs)
 			secs, allocs, err := timeMT(conn, q, spec.repeats())
 			if err != nil {
 				return nil, fmt.Errorf("%s Q%d at %s: %w", spec.Label, id, level, err)
 			}
 			// Counters are updated with sync/atomic by the engine; read them
-			// through a Snapshot copy rather than plain field loads (mtlint
+			// through Snapshot copies rather than plain field loads (mtlint
 			// atomicstats — plain reads race with any still-parallel work).
-			st := db.Stats.Snapshot()
+			st := sumStats(dbs)
 			res.Times[level] = append(res.Times[level], secs)
 			res.UDFCalls[level] = append(res.UDFCalls[level], st.UDFCalls)
 			res.Allocs[level] = append(res.Allocs[level], allocs)
@@ -201,7 +271,7 @@ func timePlain(db *engine.DB, q mth.Query, repeats int) (float64, uint64, error)
 	return last, allocs, nil
 }
 
-func timeMT(conn *middleware.Conn, q mth.Query, repeats int) (float64, uint64, error) {
+func timeMT(conn mth.Session, q mth.Query, repeats int) (float64, uint64, error) {
 	var last float64
 	var allocs uint64
 	for i := 0; i < repeats; i++ {
@@ -219,8 +289,12 @@ func timeMT(conn *middleware.Conn, q mth.Query, repeats int) (float64, uint64, e
 // WriteTable renders the result in the paper's layout: one row per level,
 // one column per query, seconds with two significant digits.
 func (r *OptResult) WriteTable(w io.Writer) {
-	fmt.Fprintf(w, "%s: response times [sec], sf=%g, T=%d, dist=%s, mode=%s, C=%d, D=%q\n",
+	fmt.Fprintf(w, "%s: response times [sec], sf=%g, T=%d, dist=%s, mode=%s, C=%d, D=%q",
 		r.Spec.Label, r.Spec.SF, r.Spec.Tenants, r.Spec.Dist, r.Spec.Mode, r.Spec.C, r.Spec.Scope)
+	if r.Spec.Shards > 1 {
+		fmt.Fprintf(w, ", shards=%d", r.Spec.Shards)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-10s", "Level")
 	for _, id := range r.QueryIDs {
 		fmt.Fprintf(w, " %8s", fmt.Sprintf("Q%02d", id))
@@ -309,6 +383,7 @@ type ScaleSpec struct {
 	Repeats      int
 	Parallelism  int   // intra-query workers; 0 = engine default
 	MemLimit     int64 // per-statement memory cap in bytes; 0 = unlimited
+	Shards       int   // tenant-partitioned engine shards; 0/1 = unsharded
 }
 
 // ScaleResult holds response times relative to plain TPC-H (= 1.0).
@@ -357,22 +432,10 @@ func RunScaling(spec ScaleSpec, progress io.Writer) (*ScaleResult, error) {
 
 	for _, tcount := range spec.TenantCounts {
 		cfg := mth.Config{SF: spec.SF, Tenants: tcount, Dist: spec.Dist, Seed: 42, Mode: spec.Mode}
-		inst, err := mth.LoadMT(mth.Generate(cfg))
+		conn, _, err := buildMTSession(cfg, spec.Shards, 1, "IN ()",
+			false, spec.Parallelism, spec.MemLimit)
 		if err != nil {
 			return nil, err
-		}
-		if err := inst.GrantReadTo(1); err != nil {
-			return nil, err
-		}
-		conn, err := inst.Connect(1, "IN ()")
-		if err != nil {
-			return nil, err
-		}
-		if spec.Parallelism > 0 {
-			inst.Srv.DB().SetParallelism(spec.Parallelism)
-		}
-		if spec.MemLimit > 0 {
-			inst.Srv.DB().SetMemoryLimit(spec.MemLimit)
 		}
 		for _, level := range scaleLevels {
 			conn.SetOptLevel(level)

@@ -26,6 +26,15 @@ import (
 	"mtbase/internal/sqltypes"
 )
 
+// rowSource is an external row supplier a Rows can wrap (gather.go):
+// next returns the following row (nil on exhaustion), close releases the
+// source and every resource behind it. Both are called by the single
+// cursor consumer only.
+type rowSource interface {
+	next() ([]sqltypes.Value, error)
+	close()
+}
+
 // Rows is a forward-only cursor over a query result.
 type Rows struct {
 	cols []string
@@ -40,6 +49,11 @@ type Rows struct {
 	// Materialized mode (SetStreamExec(false)): every row precomputed.
 	buf    [][]sqltypes.Value
 	bufPos int
+
+	// External-source mode (gather.go): rows come from a rowSource —
+	// a scatter/gather tree over other cursors rather than an operator
+	// tree of this engine.
+	src rowSource
 
 	cur    []sqltypes.Value
 	err    error
@@ -64,6 +78,11 @@ func (r *Rows) Close() error {
 	if r.root != nil {
 		r.root.Close()
 	}
+	if r.src != nil {
+		// Cancels and joins the source's feeders: by the time Close
+		// returns, every child cursor is closed and its spills released.
+		r.src.close()
+	}
 	if r.ex != nil {
 		// Backstop: remove any spill file an errored or abandoned subtree
 		// left behind (operator Close handles the common case).
@@ -85,6 +104,20 @@ func (r *Rows) Row() []sqltypes.Value { return r.cur }
 func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
+	}
+	if r.src != nil {
+		row, err := r.src.next()
+		if err != nil {
+			r.err = err
+			r.Close()
+			return false
+		}
+		if row == nil {
+			r.Close()
+			return false
+		}
+		r.cur = row
+		return true
 	}
 	if r.root == nil {
 		if r.bufPos >= len(r.buf) {
@@ -183,7 +216,7 @@ func (r *Rows) Scan(dest ...any) error {
 func (r *Rows) Collect() (*Result, error) {
 	defer r.Close()
 	res := &Result{Cols: r.cols}
-	if r.root == nil && r.bufPos == 0 && r.err == nil && !r.closed {
+	if r.root == nil && r.src == nil && r.bufPos == 0 && r.err == nil && !r.closed {
 		// Materialized cursor, untouched: hand the buffer over wholesale.
 		res.Rows = r.buf
 		r.buf = nil

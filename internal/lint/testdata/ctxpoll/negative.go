@@ -48,6 +48,29 @@ func (o *delegatingOperator) Next(ex *exec) (*Batch, error) {
 	return o.child.Next(ex)
 }
 
+// gatherOperator is the scatter/gather idiom from the shard router: Next
+// receives batches that feeder goroutines push onto a channel, and the
+// receive races ctx.Done() so a cancelled statement stops the gather even
+// when every feeder has stalled.
+type gatherOperator struct {
+	results chan *Batch
+}
+
+func (o *gatherOperator) Open(ex *exec) error { return nil }
+func (o *gatherOperator) Close()              {}
+
+func (o *gatherOperator) Next(ex *exec) (*Batch, error) {
+	select {
+	case b, ok := <-o.results:
+		if !ok {
+			return nil, nil
+		}
+		return b, nil
+	case <-ex.ctx.Done():
+		return nil, ex.ctx.Err()
+	}
+}
+
 type helperOperator struct {
 	done bool
 }

@@ -41,3 +41,21 @@ func (o *spinOperator) Next(ex *exec) (*Batch, error) { // want "no cancellation
 	}
 	return b, nil
 }
+
+// blindGatherOperator drains a feeder channel with a bare receive: if the
+// feeders stall (or never close the channel after an error), a cancelled
+// statement blocks forever — the gather must race ctx.Done().
+type blindGatherOperator struct {
+	results chan *Batch
+}
+
+func (o *blindGatherOperator) Open(ex *exec) error { return nil }
+func (o *blindGatherOperator) Close()              {}
+
+func (o *blindGatherOperator) Next(ex *exec) (*Batch, error) { // want "no cancellation check"
+	b, ok := <-o.results
+	if !ok {
+		return nil, nil
+	}
+	return b, nil
+}

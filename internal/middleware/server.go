@@ -769,3 +769,21 @@ func (c *Conn) RewriteOnly(q *sqlast.Select) (*sqlast.Select, error) {
 	}
 	return optimizer.Optimize(ctx, rewritten, c.level)
 }
+
+// TenantSpecificTables exposes tenantSpecificTables for layered
+// deployments: the sharding layer (internal/shard) classifies and routes
+// statements by the same table set the rewrite prunes privileges over.
+func TenantSpecificTables(q *sqlast.Select) []string {
+	return tenantSpecificTables(q)
+}
+
+// ResolveScope materializes the session's dataset D without privilege
+// pruning: the default scope {C}, a simple IN list, all registered tenants
+// (all=true) for the empty IN list, or the evaluated complex scope query.
+// The sharding layer uses it to pre-resolve scope-dependent DDL (views,
+// grants to ALL) once, globally, before fanning the statement out — each
+// shard evaluating a complex scope against its own partition would
+// diverge.
+func (c *Conn) ResolveScope() ([]int64, bool, error) {
+	return c.resolveScope()
+}

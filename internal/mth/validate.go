@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"mtbase/internal/engine"
-	"mtbase/internal/middleware"
 	"mtbase/internal/optimizer"
 	"mtbase/internal/sqltypes"
 )
@@ -32,8 +31,14 @@ func RunOnPlain(db *engine.DB, q Query) (*engine.Result, error) {
 	return res, nil
 }
 
-// RunOnMT executes a query through the middleware session.
-func RunOnMT(conn *middleware.Conn, q Query) (*engine.Result, error) {
+// Session is the statement-execution surface RunOnMT needs — satisfied by
+// both middleware.Conn (unsharded) and shard.Conn (sharded).
+type Session interface {
+	Exec(sql string) (*engine.Result, error)
+}
+
+// RunOnMT executes a query through a middleware or sharded session.
+func RunOnMT(conn Session, q Query) (*engine.Result, error) {
 	for _, s := range q.Setup {
 		if _, err := conn.Exec(s); err != nil {
 			return nil, fmt.Errorf("mth: Q%d setup: %w", q.ID, err)

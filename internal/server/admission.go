@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,15 +44,40 @@ type tenantAdm struct {
 	last     time.Time
 }
 
+// shardAdm accumulates statement-admission outcomes for one shard rank, so
+// an operator can see which partition a noisy tenant's pressure lands on.
+type shardAdm struct {
+	inflight     int
+	admitted     int64
+	rateWaits    int64
+	quotaRejects int64
+}
+
 type admission struct {
 	lim     Limits
+	shardOf func(int64) int // tenant → shard rank; nil = unsharded (rank 0)
 	mu      sync.Mutex
 	conns   int
 	tenants map[int64]*tenantAdm
+	shards  map[int]*shardAdm
 }
 
-func newAdmission(lim Limits) *admission {
-	return &admission{lim: lim, tenants: make(map[int64]*tenantAdm)}
+func newAdmission(lim Limits, shardOf func(int64) int) *admission {
+	return &admission{lim: lim, shardOf: shardOf,
+		tenants: make(map[int64]*tenantAdm), shards: make(map[int]*shardAdm)}
+}
+
+func (a *admission) shardLocked(t int64) *shardAdm {
+	rank := 0
+	if a.shardOf != nil {
+		rank = a.shardOf(t)
+	}
+	sa := a.shards[rank]
+	if sa == nil {
+		sa = &shardAdm{}
+		a.shards[rank] = sa
+	}
+	return sa
 }
 
 func (a *admission) tenant(t int64) *tenantAdm {
@@ -110,13 +136,17 @@ func (a *admission) acquireStmt(ctx context.Context, t int64) *wire.Err {
 	for {
 		a.mu.Lock()
 		ta := a.tenant(t)
+		sa := a.shardLocked(t)
 		if a.lim.TenantInflight > 0 && ta.inflight >= a.lim.TenantInflight {
+			sa.quotaRejects++
 			a.mu.Unlock()
 			return &wire.Err{Code: wire.CodeQuota,
 				Message: fmt.Sprintf("tenant %d statement quota %d reached", t, a.lim.TenantInflight)}
 		}
 		if a.lim.StmtRate <= 0 {
 			ta.inflight++
+			sa.inflight++
+			sa.admitted++
 			a.mu.Unlock()
 			return nil
 		}
@@ -125,9 +155,12 @@ func (a *admission) acquireStmt(ctx context.Context, t int64) *wire.Err {
 		if ta.tokens >= 1 {
 			ta.tokens--
 			ta.inflight++
+			sa.inflight++
+			sa.admitted++
 			a.mu.Unlock()
 			return nil
 		}
+		sa.rateWaits++
 		wait := time.Duration((1 - ta.tokens) / a.lim.StmtRate * float64(time.Second))
 		a.mu.Unlock()
 		if now.Add(wait).After(deadline) {
@@ -148,4 +181,29 @@ func (a *admission) releaseStmt(t int64) {
 	if ta := a.tenants[t]; ta != nil {
 		ta.inflight--
 	}
+	a.shardLocked(t).inflight--
+}
+
+// statPairs reports per-shard admission counters in rank order. Unsharded
+// servers attribute everything to rank 0.
+func (a *admission) statPairs() []wire.StatPair {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ranks := make([]int, 0, len(a.shards))
+	for r := range a.shards {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	pairs := make([]wire.StatPair, 0, 4*len(ranks))
+	for _, r := range ranks {
+		sa := a.shards[r]
+		prefix := fmt.Sprintf("admission.shard%d.", r)
+		pairs = append(pairs,
+			wire.StatPair{Name: prefix + "admitted", Value: sa.admitted},
+			wire.StatPair{Name: prefix + "inflight", Value: int64(sa.inflight)},
+			wire.StatPair{Name: prefix + "rate_waits", Value: sa.rateWaits},
+			wire.StatPair{Name: prefix + "quota_rejects", Value: sa.quotaRejects},
+		)
+	}
+	return pairs
 }

@@ -1,0 +1,110 @@
+package server
+
+// Backend abstracts the query-processing tier a Server fronts: the
+// unsharded middleware or the tenant-partitioned shard router
+// (internal/shard). Sessions talk only to these three interfaces, so the
+// wire behavior — streaming, cancellation, prepared statements, typed
+// errors — is identical over either tier; the differential server suite
+// leans on that.
+
+import (
+	"context"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/optimizer"
+	"mtbase/internal/shard"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/wire"
+)
+
+// Backend opens tenant sessions and reports tier-level counters.
+type Backend interface {
+	Connect(ttid int64) (BackendConn, error)
+	StatPairs() []wire.StatPair
+}
+
+// BackendConn is one tenant-bound session of the tier — the subset of
+// middleware.Conn / shard.Conn the server needs.
+type BackendConn interface {
+	SetOptLevel(optimizer.Level)
+	OptLevel() optimizer.Level
+	QueryContext(ctx context.Context, sql string, args ...any) (*engine.Rows, error)
+	ExecContext(ctx context.Context, sql string, args ...any) (*engine.Result, error)
+	RewriteSQL(sql string) (*sqlast.Select, error)
+	Prepare(sql string) (BackendStmt, error)
+}
+
+// BackendStmt is one prepared statement of the tier.
+type BackendStmt interface {
+	NumParams() int
+	SQL() string
+	IsQuery() bool
+	Close() error
+	QueryContext(ctx context.Context, args ...any) (*engine.Rows, error)
+	ExecContext(ctx context.Context, args ...any) (*engine.Result, error)
+}
+
+// ---------------------------------------------------------------- middleware
+
+// mwBackend fronts one middleware.Server (the unsharded tier).
+type mwBackend struct{ mw *middleware.Server }
+
+func (b mwBackend) Connect(ttid int64) (BackendConn, error) {
+	c, err := b.mw.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	return mwConn{c}, nil
+}
+
+func (b mwBackend) StatPairs() []wire.StatPair {
+	es := b.mw.DB().Stats.Snapshot()
+	rwHits, rwMisses := b.mw.RewriteCacheStats()
+	return []wire.StatPair{
+		{Name: "engine.udf_calls", Value: es.UDFCalls},
+		{Name: "engine.udf_cache_hits", Value: es.UDFCacheHits},
+		{Name: "engine.plan_cache_hits", Value: es.PlanCacheHits},
+		{Name: "engine.plan_cache_misses", Value: es.PlanCacheMisses},
+		{Name: "engine.plan_cache_invalidations", Value: es.PlanCacheInvalidations},
+		{Name: "engine.rows_streamed", Value: es.RowsStreamed},
+		{Name: "engine.peak_batch", Value: es.PeakBatch},
+		{Name: "engine.spill_runs", Value: es.SpillRuns},
+		{Name: "engine.spill_bytes", Value: es.SpillBytes},
+		{Name: "engine.peak_mem_bytes", Value: es.PeakMemBytes},
+		{Name: "middleware.rewrite_cache_hits", Value: rwHits},
+		{Name: "middleware.rewrite_cache_misses", Value: rwMisses},
+	}
+}
+
+// mwConn adapts *middleware.Conn; only Prepare needs the wrapper (Go has
+// no covariant returns).
+type mwConn struct{ *middleware.Conn }
+
+func (c mwConn) Prepare(sql string) (BackendStmt, error) { return c.Conn.Prepare(sql) }
+
+// ---------------------------------------------------------------- sharded
+
+// shardBackend fronts a shard.Server (the tenant-partitioned tier).
+type shardBackend struct{ ss *shard.Server }
+
+func (b shardBackend) Connect(ttid int64) (BackendConn, error) {
+	c, err := b.ss.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	return shardConn{c}, nil
+}
+
+func (b shardBackend) StatPairs() []wire.StatPair {
+	lines := b.ss.StatLines()
+	pairs := make([]wire.StatPair, len(lines))
+	for i, l := range lines {
+		pairs[i] = wire.StatPair{Name: l.Name, Value: l.Value}
+	}
+	return pairs
+}
+
+type shardConn struct{ *shard.Conn }
+
+func (c shardConn) Prepare(sql string) (BackendStmt, error) { return c.Conn.Prepare(sql) }

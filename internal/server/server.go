@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"mtbase/internal/middleware"
+	"mtbase/internal/shard"
 )
 
 func newReader(nc net.Conn) *bufio.Reader { return bufio.NewReaderSize(nc, 64<<10) }
@@ -36,10 +37,10 @@ type Config struct {
 
 // Server accepts connections and runs sessions until Shutdown.
 type Server struct {
-	mw    *middleware.Server
-	store *Store // nil = ephemeral
-	cfg   Config
-	adm   *admission
+	backend Backend
+	store   *Store // nil = ephemeral
+	cfg     Config
+	adm     *admission
 
 	mu         sync.Mutex
 	cond       *sync.Cond // signalled when inflight hits zero
@@ -58,8 +59,21 @@ func New(mw *middleware.Server, store *Store, cfg Config) *Server {
 	if cfg.Name == "" {
 		cfg.Name = "mtserve/1"
 	}
-	s := &Server{mw: mw, store: store, cfg: cfg, adm: newAdmission(cfg.Limits),
-		sessions: make(map[uint64]*session)}
+	s := &Server{backend: mwBackend{mw}, store: store, cfg: cfg,
+		adm: newAdmission(cfg.Limits, nil), sessions: make(map[uint64]*session)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// NewSharded fronts a tenant-partitioned shard.Server. Sharded servers are
+// ephemeral — durability (WAL + snapshots) is an unsharded-tier feature —
+// and admission attributes per-tenant counters to the owning shard.
+func NewSharded(ss *shard.Server, cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "mtserve/1"
+	}
+	s := &Server{backend: shardBackend{ss}, cfg: cfg,
+		adm: newAdmission(cfg.Limits, ss.ShardOf), sessions: make(map[uint64]*session)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"mtbase/internal/engine"
-	"mtbase/internal/middleware"
 	"mtbase/internal/optimizer"
 	"mtbase/internal/sqlast"
 	"mtbase/internal/sqlparse"
@@ -43,7 +42,7 @@ type frame struct {
 }
 
 type sessStmt struct {
-	st      *middleware.Stmt
+	st      BackendStmt
 	args    []sqltypes.Value
 	bound   bool
 	bindErr *wire.Err // deterministic failure replayed to the pipelined Execute
@@ -59,7 +58,7 @@ type session struct {
 	cancel context.CancelFunc
 
 	tenant int64
-	conn   *middleware.Conn
+	conn   BackendConn
 	scope  string // verbatim SET SCOPE statement in effect; "" = default
 	stmts  map[uint32]*sessStmt
 
@@ -188,7 +187,7 @@ func (s *session) handshake() error {
 		s.srv.adm.releaseConn(hello.Tenant)
 		return err
 	}
-	conn, err := s.srv.mw.Connect(hello.Tenant)
+	conn, err := s.srv.backend.Connect(hello.Tenant)
 	if err != nil {
 		return release(fail(wireErr(wire.CodeAuth, err)))
 	}
@@ -523,28 +522,16 @@ func (s *session) sendResult(res *engine.Result) bool {
 	return s.send(wire.MsgDone, wire.EncodeDone(wire.Done{Rows: int64(len(res.Rows))}))
 }
 
-// handleStats replies with engine, middleware and server counters in a
-// stable order (StatsOK is part of the protocol; map iteration would leak
-// nondeterminism onto the wire).
+// handleStats replies with backend (engine + middleware, or shard) and
+// server counters in a stable order (StatsOK is part of the protocol; map
+// iteration would leak nondeterminism onto the wire).
 func (s *session) handleStats() bool {
-	es := s.srv.mw.DB().Stats.Snapshot()
-	rwHits, rwMisses := s.srv.mw.RewriteCacheStats()
-	pairs := []wire.StatPair{
-		{Name: "engine.udf_calls", Value: es.UDFCalls},
-		{Name: "engine.udf_cache_hits", Value: es.UDFCacheHits},
-		{Name: "engine.plan_cache_hits", Value: es.PlanCacheHits},
-		{Name: "engine.plan_cache_misses", Value: es.PlanCacheMisses},
-		{Name: "engine.plan_cache_invalidations", Value: es.PlanCacheInvalidations},
-		{Name: "engine.rows_streamed", Value: es.RowsStreamed},
-		{Name: "engine.peak_batch", Value: es.PeakBatch},
-		{Name: "engine.spill_runs", Value: es.SpillRuns},
-		{Name: "engine.spill_bytes", Value: es.SpillBytes},
-		{Name: "engine.peak_mem_bytes", Value: es.PeakMemBytes},
-		{Name: "middleware.rewrite_cache_hits", Value: rwHits},
-		{Name: "middleware.rewrite_cache_misses", Value: rwMisses},
-		{Name: "server.sessions_open", Value: s.srv.sessionsOpen()},
-		{Name: "server.statements", Value: s.srv.statements.Load()},
-	}
+	pairs := s.srv.backend.StatPairs()
+	pairs = append(pairs,
+		wire.StatPair{Name: "server.sessions_open", Value: s.srv.sessionsOpen()},
+		wire.StatPair{Name: "server.statements", Value: s.srv.statements.Load()},
+	)
+	pairs = append(pairs, s.srv.adm.statPairs()...)
 	if st := s.srv.store; st != nil {
 		pairs = append(pairs,
 			wire.StatPair{Name: "wal.last_lsn", Value: int64(st.LastLSN())},

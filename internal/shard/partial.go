@@ -1,0 +1,533 @@
+package shard
+
+// Partial-aggregation pushdown (DESIGN.md ADR-009).
+//
+// For a pinned, grouped/aggregated cross-shard SELECT, each owning shard
+// computes a partial: the original statement with its select list replaced
+// by the group-key expressions (mtg_i) and decomposed aggregates (mtp_i),
+// HAVING/ORDER BY/LIMIT stripped. The partial goes through every shard's
+// own middleware (full rewrite under the shard's sub-scope), so
+// conversions and D-filters apply exactly as they would unsharded.
+//
+// The gathered partial rows land in a scratch table on the coordinator
+// replica and a combine statement folds them: COUNT → SUM of partial
+// counts, SUM → SUM of partial sums, MIN/MAX → MIN/MAX of partial
+// extrema, AVG → SUM(partial sums) * 1.0 / SUM(partial counts) (the
+// `* 1.0` forces float division; the engine's AVG is always a float).
+//
+// The fold needs no tenant keys: grouping is by value, and because the
+// decomposed aggregates are associative and commutative, folding partials
+// over ANY partition of the input rows — including groups that span
+// tenants with colliding key values — reproduces the unsharded result
+// exactly. Pinnedness (route.go) guarantees the partition itself: every
+// input row combination belongs to one tenant and is produced by exactly
+// one shard.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqltypes"
+)
+
+// partialPlan carries the shard-side partial statement and the
+// coordinator-side combine statement of one aggregation pushdown.
+type partialPlan struct {
+	partial     *sqlast.Select
+	combine     *sqlast.Select
+	tempTable   *sqlast.TableName // combine's FROM — renamed to the scratch slot at run time
+	partialCols []string          // partial output columns, in order (mtg_*, mtp_*)
+}
+
+// substitution maps original expression text to its combine-side
+// replacement (group keys → mtg refs, aggregate calls → fold exprs).
+type substitution map[string]func() sqlast.Expr
+
+// buildPartialPlan decomposes sel (pinned, aggregated, shared AST — never
+// mutated) into partial+combine, or reports false when the shape is not
+// decomposable (the router then uses the repartition fallback).
+func buildPartialPlan(sel *sqlast.Select) (*partialPlan, bool) {
+	if sel.Distinct {
+		return nil, false
+	}
+	for _, it := range sel.Items {
+		if it.Star || it.Expr == nil || exprHasSubquery(it.Expr) {
+			return nil, false
+		}
+	}
+	if exprHasSubquery(sel.Having) {
+		return nil, false
+	}
+	for _, o := range sel.OrderBy {
+		if exprHasSubquery(o.Expr) {
+			return nil, false
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if exprHasSubquery(g) {
+			return nil, false
+		}
+	}
+
+	subst := make(substitution)
+	var partialItems []sqlast.SelectItem
+	var partialCols []string
+	var combineGroup []sqlast.Expr
+
+	addPartial := func(name string, e sqlast.Expr) {
+		partialItems = append(partialItems, sqlast.SelectItem{Expr: e, Alias: name})
+		partialCols = append(partialCols, name)
+	}
+
+	// Group keys pass through the partial as mtg_i and become the
+	// combine's grouping columns.
+	for i, g := range sel.GroupBy {
+		key := g.String()
+		if _, dup := subst[key]; dup {
+			continue
+		}
+		name := fmt.Sprintf("mtg_%d", i)
+		addPartial(name, sqlast.CloneExpr(g))
+		combineGroup = append(combineGroup, &sqlast.ColumnRef{Name: name})
+		subst[key] = func() sqlast.Expr { return &sqlast.ColumnRef{Name: name} }
+	}
+
+	// Aggregate calls decompose into partial aggregates plus a fold.
+	grouped := len(sel.GroupBy) > 0
+	decomposable := true
+	collectAggs := func(e sqlast.Expr) {
+		sqlast.WalkExpr(e, func(n sqlast.Expr) bool {
+			fc, ok := n.(*sqlast.FuncCall)
+			if !ok || !engine.IsAggregate(fc.Name) {
+				return true
+			}
+			if fc.Distinct {
+				decomposable = false // COUNT(DISTINCT x) cannot fold from partials
+				return false
+			}
+			key := fc.String()
+			if _, dup := subst[key]; dup {
+				return false
+			}
+			idx := len(partialCols)
+			switch strings.ToUpper(fc.Name) {
+			case "AVG":
+				sumName := fmt.Sprintf("mtp_%d", idx)
+				cntName := fmt.Sprintf("mtp_%d", idx+1)
+				arg := sqlast.CloneExpr(fc.Args[0])
+				addPartial(sumName, &sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{arg}})
+				addPartial(cntName, &sqlast.FuncCall{Name: "COUNT", Args: []sqlast.Expr{sqlast.CloneExpr(fc.Args[0])}})
+				subst[key] = func() sqlast.Expr {
+					return &sqlast.BinaryExpr{
+						Op: "/",
+						L: &sqlast.BinaryExpr{
+							Op: "*",
+							L:  &sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{&sqlast.ColumnRef{Name: sumName}}},
+							R:  &sqlast.Literal{Val: sqltypes.NewFloat(1)},
+						},
+						R: &sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{&sqlast.ColumnRef{Name: cntName}}},
+					}
+				}
+			case "COUNT":
+				name := fmt.Sprintf("mtp_%d", idx)
+				part := &sqlast.FuncCall{Name: "COUNT", Star: fc.Star}
+				if !fc.Star {
+					part.Args = []sqlast.Expr{sqlast.CloneExpr(fc.Args[0])}
+				}
+				addPartial(name, part)
+				subst[key] = func() sqlast.Expr {
+					fold := sqlast.Expr(&sqlast.FuncCall{Name: "SUM", Args: []sqlast.Expr{&sqlast.ColumnRef{Name: name}}})
+					if !grouped {
+						// An ungrouped COUNT over zero rows is 0, but SUM
+						// over an empty fold input would be NULL.
+						fold = &sqlast.FuncCall{Name: "COALESCE", Args: []sqlast.Expr{fold, sqlast.NewIntLit(0)}}
+					}
+					return fold
+				}
+			case "SUM", "MIN", "MAX":
+				name := fmt.Sprintf("mtp_%d", idx)
+				foldFn := strings.ToUpper(fc.Name)
+				addPartial(name, &sqlast.FuncCall{Name: fc.Name, Args: []sqlast.Expr{sqlast.CloneExpr(fc.Args[0])}})
+				subst[key] = func() sqlast.Expr {
+					return &sqlast.FuncCall{Name: foldFn, Args: []sqlast.Expr{&sqlast.ColumnRef{Name: name}}}
+				}
+			default:
+				decomposable = false
+			}
+			return false
+		})
+	}
+	for _, it := range sel.Items {
+		collectAggs(it.Expr)
+	}
+	collectAggs(sel.Having)
+	for _, o := range sel.OrderBy {
+		collectAggs(o.Expr)
+	}
+	if !decomposable {
+		return nil, false
+	}
+
+	// Shard-side partial: original FROM/WHERE (cloned), mtg/mtp outputs,
+	// original grouping, no HAVING/ORDER/LIMIT.
+	partial := sqlast.CloneSelect(sel)
+	partial.Items = partialItems
+	partial.Having = nil
+	partial.OrderBy = nil
+	partial.Limit = -1
+	partial.Distinct = false
+
+	// Coordinator-side combine over the scratch table.
+	tempTable := &sqlast.TableName{}
+	combine := &sqlast.Select{
+		From:    []sqlast.TableExpr{tempTable},
+		GroupBy: combineGroup,
+		Limit:   sel.Limit,
+	}
+	combineOutputs := make(map[string]bool)
+	for _, it := range sel.Items {
+		name := outputNameOf(it)
+		if !validIdentifier(name) {
+			return nil, false // the fold result must carry the original column name
+		}
+		folded, ok := substituteExpr(it.Expr, subst)
+		if !ok {
+			return nil, false
+		}
+		combine.Items = append(combine.Items, sqlast.SelectItem{Expr: folded, Alias: name})
+		combineOutputs[strings.ToLower(name)] = true
+	}
+	if sel.Having != nil {
+		h, ok := substituteExpr(sel.Having, subst)
+		if !ok {
+			return nil, false
+		}
+		combine.Having = h
+	}
+	for _, o := range sel.OrderBy {
+		// Bare references to a combine output column (alias or group key
+		// name) pass through; anything else must fold to mtg/mtp refs.
+		if cr, isRef := o.Expr.(*sqlast.ColumnRef); isRef && cr.Table == "" && combineOutputs[strings.ToLower(cr.Name)] {
+			combine.OrderBy = append(combine.OrderBy, sqlast.OrderItem{Expr: &sqlast.ColumnRef{Name: cr.Name}, Desc: o.Desc})
+			continue
+		}
+		folded, ok := substituteExpr(o.Expr, subst)
+		if !ok {
+			return nil, false
+		}
+		combine.OrderBy = append(combine.OrderBy, sqlast.OrderItem{Expr: folded, Desc: o.Desc})
+	}
+
+	return &partialPlan{
+		partial:     partial,
+		combine:     combine,
+		tempTable:   tempTable,
+		partialCols: partialCols,
+	}, true
+}
+
+// outputNameOf mirrors the engine's output-column naming rule.
+func outputNameOf(it sqlast.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlast.ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.String()
+}
+
+func validIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// substituteExpr rewrites e top-down: subtrees whose text matches a
+// substitution key are replaced whole; everything else is rebuilt with
+// substituted children. It fails when a base-table column reference
+// survives outside any substituted subtree — the combine statement may
+// reference only mtg/mtp columns of the scratch table.
+func substituteExpr(e sqlast.Expr, subst substitution) (sqlast.Expr, bool) {
+	if e == nil {
+		return nil, true
+	}
+	if mk, ok := subst[e.String()]; ok {
+		return mk(), true
+	}
+	rebuild := func(parts ...*sqlast.Expr) bool {
+		for _, p := range parts {
+			ne, ok := substituteExpr(*p, subst)
+			if !ok {
+				return false
+			}
+			*p = ne
+		}
+		return true
+	}
+	switch x := e.(type) {
+	case *sqlast.Literal, *sqlast.Param:
+		return e, true
+	case *sqlast.ColumnRef:
+		return nil, false // unsubstituted base column: not computable from partials
+	case *sqlast.BinaryExpr:
+		c := *x
+		if !rebuild(&c.L, &c.R) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.UnaryExpr:
+		c := *x
+		if !rebuild(&c.X) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.FuncCall:
+		c := *x
+		c.Args = append([]sqlast.Expr(nil), x.Args...)
+		for i := range c.Args {
+			if !rebuild(&c.Args[i]) {
+				return nil, false
+			}
+		}
+		return &c, true
+	case *sqlast.CaseExpr:
+		c := *x
+		c.Whens = append([]sqlast.CaseWhen(nil), x.Whens...)
+		if !rebuild(&c.Operand, &c.Else) {
+			return nil, false
+		}
+		for i := range c.Whens {
+			if !rebuild(&c.Whens[i].Cond, &c.Whens[i].Then) {
+				return nil, false
+			}
+		}
+		return &c, true
+	case *sqlast.BetweenExpr:
+		c := *x
+		if !rebuild(&c.X, &c.Lo, &c.Hi) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.LikeExpr:
+		c := *x
+		if !rebuild(&c.X, &c.Pattern) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.IsNullExpr:
+		c := *x
+		if !rebuild(&c.X) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.ExtractExpr:
+		c := *x
+		if !rebuild(&c.X) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.SubstringExpr:
+		c := *x
+		if !rebuild(&c.X, &c.From, &c.For) {
+			return nil, false
+		}
+		return &c, true
+	case *sqlast.InExpr:
+		if x.Sub != nil {
+			return nil, false
+		}
+		c := *x
+		c.List = append([]sqlast.Expr(nil), x.List...)
+		if !rebuild(&c.X) {
+			return nil, false
+		}
+		for i := range c.List {
+			if !rebuild(&c.List[i]) {
+				return nil, false
+			}
+		}
+		return &c, true
+	default:
+		return nil, false
+	}
+}
+
+func exprHasSubquery(e sqlast.Expr) bool {
+	return e != nil && len(sqlast.SubqueriesOf(e)) > 0
+}
+
+// sliceArgs trims the statement arguments to the exact bind arity the
+// engine demands.
+func sliceArgs(args []any, stmt sqlast.Statement) ([]any, error) {
+	n := sqlast.MaxParam(stmt)
+	if n > len(args) {
+		return nil, fmt.Errorf("shard: statement references $%d but only %d arguments given", n, len(args))
+	}
+	return args[:n], nil
+}
+
+// partialScatter executes an aggregation pushdown: partials on every
+// owning shard (concurrently — each shard has its own sub-connection and
+// engine), fold on the replica's scratch table.
+func (c *Conn) partialScatter(ctx context.Context, sel *sqlast.Select, args []any, sets []shardSet, an analysis) (*engine.Rows, error) {
+	plan := an.plan
+	partialSQL := plan.partial.String()
+	pargs, err := sliceArgs(args, plan.partial)
+	if err != nil {
+		return nil, err
+	}
+
+	// Create all shard cursors sequentially (cursor creation captures the
+	// sub-scope rewrite), then drain them concurrently.
+	curs := make([]*engine.Rows, len(sets))
+	ranks := make([]int, 0, len(sets))
+	for i, ss := range sets {
+		ranks = append(ranks, ss.rank)
+		if err := c.setSub(ss.rank, ss.ds); err != nil {
+			c.restoreSubs(ranks[:i])
+			return nil, err
+		}
+		rows, qerr := c.sconns[ss.rank].QueryContext(ctx, partialSQL, pargs...)
+		if qerr != nil {
+			for _, r := range curs[:i] {
+				r.Close()
+			}
+			c.restoreSubs(ranks)
+			return nil, qerr
+		}
+		curs[i] = rows
+	}
+	c.restoreSubs(ranks)
+
+	results := make([]*engine.Result, len(curs))
+	errs := make([]error, len(curs))
+	var wg sync.WaitGroup
+	for i, rows := range curs {
+		wg.Add(1)
+		go func(i int, rows *engine.Rows) {
+			defer wg.Done()
+			results[i], errs[i] = rows.Collect()
+		}(i, rows)
+	}
+	wg.Wait()
+	var partialRows [][]sqltypes.Value
+	for i, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+		partialRows = append(partialRows, results[i].Rows...)
+	}
+
+	return c.srv.foldPartials(ctx, plan, partialRows, args)
+}
+
+// foldPartials loads partial rows into a scratch slot on the replica and
+// runs the combine statement there, returning the materialized result.
+func (s *Server) foldPartials(ctx context.Context, plan *partialPlan, partialRows [][]sqltypes.Value, args []any) (*engine.Rows, error) {
+	name, err := s.acquireGatherSlot(plan.partialCols, partialRows)
+	if err != nil {
+		return nil, err
+	}
+	defer s.releaseGatherSlot(name)
+
+	plan.tempTable.Name = name
+	combineSQL := plan.combine.String()
+	cargs, err := sliceArgs(args, plan.combine)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]sqltypes.Value, len(cargs))
+	for i, a := range cargs {
+		if vals[i], err = sqltypes.BindValue(a); err != nil {
+			return nil, err
+		}
+	}
+	rows, err := s.replica.DB().QueryContext(ctx, combineSQL, vals...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return engine.MaterializedRows(res.Cols, res.Rows), nil
+}
+
+// acquireGatherSlot takes a scratch table slot on the replica, recreating
+// the table for this gather's column shape and loading the partial rows.
+// Slot names are a small reused pool so the replica's plan cache stays
+// bounded.
+func (s *Server) acquireGatherSlot(cols []string, rows [][]sqltypes.Value) (string, error) {
+	s.gatherMu.Lock()
+	var slot int
+	if n := len(s.gatherFree); n > 0 {
+		slot = s.gatherFree[n-1]
+		s.gatherFree = s.gatherFree[:n-1]
+	} else {
+		slot = s.gatherNext
+		s.gatherNext++
+	}
+	s.gatherMu.Unlock()
+
+	name := fmt.Sprintf("mt_gather_%d", slot)
+	rdb := s.replica.DB()
+	if rdb.Table(name) != nil {
+		if _, err := rdb.ExecSQL("DROP TABLE " + name); err != nil {
+			s.freeSlot(slot)
+			return "", err
+		}
+	}
+	tcols := make([]engine.Column, len(cols))
+	for i, cn := range cols {
+		tcols[i] = engine.Column{Name: cn, Type: inferKind(rows, i)}
+	}
+	rdb.CreateTableDirect(name, tcols, nil)
+	rdb.Table(name).BulkLoad(rows)
+	return name, nil
+}
+
+func (s *Server) releaseGatherSlot(name string) {
+	var slot int
+	fmt.Sscanf(name, "mt_gather_%d", &slot)
+	// Keep the (empty) table definition; the next acquire drops and
+	// recreates it for its own column shape.
+	if t := s.replica.DB().Table(name); t != nil {
+		t.ReplaceRows(nil)
+	}
+	s.freeSlot(slot)
+}
+
+func (s *Server) freeSlot(slot int) {
+	s.gatherMu.Lock()
+	s.gatherFree = append(s.gatherFree, slot)
+	s.gatherMu.Unlock()
+}
+
+// inferKind picks a column type from the first non-null value; an
+// all-null column (every shard aggregated an empty input) types as float,
+// which any fold accepts.
+func inferKind(rows [][]sqltypes.Value, col int) sqltypes.Kind {
+	for _, r := range rows {
+		if !r[col].IsNull() {
+			return r[col].K
+		}
+	}
+	return sqltypes.KindFloat
+}

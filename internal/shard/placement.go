@@ -1,0 +1,47 @@
+package shard
+
+// Placement maps a tenant to the rank of the shard owning its rows. A
+// placement is fixed for the lifetime of a sharded server: every loader,
+// router and write path consults the same function, so a tenant's rows
+// live on exactly one shard by construction. Implementations must be pure
+// (same tenant → same rank, no state mutation): routing calls them
+// concurrently and caches nothing.
+type Placement interface {
+	ShardOf(ttid int64) int
+}
+
+// HashPlacement spreads tenants uniformly over n shards with a
+// multiplicative hash — the default when no heat information exists.
+type HashPlacement struct {
+	N int
+}
+
+// ShardOf implements Placement. The mix keeps consecutive tenant ids
+// (the common allocation pattern) from all landing on one shard while
+// staying deterministic across processes.
+func (h HashPlacement) ShardOf(ttid int64) int {
+	if h.N <= 1 {
+		return 0
+	}
+	x := uint64(ttid)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(h.N))
+}
+
+// MapPlacement pins chosen tenants to explicit shards — the hook for
+// heat-based placement (co-locate hot tenants, or isolate them) — and
+// delegates everyone else to a fallback placement.
+type MapPlacement struct {
+	Assign   map[int64]int
+	Fallback Placement
+}
+
+// ShardOf implements Placement.
+func (m MapPlacement) ShardOf(ttid int64) int {
+	if rank, ok := m.Assign[ttid]; ok {
+		return rank
+	}
+	return m.Fallback.ShardOf(ttid)
+}

@@ -1,0 +1,307 @@
+// Package shard partitions tenants across N independent engine shards and
+// routes every statement by its rewritten tenant set D′ (DESIGN.md
+// ADR-009).
+//
+// Each shard is a full middleware.Server over its own engine.DB: global
+// tables and all metadata (schema, tenants, privileges, conversion
+// functions) are replicated to every shard, while each tenant-specific row
+// lives on exactly one shard, chosen by a fixed Placement. MTBase's
+// cross-tenant rewrite names the exact tenant set D′ for every statement,
+// which turns placement into routing:
+//
+//   - statements whose D′ lands on one shard (the single-tenant default
+//     scope above all) run there with zero cross-shard coordination — the
+//     shard's own middleware resolves the original scope locally and
+//     byte-identically;
+//   - cross-shard statements scatter to the owning shards under explicit
+//     per-shard sub-scopes and gather deterministically (engine.MergeRows /
+//     engine.ConcatRows, partial-aggregation fold, or a repartition
+//     fallback on the coordinator replica).
+//
+// A "replica" middleware.Server accompanies the shards as coordinator: it
+// holds all metadata and global data but NO tenant rows. It resolves
+// scopes and privileges for routing, hosts the fold tables of the
+// partial-aggregation gather, and executes repartition fallbacks after
+// the owning shards' rows are copied in.
+//
+// DDL, grants and tenant registration fan out to the replica and every
+// shard under a schema-generation barrier (ddlMu): statements route under
+// a read lock, schema changes take the write lock, so a scatter never
+// observes half-applied schema.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mtbase/internal/engine"
+	"mtbase/internal/middleware"
+	"mtbase/internal/mtsql"
+	"mtbase/internal/sqlast"
+	"mtbase/internal/sqlparse"
+)
+
+// Server is a sharded counterpart of middleware.Server: same Connect/
+// Conn/Prepare/Stmt/Rows surface, tenants partitioned over nshards
+// engines.
+type Server struct {
+	place   Placement
+	shards  []*middleware.Server
+	replica *middleware.Server
+
+	// ddlMu is the schema-generation barrier: statements hold it shared
+	// while routing and executing, DDL/grants/tenant registration hold it
+	// exclusively while fanning out to every shard.
+	ddlMu sync.RWMutex
+
+	// fbMu serializes repartition fallbacks: the replica's tenant tables
+	// are a scratch area owned by one fallback at a time.
+	fbMu sync.Mutex
+
+	stats Stats
+
+	// Gather-slot pool: scratch tables on the replica for partial-agg
+	// folds. Slots are reused so the replica's catalog stays bounded.
+	gatherMu   sync.Mutex
+	gatherFree []int
+	gatherNext int
+
+	// selCache mirrors the middleware's parse cache for the routing layer.
+	selMu    sync.Mutex
+	selCache map[string]*sqlast.Select
+}
+
+const selCacheCap = 512
+
+type config struct {
+	place     Placement
+	modellers []int64
+}
+
+// Option configures a sharded server.
+type Option func(*config)
+
+// WithPlacement overrides the default hash placement — the hook for
+// heat-based maps (MapPlacement).
+func WithPlacement(p Placement) Option {
+	return func(c *config) { c.place = p }
+}
+
+// WithDataModeller marks ttid as a data modeller on every shard (mirrors
+// middleware.WithDataModeller).
+func WithDataModeller(ttid int64) Option {
+	return func(c *config) { c.modellers = append(c.modellers, ttid) }
+}
+
+// New builds a sharded server with nshards fresh engines (plus the
+// coordinator replica) in the given engine mode.
+func New(nshards int, mode engine.Mode, opts ...Option) (*Server, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", nshards)
+	}
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.place == nil {
+		cfg.place = HashPlacement{N: nshards}
+	}
+	mwOpts := make([]middleware.Option, 0, len(cfg.modellers))
+	for _, m := range cfg.modellers {
+		mwOpts = append(mwOpts, middleware.WithDataModeller(m))
+	}
+	s := &Server{place: cfg.place, selCache: make(map[string]*sqlast.Select)}
+	for i := 0; i < nshards; i++ {
+		s.shards = append(s.shards, middleware.NewServer(engine.Open(mode), mwOpts...))
+	}
+	s.replica = middleware.NewServer(engine.Open(mode), mwOpts...)
+	return s, nil
+}
+
+// NumShards returns the shard count (excluding the coordinator replica).
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Placement returns the tenant→shard mapping in force.
+func (s *Server) Placement() Placement { return s.place }
+
+// ShardOf returns the rank of the shard owning ttid's rows.
+func (s *Server) ShardOf(ttid int64) int { return s.place.ShardOf(ttid) }
+
+// Shards exposes the per-shard middleware servers. Loaders use it to bulk
+// load each tenant's rows onto its owning shard and to replicate global
+// data; routing code never needs it.
+func (s *Server) Shards() []*middleware.Server { return s.shards }
+
+// Replica exposes the coordinator replica: all metadata and global data,
+// no tenant rows. Loaders replicate global and meta state here too.
+func (s *Server) Replica() *middleware.Server { return s.replica }
+
+// Schema returns the MTSQL schema (identical on every shard; the
+// replica's copy is the routing authority).
+func (s *Server) Schema() *mtsql.Schema { return s.replica.Schema() }
+
+// Stats returns the routing counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// CreateTenant registers a tenant on the replica and every shard —
+// metadata is replicated even though the tenant's rows will live on
+// exactly one shard.
+func (s *Server) CreateTenant(ttid int64) error {
+	s.ddlMu.Lock()
+	defer s.ddlMu.Unlock()
+	if err := s.replica.CreateTenant(ttid); err != nil {
+		return err
+	}
+	for _, mw := range s.shards {
+		if err := mw.CreateTenant(ttid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tenants returns all registered tenant ids in ascending order.
+func (s *Server) Tenants() []int64 { return s.replica.Tenants() }
+
+// Connect opens a sharded session for tenant ttid: one sub-connection per
+// shard plus one on the replica, all sharing the session's C, scope and
+// optimization level. Like middleware.Conn, the returned Conn is not safe
+// for concurrent use by multiple goroutines.
+func (s *Server) Connect(ttid int64) (*Conn, error) {
+	rconn, err := s.replica.Connect(ttid)
+	if err != nil {
+		return nil, err
+	}
+	sconns := make([]*middleware.Conn, len(s.shards))
+	for i, mw := range s.shards {
+		if sconns[i], err = mw.Connect(ttid); err != nil {
+			return nil, err
+		}
+	}
+	return &Conn{srv: s, c: ttid, level: rconn.OptLevel(), rconn: rconn, sconns: sconns}, nil
+}
+
+// parseSelect parses sql as a query, serving repeats from the routing
+// layer's parse cache. Cached ASTs are shared: routing only reads them,
+// and the partial-aggregation builder clones before mutating.
+func (s *Server) parseSelect(sql string) (*sqlast.Select, error) {
+	s.selMu.Lock()
+	if sel, ok := s.selCache[sql]; ok {
+		s.selMu.Unlock()
+		return sel, nil
+	}
+	s.selMu.Unlock()
+	sel, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.selMu.Lock()
+	if len(s.selCache) >= selCacheCap {
+		s.selCache = make(map[string]*sqlast.Select)
+	}
+	s.selCache[sql] = sel
+	s.selMu.Unlock()
+	return sel, nil
+}
+
+// shardSet is one scatter target: a shard rank and the subset of D′ it
+// owns (ascending tenant order).
+type shardSet struct {
+	rank int
+	ds   []int64
+}
+
+// group partitions the (sorted) tenant set d by owning shard, returning
+// targets in ascending rank order.
+func (s *Server) group(d []int64) []shardSet {
+	byRank := make(map[int][]int64)
+	for _, t := range d {
+		r := s.place.ShardOf(t)
+		byRank[r] = append(byRank[r], t)
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	sets := make([]shardSet, 0, len(ranks))
+	for _, r := range ranks {
+		sets = append(sets, shardSet{rank: r, ds: byRank[r]})
+	}
+	return sets
+}
+
+// Stat is one named counter for stats surfaces (mtserve Stats frames,
+// mtsh \stats).
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// StatLines reports the routing counters plus per-shard engine counters
+// in a stable order (shard rank; the replica last as "replica").
+func (s *Server) StatLines() []Stat {
+	snap := s.stats.Snapshot()
+	out := []Stat{
+		{Name: "shard.shards", Value: int64(len(s.shards))},
+		{Name: "shard.routed_single", Value: snap.RoutedSingle},
+		{Name: "shard.routed_scatter", Value: snap.RoutedScatter},
+		{Name: "shard.routed_fallback", Value: snap.RoutedFallback},
+		{Name: "shard.partials_pushed", Value: snap.PartialsPushed},
+	}
+	for i, mw := range s.shards {
+		es := mw.DB().Stats.Snapshot()
+		prefix := fmt.Sprintf("shard%d.", i)
+		out = append(out,
+			Stat{Name: prefix + "rows_streamed", Value: es.RowsStreamed},
+			Stat{Name: prefix + "plan_cache_hits", Value: es.PlanCacheHits},
+			Stat{Name: prefix + "spill_runs", Value: es.SpillRuns},
+			Stat{Name: prefix + "peak_mem_bytes", Value: es.PeakMemBytes},
+		)
+	}
+	es := s.replica.DB().Stats.Snapshot()
+	out = append(out,
+		Stat{Name: "replica.rows_streamed", Value: es.RowsStreamed},
+		Stat{Name: "replica.spill_runs", Value: es.SpillRuns},
+	)
+	return out
+}
+
+// TenantShard is one row of the placement map.
+type TenantShard struct {
+	Tenant int64
+	Shard  int
+}
+
+// PlacementMap lists every registered tenant with its owning shard, in
+// ascending tenant order (mtsh \shards).
+func (s *Server) PlacementMap() []TenantShard {
+	ts := s.replica.Tenants()
+	out := make([]TenantShard, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, TenantShard{Tenant: t, Shard: s.place.ShardOf(t)})
+	}
+	return out
+}
+
+// RowCounts reports, per shard rank, the number of tenant-specific rows it
+// holds (mtsh \shards).
+func (s *Server) RowCounts() []int64 {
+	schema := s.Schema()
+	out := make([]int64, len(s.shards))
+	for i, mw := range s.shards {
+		db := mw.DB()
+		var n int64
+		for _, ti := range schema.Tables() {
+			if !ti.TenantSpecific() {
+				continue
+			}
+			if t := db.Table(ti.Name); t != nil {
+				n += int64(t.RowCount())
+			}
+		}
+		out[i] = n
+	}
+	return out
+}

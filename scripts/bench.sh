@@ -14,7 +14,10 @@
 # recorded so accidental materialization in the operator tree shows up as a
 # counter regression, not just a latency blip. BenchmarkQueryScaling's
 # workers metric records the intra-query parallelism of each point in the
-# Q1 scaling series, and BenchmarkMixedReadWrite contributes qps, p50_ms,
+# Q1 scaling series, BenchmarkShardScaling's shards metric records the
+# tenant-partitioned shard count behind each point of the Q1/Q6/Q22
+# scatter/gather series (shards1 is the pass-through oracle on the same
+# dataset), and BenchmarkMixedReadWrite contributes qps, p50_ms,
 # p99_ms and writes_per_sec for the read-while-writing workload.
 # BenchmarkServe contributes the same qps/p50_ms/p99_ms shape measured over
 # the mtserve wire protocol (one series per optimization level, each
@@ -44,7 +47,7 @@ cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3|BenchmarkMixedReadWrite|BenchmarkServe' \
+go test -run='^$' -bench='BenchmarkQuery|BenchmarkRewrite|BenchmarkTable3|BenchmarkMixedReadWrite|BenchmarkServe|BenchmarkShardScaling' \
 	-benchtime="$benchtime" -benchmem | tee "$raw"
 
 awk -v date="$stamp" -v batch="$batch_size" -v cpus="$cpus" '
@@ -53,7 +56,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 	name = $1
 	nsop = ""; bop = ""; allocs = ""; phits = ""; pmiss = ""; parhits = ""
 	streamed = ""; peak = ""; workers = ""; qps = ""; p50 = ""; p99 = ""; wps = ""
-	sruns = ""; smb = ""; pmem = ""
+	sruns = ""; smb = ""; pmem = ""; nshards = ""
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")         nsop   = $(i - 1)
 		if ($(i) == "B/op")          bop    = $(i - 1)
@@ -64,6 +67,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 		if ($(i) == "rows_streamed/op") streamed = $(i - 1)
 		if ($(i) == "peak_batch")    peak   = $(i - 1)
 		if ($(i) == "workers")       workers = $(i - 1)
+		if ($(i) == "shards")        nshards = $(i - 1)
 		if ($(i) == "qps")           qps    = $(i - 1)
 		if ($(i) == "p50_ms")        p50    = $(i - 1)
 		if ($(i) == "p99_ms")        p99    = $(i - 1)
@@ -83,6 +87,7 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"batch_size\": %s,\n  \"cpus\
 	if (streamed != "") printf ", \"rows_streamed_per_op\": %s", streamed
 	if (peak != "")   printf ", \"peak_batch\": %s", peak
 	if (workers != "") printf ", \"workers\": %s", workers
+	if (nshards != "") printf ", \"shards\": %s", nshards
 	if (qps != "")    printf ", \"qps\": %s", qps
 	if (p50 != "")    printf ", \"p50_ms\": %s", p50
 	if (p99 != "")    printf ", \"p99_ms\": %s", p99
